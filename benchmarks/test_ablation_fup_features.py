@@ -1,0 +1,81 @@
+"""E9 — Ablation: what each FUP design choice contributes.
+
+Not a figure of the paper, but DESIGN.md calls out four separable design
+choices in FUP (candidate pruning by increment support, Lemma-3 loser
+filtering, the Section-3.4 database reductions, and the DHP hash filter).
+This benchmark disables them one at a time and reports the impact on run time
+and candidate counts, confirming that the increment-support pruning is the
+dominant optimisation — which is the paper's central claim.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import FupOptions
+from repro.harness.runner import run_fup_update
+
+from .conftest import print_report
+
+MIN_SUPPORT = 0.01
+
+VARIANTS = [
+    ("full FUP", FupOptions()),
+    ("no increment-support pruning", FupOptions(prune_candidates_by_increment=False)),
+    ("no Lemma-3 loser filtering", FupOptions(filter_losers_by_subsets=False)),
+    ("no database reduction", FupOptions(reduce_databases=False)),
+    ("no DHP hash filter", FupOptions(use_hash_filter=False)),
+    ("all optimisations off", FupOptions.all_disabled()),
+]
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_of_fup_features(benchmark, figure2_workload, initial_results_cache):
+    """Run FUP with each optimisation disabled in turn and compare."""
+    workload = figure2_workload
+    initial = initial_results_cache(workload.original, MIN_SUPPORT)
+
+    def run_variants():
+        results = []
+        for label, options in VARIANTS:
+            result = run_fup_update(
+                workload.original,
+                initial,
+                workload.increment,
+                MIN_SUPPORT,
+                options=options,
+            )
+            results.append((label, result))
+        return results
+
+    results = benchmark.pedantic(run_variants, rounds=1, iterations=1)
+
+    reference = dict(results)["full FUP"]
+    rows = []
+    for label, result in results:
+        # Every variant must compute the same answer.
+        assert result.lattice.supports() == reference.lattice.supports()
+        rows.append(
+            {
+                "variant": label,
+                "seconds": result.elapsed_seconds,
+                "candidates": result.candidates_generated,
+                "db_scans": result.database_scans,
+                "transactions_read": result.transactions_read,
+            }
+        )
+    print_report(
+        f"Ablation - FUP feature contributions on {workload.name} at {MIN_SUPPORT:.2%}", rows
+    )
+
+    by_label = dict(results)
+    # Increment-support pruning is the dominant candidate-set reducer.
+    assert (
+        by_label["full FUP"].candidates_generated
+        <= by_label["no increment-support pruning"].candidates_generated
+    )
+    # Disabling everything can only increase (or equal) the work done.
+    assert (
+        by_label["full FUP"].transactions_read
+        <= by_label["all optimisations off"].transactions_read
+    )

@@ -1,0 +1,78 @@
+"""E4 — Figure 4: speed-up ratio versus increment size.
+
+The paper fixes the original database (T10.I4.D100) and grows the increment
+from 15K up to 350K transactions (i.e. up to 3.5x the original database),
+plotting the DHP/FUP time ratio.  The ratio decays as the increment grows but
+FUP keeps a gain (> 1) even when the increment is several times the original
+database; the curve only levels off around 3.5x.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.runner import compare_update_strategies
+
+from .conftest import BENCH_SCALE, build_workload, print_report
+
+#: Increment sizes of Figure 4 as a fraction of the (100K-transaction)
+#: original database: 15K, 25K, 75K, 125K, 175K, 250K, 350K.
+INCREMENT_FRACTIONS = [0.15, 0.25, 0.75, 1.25, 1.75, 2.5, 3.5]
+MIN_SUPPORT = 0.02
+
+
+@pytest.mark.benchmark(group="figure4")
+def test_figure4_speedup_vs_increment_size(benchmark, initial_results_cache):
+    """Reproduce the Figure 4 series: DHP/FUP ratio as the increment grows."""
+    base = build_workload("T10.I4.D100.d1")
+    original = base.original
+    database_size = len(original)
+    # One long generation supplies every increment prefix, so larger
+    # increments extend smaller ones (the paper regenerates per size; sharing
+    # the stream keeps the comparison smooth at bench scale).
+    largest = build_workload(
+        f"T10.I4.D100.d{int(100 * max(INCREMENT_FRACTIONS))}", seed=4
+    )
+    increment_pool = largest.increment
+
+    def run_series():
+        results = []
+        initial = initial_results_cache(original, MIN_SUPPORT)
+        for fraction in INCREMENT_FRACTIONS:
+            increment = increment_pool.slice(0, int(round(fraction * database_size)))
+            comparison = compare_update_strategies(
+                original,
+                increment,
+                MIN_SUPPORT,
+                workload=f"{base.name}+{fraction:g}x",
+                initial=initial,
+            )
+            results.append((fraction, comparison))
+        return results
+
+    results = benchmark.pedantic(run_series, rounds=1, iterations=1)
+
+    rows = []
+    for fraction, comparison in results:
+        assert comparison.consistent()
+        rows.append(
+            {
+                "increment/DB": fraction,
+                "increment_size": int(round(fraction * database_size)),
+                "fup_seconds": comparison.fup.elapsed_seconds,
+                "dhp_seconds": comparison.dhp.elapsed_seconds,
+                "dhp/fup": comparison.against_dhp.speedup,
+            }
+        )
+    print_report(
+        f"Figure 4 - DHP/FUP speed-up vs increment size (DB = {database_size} transactions, "
+        f"scale {BENCH_SCALE:g})",
+        rows,
+    )
+
+    # Shape checks: the gain is largest for the small increments and the small
+    # increments keep FUP clearly ahead of re-running DHP.
+    small_increment_speedups = [comparison.against_dhp.speedup for _, comparison in results[:2]]
+    large_increment_speedups = [comparison.against_dhp.speedup for _, comparison in results[-2:]]
+    assert max(small_increment_speedups) > 1.0
+    assert max(small_increment_speedups) >= max(large_increment_speedups) * 0.8

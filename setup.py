@@ -1,0 +1,11 @@
+"""Setuptools entry point.
+
+The pyproject.toml carries all project metadata; this file exists so that
+``pip install -e .`` works in fully offline environments whose setuptools
+predates PEP 660 editable-wheel support (older toolchains fall back to the
+legacy ``setup.py develop`` path, which needs this stub).
+"""
+
+from setuptools import setup
+
+setup()

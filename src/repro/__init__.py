@@ -1,0 +1,135 @@
+"""repro — reproduction of "Maintenance of Discovered Association Rules in
+Large Databases: An Incremental Updating Technique" (Cheung, Han, Ng, Wong,
+ICDE 1996).
+
+The package provides:
+
+* the **FUP** incremental update algorithm (:class:`repro.core.FupUpdater`)
+  and its deletion-capable generalisation (:class:`repro.core.Fup2Updater`),
+* the **Apriori** and **DHP** baseline miners the paper compares against,
+* association-rule generation, a transaction-database substrate, the
+  Quest-style synthetic data generator the paper's evaluation uses, and the
+  experiment harness that regenerates every figure of the evaluation section.
+
+Quickstart::
+
+    from repro import AprioriMiner, FupUpdater, TransactionDatabase
+
+    original = TransactionDatabase([[1, 2, 3], [1, 2], [2, 4], [1, 3]])
+    initial = AprioriMiner(min_support=0.5).mine(original)
+
+    increment = TransactionDatabase([[1, 2, 4], [2, 4]])
+    updated_state = FupUpdater(min_support=0.5).update(original, initial, increment)
+    print(updated_state.large_itemsets)
+"""
+
+from .errors import (
+    EmptyDatabaseError,
+    ExperimentError,
+    GeneratorConfigError,
+    InvalidItemsetError,
+    InvalidThresholdError,
+    InvalidTransactionError,
+    ReproError,
+    StaleStateError,
+    StorageError,
+)
+from .itemsets import Item, Itemset, itemset
+from .db import (
+    DatabaseStats,
+    Transaction,
+    TransactionDatabase,
+    UpdateBatch,
+    UpdateLog,
+    compute_stats,
+    load_database,
+    save_database,
+)
+from .mining import (
+    AprioriMiner,
+    AssociationRule,
+    DhpMiner,
+    HashTree,
+    ItemsetLattice,
+    MiningResult,
+    apriori_gen,
+    generate_rules,
+    mine_apriori,
+    mine_dhp,
+)
+from .core import (
+    Fup2Updater,
+    FupOptions,
+    FupUpdater,
+    MaintenanceReport,
+    RuleMaintainer,
+    update_with_fup,
+    update_with_fup2,
+)
+from .datagen import (
+    SyntheticConfig,
+    SyntheticDataGenerator,
+    Workload,
+    generate_database,
+    make_workload,
+    paper_workload,
+    parse_workload_name,
+    scaled_paper_workload,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # errors
+    "ReproError",
+    "InvalidItemsetError",
+    "InvalidTransactionError",
+    "InvalidThresholdError",
+    "EmptyDatabaseError",
+    "StaleStateError",
+    "StorageError",
+    "GeneratorConfigError",
+    "ExperimentError",
+    # itemsets
+    "Item",
+    "Itemset",
+    "itemset",
+    # db
+    "Transaction",
+    "TransactionDatabase",
+    "UpdateBatch",
+    "UpdateLog",
+    "DatabaseStats",
+    "compute_stats",
+    "load_database",
+    "save_database",
+    # mining
+    "AprioriMiner",
+    "DhpMiner",
+    "HashTree",
+    "ItemsetLattice",
+    "MiningResult",
+    "AssociationRule",
+    "apriori_gen",
+    "generate_rules",
+    "mine_apriori",
+    "mine_dhp",
+    # core
+    "FupUpdater",
+    "Fup2Updater",
+    "FupOptions",
+    "RuleMaintainer",
+    "MaintenanceReport",
+    "update_with_fup",
+    "update_with_fup2",
+    # datagen
+    "SyntheticConfig",
+    "SyntheticDataGenerator",
+    "Workload",
+    "generate_database",
+    "make_workload",
+    "paper_workload",
+    "parse_workload_name",
+    "scaled_paper_workload",
+]

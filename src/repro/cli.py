@@ -1,0 +1,264 @@
+"""Command-line interface for the library.
+
+The CLI covers the workflows a user of the original system would run from a
+shell, each as a subcommand:
+
+``generate``
+    Produce a synthetic ``Tx.Iy.Dm.dn`` workload (Table 1 parameters) and
+    write the database and increment to files.
+``mine``
+    Mine the large itemsets (and optionally the rules) of a transaction file
+    with Apriori or DHP and write the itemsets to a state file.
+``update``
+    Apply an increment file to a database file with FUP, starting from a
+    previously saved state file, and report what changed.
+``rules``
+    Derive the strong association rules from a saved itemset state file.
+``compare``
+    Run the paper's three-way comparison (FUP vs. re-running Apriori and DHP)
+    on a database + increment pair and print the Figure-2/3 style numbers.
+
+All files use the plain-text transaction format (one transaction per line,
+items as space-separated integers), so the CLI interoperates with the common
+frequent-itemset benchmark datasets.  Itemset state files are JSON.
+
+Run ``python -m repro.cli --help`` for the full usage.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from . import __version__
+from .core.fup import FupUpdater
+from .datagen.synthetic import SyntheticConfig, SyntheticDataGenerator
+from .db.store import load_database, save_database
+from .errors import ReproError
+from .harness.reporting import format_table
+from .harness.runner import compare_update_strategies
+from .mining.apriori import AprioriMiner
+from .mining.dhp import DhpMiner
+from .mining.result import ItemsetLattice, MiningResult
+from .mining.rules import generate_rules
+
+__all__ = ["main", "build_parser"]
+
+
+# --------------------------------------------------------------------- #
+# Itemset-state (JSON) persistence
+# --------------------------------------------------------------------- #
+def save_state(result: MiningResult, path: str | Path) -> None:
+    """Write a mining result's lattice to a JSON state file."""
+    payload = {
+        "format": "repro-itemset-state",
+        "version": 1,
+        "algorithm": result.algorithm,
+        "min_support": result.min_support,
+        "database_size": result.database_size,
+        "itemsets": [
+            {"items": list(candidate), "count": count}
+            for candidate, count in sorted(result.lattice.supports().items())
+        ],
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="ascii")
+
+
+def load_state(path: str | Path) -> tuple[ItemsetLattice, float]:
+    """Read a JSON state file back into a lattice plus its minimum support."""
+    payload = json.loads(Path(path).read_text(encoding="ascii"))
+    if payload.get("format") != "repro-itemset-state":
+        raise ReproError(f"{path} is not a repro itemset state file")
+    lattice = ItemsetLattice(database_size=int(payload["database_size"]))
+    for entry in payload["itemsets"]:
+        lattice.add(tuple(entry["items"]), int(entry["count"]))
+    return lattice, float(payload["min_support"])
+
+
+# --------------------------------------------------------------------- #
+# Subcommand implementations
+# --------------------------------------------------------------------- #
+def _cmd_generate(args: argparse.Namespace) -> int:
+    config = SyntheticConfig(
+        database_size=args.database_size,
+        increment_size=args.increment_size,
+        mean_transaction_size=args.transaction_size,
+        mean_pattern_size=args.pattern_size,
+        pattern_count=args.patterns,
+        item_count=args.items,
+        seed=args.seed,
+    )
+    original, increment = SyntheticDataGenerator(config).generate()
+    save_database(original, args.database)
+    print(f"wrote {len(original)} transactions to {args.database}")
+    if args.increment:
+        save_database(increment, args.increment)
+        print(f"wrote {len(increment)} transactions to {args.increment}")
+    return 0
+
+
+def _make_miner(name: str, min_support: float):
+    if name == "dhp":
+        return DhpMiner(min_support)
+    return AprioriMiner(min_support)
+
+
+def _cmd_mine(args: argparse.Namespace) -> int:
+    database = load_database(args.database)
+    result = _make_miner(args.algorithm, args.min_support).mine(database)
+    print(
+        f"{result.algorithm}: {len(result.lattice)} large itemsets "
+        f"(max size {result.lattice.max_size()}) from {len(database)} transactions "
+        f"in {result.elapsed_seconds:.3f}s"
+    )
+    if args.state:
+        save_state(result, args.state)
+        print(f"wrote itemset state to {args.state}")
+    if args.min_confidence is not None:
+        rules = generate_rules(result.lattice, args.min_confidence)
+        print(f"{len(rules)} strong rules at confidence >= {args.min_confidence}")
+        for rule in rules[: args.top]:
+            print(f"  {rule}")
+    return 0
+
+
+def _cmd_update(args: argparse.Namespace) -> int:
+    original = load_database(args.database)
+    increment = load_database(args.increment)
+    lattice, min_support = load_state(args.state)
+    result = FupUpdater(min_support).update(original, lattice, increment)
+
+    before = set(lattice.itemsets())
+    after = set(result.lattice.itemsets())
+    print(
+        f"fup: updated {len(original)} + {len(increment)} transactions in "
+        f"{result.elapsed_seconds:.3f}s; {len(result.lattice)} large itemsets "
+        f"({len(after - before)} new, {len(before - after)} no longer large)"
+    )
+    if args.out_state:
+        save_state(result, args.out_state)
+        print(f"wrote updated itemset state to {args.out_state}")
+    if args.out_database:
+        save_database(original.concatenate(increment), args.out_database)
+        print(f"wrote updated database to {args.out_database}")
+    return 0
+
+
+def _cmd_rules(args: argparse.Namespace) -> int:
+    lattice, _ = load_state(args.state)
+    rules = generate_rules(lattice, args.min_confidence)
+    print(f"{len(rules)} strong rules at confidence >= {args.min_confidence}")
+    for rule in rules[: args.top]:
+        print(f"  {rule}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    original = load_database(args.database)
+    increment = load_database(args.increment)
+    comparison = compare_update_strategies(
+        original, increment, args.min_support, workload=Path(args.database).stem
+    )
+    rows = [
+        {
+            "strategy": "fup",
+            "seconds": comparison.fup.elapsed_seconds,
+            "candidates": comparison.fup.candidates_generated,
+        },
+        {
+            "strategy": "apriori (re-run)",
+            "seconds": comparison.apriori.elapsed_seconds,
+            "candidates": comparison.apriori.candidates_generated,
+        },
+        {
+            "strategy": "dhp (re-run)",
+            "seconds": comparison.dhp.elapsed_seconds,
+            "candidates": comparison.dhp.candidates_generated,
+        },
+    ]
+    print(format_table(rows, title=f"update comparison at support {args.min_support}"))
+    print(
+        f"speed-up of FUP: {comparison.against_apriori.speedup:.2f}x vs Apriori, "
+        f"{comparison.against_dhp.speedup:.2f}x vs DHP"
+    )
+    print(
+        f"candidate ratio: {comparison.against_apriori.candidate_ratio:.3f} of Apriori, "
+        f"{comparison.against_dhp.candidate_ratio:.3f} of DHP"
+    )
+    return 0 if comparison.consistent() else 1
+
+
+# --------------------------------------------------------------------- #
+# Parser
+# --------------------------------------------------------------------- #
+def build_parser() -> argparse.ArgumentParser:
+    """Build the CLI argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Incremental maintenance of association rules (FUP, ICDE 1996).",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser("generate", help="generate a synthetic Tx.Iy.Dm.dn workload")
+    generate.add_argument("database", help="output file for the original database DB")
+    generate.add_argument("--increment", help="output file for the increment db")
+    generate.add_argument("--database-size", type=int, default=10_000, help="|D| transactions")
+    generate.add_argument("--increment-size", type=int, default=1_000, help="|d| transactions")
+    generate.add_argument("--transaction-size", type=float, default=10.0, help="|T| mean size")
+    generate.add_argument("--pattern-size", type=float, default=4.0, help="|I| mean pattern size")
+    generate.add_argument("--patterns", type=int, default=2_000, help="|L| pattern pool size")
+    generate.add_argument("--items", type=int, default=1_000, help="N distinct items")
+    generate.add_argument("--seed", type=int, default=19960226, help="random seed")
+    generate.set_defaults(handler=_cmd_generate)
+
+    mine = commands.add_parser("mine", help="mine large itemsets from a transaction file")
+    mine.add_argument("database", help="transaction file (one transaction per line)")
+    mine.add_argument("--algorithm", choices=["apriori", "dhp"], default="apriori")
+    mine.add_argument("--min-support", type=float, required=True, help="relative support in (0, 1]")
+    mine.add_argument("--state", help="write the itemset state (JSON) to this file")
+    mine.add_argument("--min-confidence", type=float, help="also print rules at this confidence")
+    mine.add_argument("--top", type=int, default=10, help="number of rules to print")
+    mine.set_defaults(handler=_cmd_mine)
+
+    update = commands.add_parser("update", help="apply an increment with FUP")
+    update.add_argument("database", help="original database file")
+    update.add_argument("increment", help="increment file")
+    update.add_argument("state", help="itemset state file produced by 'mine'")
+    update.add_argument("--out-state", help="write the updated itemset state here")
+    update.add_argument("--out-database", help="write the concatenated database here")
+    update.set_defaults(handler=_cmd_update)
+
+    rules = commands.add_parser("rules", help="derive strong rules from a saved state")
+    rules.add_argument("state", help="itemset state file")
+    rules.add_argument("--min-confidence", type=float, required=True)
+    rules.add_argument("--top", type=int, default=20)
+    rules.set_defaults(handler=_cmd_rules)
+
+    compare = commands.add_parser(
+        "compare", help="compare FUP against re-running Apriori/DHP on an update"
+    )
+    compare.add_argument("database", help="original database file")
+    compare.add_argument("increment", help="increment file")
+    compare.add_argument("--min-support", type=float, required=True)
+    compare.set_defaults(handler=_cmd_compare)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main()
+    sys.exit(main())

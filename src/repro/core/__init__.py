@@ -1,0 +1,26 @@
+"""The paper's primary contribution: incremental maintenance of large itemsets.
+
+* :class:`~repro.core.fup.FupUpdater` — the FUP algorithm of Section 3
+  (insert-only increments).
+* :class:`~repro.core.fup2.Fup2Updater` — the generalised updater handling
+  deletions and modifications, the extension Section 5 alludes to.
+* :class:`~repro.core.maintenance.RuleMaintainer` — the high-level API that
+  owns a database plus its mined state and applies successive update batches.
+* :class:`~repro.core.options.FupOptions` — feature switches used by the
+  ablation benchmarks.
+"""
+
+from .options import FupOptions
+from .fup import FupUpdater, update_with_fup
+from .fup2 import Fup2Updater, update_with_fup2
+from .maintenance import MaintenanceReport, RuleMaintainer
+
+__all__ = [
+    "FupOptions",
+    "FupUpdater",
+    "update_with_fup",
+    "Fup2Updater",
+    "update_with_fup2",
+    "MaintenanceReport",
+    "RuleMaintainer",
+]

@@ -1,0 +1,322 @@
+"""Generalised incremental update with deletions (the Section 5 extension).
+
+The 1996 paper evaluates insert-only increments but notes that "the cases of
+deletion and modification of a transaction database" were also investigated —
+work that later became the FUP2 algorithm (Cheung, Lee & Kao, 1997).  This
+module provides that generalisation so the maintenance API is complete:
+an update may simultaneously **insert** a batch ``db+`` (size ``d+``) and
+**delete** a batch ``db−`` (size ``d−``) of existing transactions, and a
+*modification* is simply a delete of the old version plus an insert of the
+new one.
+
+The same two ideas as FUP carry over:
+
+* **Old large itemsets** keep their recorded count from ``DB``; only the two
+  small delta batches need to be scanned to refresh the count:
+  ``count' = count − count_db− + count_db+``.
+* **New candidates** can be pruned before touching the big database.  Because
+  an itemset ``X ∉ L_k`` had ``count_DB(X) ≤ req(D) − 1`` and deletions can
+  only lower that, ``X`` can be large in the updated database only if
+  ``count_db+(X) ≥ req(D') − (req(D) − 1)``.  When the database shrinks enough
+  that this bound becomes non-positive the prune has no power and the updater
+  falls back to counting the apriori-gen candidates directly (still correct,
+  just less of a shortcut) — for level 1 that means enumerating the item
+  universe from the original database scan that is needed anyway.
+
+The updater's output is a :class:`~repro.mining.result.MiningResult` whose
+lattice holds exact counts over ``(DB − db−) ∪ db+`` and can seed the next
+update, exactly like FUP's.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter
+from typing import Iterable
+
+from ..db.transaction_db import Transaction, TransactionDatabase
+from ..errors import StaleStateError
+from ..itemsets import Item, Itemset
+from ..mining.candidates import apriori_gen
+from ..mining.hash_tree import HashTree
+from ..mining.result import (
+    ItemsetLattice,
+    MiningResult,
+    required_support_count,
+    validate_min_support,
+)
+
+__all__ = ["Fup2Updater", "update_with_fup2"]
+
+
+class Fup2Updater:
+    """Incremental updater handling simultaneous insertions and deletions.
+
+    Parameters
+    ----------
+    min_support:
+        Relative minimum support ``s`` in ``(0, 1]``; must match the threshold
+        used by the previous mining run.
+    max_itemset_size:
+        Optional cap on the itemset size explored.
+    """
+
+    algorithm_name = "fup2"
+
+    def __init__(self, min_support: float, max_itemset_size: int | None = None) -> None:
+        self.min_support = validate_min_support(min_support)
+        if max_itemset_size is not None and max_itemset_size < 1:
+            raise ValueError(f"max_itemset_size must be positive, got {max_itemset_size}")
+        self.max_itemset_size = max_itemset_size
+
+    # ------------------------------------------------------------------ #
+    def update(
+        self,
+        original: TransactionDatabase,
+        previous: MiningResult | ItemsetLattice,
+        insertions: TransactionDatabase,
+        deletions: TransactionDatabase,
+    ) -> MiningResult:
+        """Compute the large itemsets of ``(original − deletions) ∪ insertions``.
+
+        ``deletions`` must be a sub-multiset of ``original``; every deleted
+        transaction is assumed to actually exist in the original database
+        (the :class:`~repro.core.maintenance.RuleMaintainer` guarantees this
+        by removing them from its copy of the database).
+
+        Raises
+        ------
+        StaleStateError
+            If the previous result does not match the original database or the
+            deletion batch is larger than the database it deletes from.
+        """
+        old = previous.lattice if isinstance(previous, MiningResult) else previous
+        if old.database_size != len(original):
+            raise StaleStateError(
+                f"previous result was mined from {old.database_size} transactions but the "
+                f"original database now holds {len(original)}"
+            )
+        if isinstance(previous, MiningResult) and previous.min_support != self.min_support:
+            raise StaleStateError(
+                f"previous result used min_support={previous.min_support} but this update "
+                f"uses {self.min_support}"
+            )
+        if len(deletions) > len(original):
+            raise StaleStateError(
+                f"cannot delete {len(deletions)} transactions from a database of "
+                f"{len(original)}"
+            )
+
+        start = time.perf_counter()
+        run = _Fup2Run(
+            min_support=self.min_support,
+            max_itemset_size=self.max_itemset_size,
+            original=original,
+            old=old,
+            insertions=insertions,
+            deletions=deletions,
+        )
+        lattice = run.run()
+        elapsed = time.perf_counter() - start
+        return MiningResult(
+            lattice=lattice,
+            min_support=self.min_support,
+            algorithm=self.algorithm_name,
+            candidates_generated=sum(run.candidates_per_level.values()),
+            candidates_per_level=dict(run.candidates_per_level),
+            database_scans=run.database_scans,
+            increment_scans=run.increment_scans,
+            transactions_read=run.transactions_read,
+            elapsed_seconds=elapsed,
+        )
+
+
+class _Fup2Run:
+    """One execution of the generalised update (internal work object)."""
+
+    def __init__(
+        self,
+        min_support: float,
+        max_itemset_size: int | None,
+        original: TransactionDatabase,
+        old: ItemsetLattice,
+        insertions: TransactionDatabase,
+        deletions: TransactionDatabase,
+    ) -> None:
+        self.min_support = min_support
+        self.max_itemset_size = max_itemset_size
+        self.old = old
+        self.original = original
+        self.insertions = list(insertions)
+        self.deletions = list(deletions)
+        self.original_size = len(original)
+        self.new_size = self.original_size - len(self.deletions) + len(self.insertions)
+        self.required_old = required_support_count(min_support, self.original_size)
+        self.required_new = required_support_count(min_support, self.new_size)
+        # Minimum count inside db+ a previously-small itemset needs before it
+        # can possibly be large in the updated database (see module docstring).
+        self.new_candidate_floor = self.required_new - max(self.required_old - 1, 0)
+
+        self.candidates_per_level: dict[int, int] = {}
+        self.database_scans = 0
+        self.increment_scans = 0
+        self.transactions_read = 0
+
+    # ------------------------------------------------------------------ #
+    def run(self) -> ItemsetLattice:
+        lattice = ItemsetLattice(database_size=self.new_size)
+        if self.new_size == 0:
+            # Every transaction was deleted: nothing can be large.
+            return lattice
+        if not self.insertions and not self.deletions:
+            for candidate, count in self.old.supports().items():
+                lattice.add(candidate, count)
+            return lattice
+
+        new_level = self._level_one(lattice)
+        size = 2
+        while new_level and (self.max_itemset_size is None or size <= self.max_itemset_size):
+            new_level = self._level_k(lattice, size, new_level)
+            size += 1
+        return lattice
+
+    # ------------------------------------------------------------------ #
+    def _delta_item_counts(self) -> tuple[Counter[Item], Counter[Item]]:
+        """Count every item in db+ and db− (one scan of each delta batch)."""
+        inserted: Counter[Item] = Counter()
+        for transaction in self.insertions:
+            inserted.update(transaction)
+        deleted: Counter[Item] = Counter()
+        for transaction in self.deletions:
+            deleted.update(transaction)
+        self.increment_scans += 1 if self.insertions else 0
+        self.increment_scans += 1 if self.deletions else 0
+        self.transactions_read += len(self.insertions) + len(self.deletions)
+        return inserted, deleted
+
+    def _level_one(self, lattice: ItemsetLattice) -> set[Itemset]:
+        inserted, deleted = self._delta_item_counts()
+        old_level = self.old.level(1)
+
+        new_level: set[Itemset] = set()
+        for candidate in old_level:
+            item = candidate[0]
+            count = self.old.support_count(candidate) + inserted.get(item, 0) - deleted.get(item, 0)
+            if count >= self.required_new:
+                lattice.add(candidate, count)
+                new_level.add(candidate)
+
+        # Candidate items that were not large before.
+        if self.new_candidate_floor >= 1:
+            candidate_items = {
+                item
+                for item, count in inserted.items()
+                if (item,) not in old_level and count >= self.new_candidate_floor
+            }
+        else:
+            # The database shrank enough that items absent from db+ could have
+            # become large; the original database must be consulted for the
+            # full item universe, so no pre-pruning is possible.
+            candidate_items = {
+                item for item in self.original.items() | set(inserted) if (item,) not in old_level
+            }
+        self.candidates_per_level[1] = len(candidate_items)
+        if not candidate_items:
+            return new_level
+
+        original_counts: dict[Item, int] = {item: 0 for item in candidate_items}
+        for transaction in self.original:
+            for item in transaction:
+                if item in original_counts:
+                    original_counts[item] += 1
+        self.database_scans += 1
+        self.transactions_read += self.original_size
+
+        for item in candidate_items:
+            count = original_counts[item] + inserted.get(item, 0) - deleted.get(item, 0)
+            if count >= self.required_new:
+                candidate = (item,)
+                lattice.add(candidate, count)
+                new_level.add(candidate)
+        return new_level
+
+    # ------------------------------------------------------------------ #
+    def _count_pool(
+        self, transactions: Iterable[Transaction], pool: set[Itemset]
+    ) -> dict[Itemset, int]:
+        """Count every itemset of *pool* over *transactions* with a hash tree."""
+        counts: dict[Itemset, int] = {candidate: 0 for candidate in pool}
+        if not pool:
+            return counts
+        tree = HashTree(pool)
+        for transaction in transactions:
+            for match in tree.subsets_in(transaction):
+                counts[match] += 1
+        return counts
+
+    def _level_k(
+        self, lattice: ItemsetLattice, size: int, previous_new_level: set[Itemset]
+    ) -> set[Itemset]:
+        old_level = self.old.level(size)
+        candidates = apriori_gen(previous_new_level) - old_level
+        pool = old_level | candidates
+        if not pool:
+            self.candidates_per_level[size] = 0
+            return set()
+
+        inserted_counts = self._count_pool(self.insertions, pool)
+        deleted_counts = self._count_pool(self.deletions, pool)
+        if self.insertions:
+            self.increment_scans += 1
+            self.transactions_read += len(self.insertions)
+        if self.deletions:
+            self.increment_scans += 1
+            self.transactions_read += len(self.deletions)
+
+        new_level: set[Itemset] = set()
+        for candidate in old_level:
+            count = (
+                self.old.support_count(candidate)
+                + inserted_counts[candidate]
+                - deleted_counts[candidate]
+            )
+            if count >= self.required_new:
+                lattice.add(candidate, count)
+                new_level.add(candidate)
+
+        # Prune the brand-new candidates before the original-database scan.
+        if self.new_candidate_floor >= 1:
+            candidates = {
+                candidate
+                for candidate in candidates
+                if inserted_counts[candidate] >= self.new_candidate_floor
+            }
+        self.candidates_per_level[size] = len(candidates)
+        if not candidates:
+            return new_level
+
+        original_counts = self._count_pool(self.original, candidates)
+        self.database_scans += 1
+        self.transactions_read += self.original_size
+
+        for candidate in candidates:
+            count = (
+                original_counts[candidate]
+                + inserted_counts[candidate]
+                - deleted_counts[candidate]
+            )
+            if count >= self.required_new:
+                lattice.add(candidate, count)
+                new_level.add(candidate)
+        return new_level
+
+
+def update_with_fup2(
+    original: TransactionDatabase,
+    previous: MiningResult | ItemsetLattice,
+    insertions: TransactionDatabase,
+    deletions: TransactionDatabase,
+    min_support: float,
+) -> MiningResult:
+    """Convenience wrapper around :class:`Fup2Updater`."""
+    return Fup2Updater(min_support).update(original, previous, insertions, deletions)

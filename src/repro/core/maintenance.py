@@ -1,0 +1,274 @@
+"""High-level rule maintenance: the API a downstream application uses.
+
+:class:`RuleMaintainer` owns a transaction database together with its mined
+state (large itemsets + association rules) and keeps that state current as
+update batches arrive:
+
+* the initial state is mined with Apriori or DHP (caller's choice),
+* insert-only batches are applied with **FUP** (the paper's algorithm),
+* batches containing deletions are applied with the **FUP2**-style updater,
+* optionally, when an increment is much larger than the maintained database,
+  the maintainer falls back to a full re-mine (the paper shows FUP keeps its
+  edge up to increments ~3.5× the database, so the default threshold is
+  generous).
+
+Every applied batch produces a :class:`MaintenanceReport` describing what
+changed — which itemsets and rules appeared or disappeared — which is the
+piece of information the paper's motivation (updates "may not only invalidate
+some existing strong rules but also turn some weak rules into strong ones")
+says users care about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Literal
+
+from ..db.transaction_db import TransactionDatabase
+from ..db.update import UpdateBatch, UpdateLog
+from ..errors import EmptyDatabaseError, InvalidThresholdError
+from ..itemsets import Item, Itemset
+from ..mining.apriori import AprioriMiner
+from ..mining.dhp import DhpMiner
+from ..mining.result import MiningResult, validate_min_support
+from ..mining.rules import AssociationRule, generate_rules
+from .fup import FupUpdater
+from .fup2 import Fup2Updater
+from .options import FupOptions
+
+__all__ = ["MaintenanceReport", "RuleMaintainer"]
+
+MinerName = Literal["apriori", "dhp"]
+
+
+@dataclass
+class MaintenanceReport:
+    """What one update batch changed in the maintained state."""
+
+    batch_label: str
+    algorithm: str
+    inserted_transactions: int
+    deleted_transactions: int
+    database_size: int
+    itemsets_added: list[Itemset] = field(default_factory=list)
+    itemsets_removed: list[Itemset] = field(default_factory=list)
+    rules_added: list[AssociationRule] = field(default_factory=list)
+    rules_removed: list[AssociationRule] = field(default_factory=list)
+    result: MiningResult | None = None
+
+    @property
+    def itemsets_changed(self) -> bool:
+        """True when the set of large itemsets changed at all."""
+        return bool(self.itemsets_added or self.itemsets_removed)
+
+    @property
+    def rules_changed(self) -> bool:
+        """True when the set of strong rules changed at all."""
+        return bool(self.rules_added or self.rules_removed)
+
+    def summary(self) -> dict[str, int | str]:
+        """Compact description used by the examples and the harness."""
+        return {
+            "batch": self.batch_label,
+            "algorithm": self.algorithm,
+            "inserted": self.inserted_transactions,
+            "deleted": self.deleted_transactions,
+            "database_size": self.database_size,
+            "itemsets_added": len(self.itemsets_added),
+            "itemsets_removed": len(self.itemsets_removed),
+            "rules_added": len(self.rules_added),
+            "rules_removed": len(self.rules_removed),
+        }
+
+
+class RuleMaintainer:
+    """Owns a database plus its mined rules and keeps them current under updates.
+
+    Parameters
+    ----------
+    min_support:
+        Relative minimum support for large itemsets.
+    min_confidence:
+        Minimum confidence for strong rules.
+    miner:
+        Which algorithm mines the initial state (and performs any full
+        re-mine): ``"apriori"`` or ``"dhp"``.
+    fup_options:
+        Feature switches forwarded to the FUP updater.
+    remine_increment_factor:
+        If an insert-only batch is larger than this multiple of the currently
+        maintained database, fall back to a full re-mine instead of FUP.
+        ``None`` (the default) never falls back — the paper's measurements
+        show FUP stays ahead even for increments several times the database.
+    """
+
+    def __init__(
+        self,
+        min_support: float,
+        min_confidence: float,
+        miner: MinerName = "apriori",
+        fup_options: FupOptions | None = None,
+        remine_increment_factor: float | None = None,
+    ) -> None:
+        self.min_support = validate_min_support(min_support)
+        if not 0.0 < float(min_confidence) <= 1.0:
+            raise InvalidThresholdError(
+                f"minimum confidence must be in (0, 1], got {min_confidence!r}"
+            )
+        self.min_confidence = float(min_confidence)
+        if miner not in ("apriori", "dhp"):
+            raise ValueError(f"miner must be 'apriori' or 'dhp', got {miner!r}")
+        self.miner_name: MinerName = miner
+        self.fup_options = fup_options or FupOptions()
+        if remine_increment_factor is not None and remine_increment_factor <= 0:
+            raise ValueError(
+                f"remine_increment_factor must be positive, got {remine_increment_factor}"
+            )
+        self.remine_increment_factor = remine_increment_factor
+
+        self._database: TransactionDatabase | None = None
+        self._result: MiningResult | None = None
+        self._rules: list[AssociationRule] = []
+        self.update_log = UpdateLog()
+
+    # ------------------------------------------------------------------ #
+    # State access
+    # ------------------------------------------------------------------ #
+    @property
+    def database(self) -> TransactionDatabase:
+        """The currently maintained database (raises until initialised)."""
+        if self._database is None:
+            raise EmptyDatabaseError("RuleMaintainer has not been initialised with a database")
+        return self._database
+
+    @property
+    def result(self) -> MiningResult:
+        """The current mining result (large itemsets + counters)."""
+        if self._result is None:
+            raise EmptyDatabaseError("RuleMaintainer has not been initialised with a database")
+        return self._result
+
+    @property
+    def large_itemsets(self) -> list[Itemset]:
+        """The currently large itemsets."""
+        return self.result.large_itemsets
+
+    @property
+    def rules(self) -> list[AssociationRule]:
+        """The currently strong association rules."""
+        if self._result is None:
+            raise EmptyDatabaseError("RuleMaintainer has not been initialised with a database")
+        return list(self._rules)
+
+    @property
+    def is_initialised(self) -> bool:
+        """True once :meth:`initialise` has mined an initial state."""
+        return self._result is not None
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def initialise(self, database: TransactionDatabase | Iterable[Iterable[Item]]) -> MiningResult:
+        """Mine the initial state from *database* with the configured miner."""
+        if not isinstance(database, TransactionDatabase):
+            database = TransactionDatabase(database)
+        self._database = database.copy()
+        self._result = self._full_mine(self._database)
+        self._rules = generate_rules(self._result.lattice, self.min_confidence)
+        return self._result
+
+    def _full_mine(self, database: TransactionDatabase) -> MiningResult:
+        if self.miner_name == "dhp":
+            return DhpMiner(self.min_support).mine(database)
+        return AprioriMiner(self.min_support).mine(database)
+
+    # ------------------------------------------------------------------ #
+    # Applying updates
+    # ------------------------------------------------------------------ #
+    def apply(self, batch: UpdateBatch) -> MaintenanceReport:
+        """Apply one update batch and return a report of what changed.
+
+        Insert-only batches use FUP; batches with deletions use the FUP2-style
+        updater; empty batches are a no-op report.
+        """
+        database = self.database
+        previous = self.result
+        previous_rules = {(_rule_key(rule)): rule for rule in self._rules}
+        previous_itemsets = set(previous.lattice.itemsets())
+
+        if batch.is_empty:
+            new_result = previous
+            algorithm = "noop"
+        elif batch.deletions:
+            new_result = Fup2Updater(self.min_support).update(
+                database,
+                previous,
+                batch.insertions_database(),
+                batch.deletions_database(),
+            )
+            algorithm = new_result.algorithm
+        else:
+            increment = batch.insertions_database()
+            if self._should_remine(increment):
+                updated = database.concatenate(increment)
+                new_result = self._full_mine(updated)
+                algorithm = f"remine-{self.miner_name}"
+            else:
+                new_result = FupUpdater(self.min_support, options=self.fup_options).update(
+                    database, previous, increment
+                )
+                algorithm = new_result.algorithm
+
+        # Mutate the maintained database only after the updater succeeded, so a
+        # failed update leaves the maintainer consistent.
+        if batch.deletions:
+            database.remove_batch(batch.deletions)
+        if batch.insertions:
+            database.extend(batch.insertions)
+        self._result = new_result
+        self._rules = generate_rules(new_result.lattice, self.min_confidence)
+        self.update_log.record(batch)
+
+        new_itemsets = set(new_result.lattice.itemsets())
+        new_rules = {(_rule_key(rule)): rule for rule in self._rules}
+        report = MaintenanceReport(
+            batch_label=batch.label,
+            algorithm=algorithm,
+            inserted_transactions=len(batch.insertions),
+            deleted_transactions=len(batch.deletions),
+            database_size=len(database),
+            itemsets_added=sorted(new_itemsets - previous_itemsets),
+            itemsets_removed=sorted(previous_itemsets - new_itemsets),
+            rules_added=[new_rules[key] for key in sorted(new_rules.keys() - previous_rules.keys())],
+            rules_removed=[
+                previous_rules[key] for key in sorted(previous_rules.keys() - new_rules.keys())
+            ],
+            result=new_result,
+        )
+        return report
+
+    def add_transactions(
+        self, transactions: Iterable[Iterable[Item]], label: str = ""
+    ) -> MaintenanceReport:
+        """Convenience wrapper: apply an insert-only batch."""
+        return self.apply(UpdateBatch.from_iterables(insertions=transactions, label=label))
+
+    def remove_transactions(
+        self, transactions: Iterable[Iterable[Item]], label: str = ""
+    ) -> MaintenanceReport:
+        """Convenience wrapper: apply a delete-only batch."""
+        return self.apply(UpdateBatch.from_iterables(deletions=transactions, label=label))
+
+    # ------------------------------------------------------------------ #
+    def _should_remine(self, increment: TransactionDatabase) -> bool:
+        if self.remine_increment_factor is None:
+            return False
+        database_size = len(self.database)
+        if database_size == 0:
+            return True
+        return len(increment) > self.remine_increment_factor * database_size
+
+
+def _rule_key(rule: AssociationRule) -> tuple[Itemset, Itemset]:
+    """Identity of a rule for added/removed comparisons (thresholds aside)."""
+    return (rule.antecedent, rule.consequent)

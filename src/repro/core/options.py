@@ -1,0 +1,61 @@
+"""Feature switches for the FUP algorithm.
+
+Every optimisation the paper describes can be toggled independently so that
+the ablation benchmark (``benchmarks/test_ablation_fup_features.py``) can
+quantify what each one contributes.  The defaults enable everything, which is
+the configuration the paper evaluates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["FupOptions"]
+
+
+@dataclass(frozen=True)
+class FupOptions:
+    """Configuration of the FUP updater.
+
+    Attributes
+    ----------
+    prune_candidates_by_increment:
+        Apply Lemmas 2 and 5: drop a candidate whose support inside the
+        increment is below ``s × d`` before scanning the original database.
+        This is FUP's central optimisation.
+    filter_losers_by_subsets:
+        Apply Lemma 3: remove an old large k-itemset from consideration as
+        soon as one of its (k−1)-subsets is known to be a loser, without
+        counting it against the increment.
+    reduce_databases:
+        Apply the Section 3.4 size reductions: the ``P``-set item removal
+        during the first original-database scan, ``Reduce-db`` trimming of the
+        increment and ``Reduce-DB`` trimming of the original database at later
+        iterations.
+    use_hash_filter:
+        Integrate DHP's direct-hashing technique to further prune the size-2
+        candidate set (Section 3.4, last paragraph).
+    hash_table_size:
+        Bucket count of the direct-hashing table (the paper's DHP runs use
+        100 buckets).
+    """
+
+    prune_candidates_by_increment: bool = True
+    filter_losers_by_subsets: bool = True
+    reduce_databases: bool = True
+    use_hash_filter: bool = True
+    hash_table_size: int = 100
+
+    def __post_init__(self) -> None:
+        if self.hash_table_size < 1:
+            raise ValueError(f"hash_table_size must be positive, got {self.hash_table_size}")
+
+    @classmethod
+    def all_disabled(cls) -> "FupOptions":
+        """Return options with every optimisation switched off (ablation baseline)."""
+        return cls(
+            prune_candidates_by_increment=False,
+            filter_losers_by_subsets=False,
+            reduce_databases=False,
+            use_hash_filter=False,
+        )

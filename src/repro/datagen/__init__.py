@@ -1,0 +1,35 @@
+"""Synthetic transaction data in the style of the paper's Section 4.1.
+
+The paper generates its workloads with the IBM Quest technique introduced in
+Agrawal & Srikant (VLDB '94) and modified by Park, Chen & Yu (SIGMOD '95):
+a pool of "potentially large itemsets" is drawn first, and every transaction
+is filled by picking itemsets from that pool (with corruption), so that the
+data contains genuine correlations for the miners to find.  The increment
+``db`` is created exactly as the paper describes — a database of ``D + d``
+transactions is generated and the first ``D`` become ``DB`` while the last
+``d`` become ``db`` — so the increment follows the same statistical pattern
+as the original database.
+"""
+
+from .patterns import PatternPool, PotentialItemset
+from .synthetic import SyntheticConfig, SyntheticDataGenerator, generate_database
+from .workloads import (
+    Workload,
+    make_workload,
+    parse_workload_name,
+    paper_workload,
+    scaled_paper_workload,
+)
+
+__all__ = [
+    "PatternPool",
+    "PotentialItemset",
+    "SyntheticConfig",
+    "SyntheticDataGenerator",
+    "generate_database",
+    "Workload",
+    "make_workload",
+    "parse_workload_name",
+    "paper_workload",
+    "scaled_paper_workload",
+]

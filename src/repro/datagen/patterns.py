@@ -1,0 +1,193 @@
+"""The pool of potentially large itemsets (the "pattern pool" of the Quest model).
+
+In the Quest synthetic-data model the correlations planted in the data come
+from a pool of *potentially large itemsets*: each pool member is an itemset
+whose items tend to be bought together, with a weight that controls how often
+it seeds a transaction and a corruption level that controls how often only a
+part of it makes it into a transaction.  Consecutive pool members share a
+fraction of their items (controlled by the clustering behaviour), which is
+what produces the overlapping itemset structure real market-basket data has.
+
+The paper uses ``|L| = 2000`` potentially large itemsets over ``N = 1000``
+items, with a clustering size ``S_c = 5``, a pool size ``P_s = 50`` and a
+multiplying factor ``M_f = 2000`` (Section 4.1); those knobs are surfaced in
+:class:`~repro.datagen.synthetic.SyntheticConfig`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..errors import GeneratorConfigError
+from ..itemsets import Item, Itemset
+
+__all__ = ["PotentialItemset", "PatternPool"]
+
+
+@dataclass(frozen=True)
+class PotentialItemset:
+    """One member of the pool of potentially large itemsets."""
+
+    items: Itemset
+    weight: float
+    corruption: float
+
+    def __post_init__(self) -> None:
+        if not self.items:
+            raise GeneratorConfigError("a potential itemset cannot be empty")
+        if self.weight < 0:
+            raise GeneratorConfigError(f"weight must be non-negative, got {self.weight}")
+        if not 0.0 <= self.corruption < 1.0:
+            raise GeneratorConfigError(
+                f"corruption must be in [0, 1), got {self.corruption}"
+            )
+
+
+class PatternPool:
+    """Builds and samples the pool of potentially large itemsets.
+
+    Parameters
+    ----------
+    rng:
+        The random generator driving the whole synthesis (one generator per
+        database keeps runs reproducible from a single seed).
+    item_count:
+        Number of distinct items ``N``.
+    pool_size:
+        Number of potentially large itemsets ``|L|``.
+    mean_pattern_size:
+        Mean size ``|I|`` of the potentially large itemsets (Poisson
+        distributed, at least one item).
+    correlation:
+        Fraction of items a pattern re-uses from its predecessor, which
+        produces the clustered / overlapping structure of the Quest model.
+    corruption_mean, corruption_deviation:
+        Parameters of the per-pattern corruption level (normal, clamped to
+        ``[0, 1)``): when a pattern is planted into a transaction, each run of
+        items may be cut short with this probability.
+    item_skew:
+        Skew of the item-popularity distribution used when drawing pattern
+        items.  ``0.0`` selects items uniformly (the plain Quest behaviour);
+        larger values bias selection toward low item ids, producing the
+        Zipf-like head-heavy item supports real market-basket data shows —
+        which is what gives the support sweep of the paper's Figure 2 its
+        shape (some itemsets are still large at a 6 % threshold while the
+        bulk of the tail stays small at 0.75 %).
+    """
+
+    def __init__(
+        self,
+        rng: random.Random,
+        item_count: int,
+        pool_size: int,
+        mean_pattern_size: float,
+        correlation: float = 0.5,
+        corruption_mean: float = 0.5,
+        corruption_deviation: float = 0.1,
+        item_skew: float = 0.0,
+    ) -> None:
+        if item_count < 1:
+            raise GeneratorConfigError(f"item_count must be positive, got {item_count}")
+        if pool_size < 1:
+            raise GeneratorConfigError(f"pool_size must be positive, got {pool_size}")
+        if mean_pattern_size < 1:
+            raise GeneratorConfigError(
+                f"mean_pattern_size must be at least 1, got {mean_pattern_size}"
+            )
+        if not 0.0 <= correlation <= 1.0:
+            raise GeneratorConfigError(f"correlation must be in [0, 1], got {correlation}")
+        if item_skew < 0.0:
+            raise GeneratorConfigError(f"item_skew must be non-negative, got {item_skew}")
+        self._rng = rng
+        self._item_count = item_count
+        self._item_skew = item_skew
+        self.patterns: list[PotentialItemset] = []
+        self._cumulative_weights: list[float] = []
+        self._build(pool_size, mean_pattern_size, correlation, corruption_mean, corruption_deviation)
+
+    # ------------------------------------------------------------------ #
+    def _build(
+        self,
+        pool_size: int,
+        mean_pattern_size: float,
+        correlation: float,
+        corruption_mean: float,
+        corruption_deviation: float,
+    ) -> None:
+        rng = self._rng
+        previous_items: Itemset = ()
+        # Exponentially distributed weights, normalised afterwards — this is
+        # the Quest model's way of making a few patterns dominate.
+        raw_weights = [rng.expovariate(1.0) for _ in range(pool_size)]
+        total_weight = sum(raw_weights) or 1.0
+
+        for index in range(pool_size):
+            size = max(1, self._poisson(mean_pattern_size))
+            size = min(size, self._item_count)
+            items: set[Item] = set()
+            if previous_items and correlation > 0.0:
+                reuse = min(len(previous_items), int(round(correlation * size)))
+                if reuse:
+                    items.update(rng.sample(previous_items, reuse))
+            while len(items) < size:
+                items.add(self._draw_item())
+            corruption = rng.gauss(corruption_mean, corruption_deviation)
+            corruption = min(max(corruption, 0.0), 0.99)
+            pattern = PotentialItemset(
+                items=tuple(sorted(items)),
+                weight=raw_weights[index] / total_weight,
+                corruption=corruption,
+            )
+            self.patterns.append(pattern)
+            previous_items = pattern.items
+
+        running = 0.0
+        for pattern in self.patterns:
+            running += pattern.weight
+            self._cumulative_weights.append(running)
+
+    def _draw_item(self) -> Item:
+        """Draw one item id, biased toward low ids when ``item_skew`` > 0."""
+        uniform = self._rng.random()
+        if self._item_skew <= 0.0:
+            return int(uniform * self._item_count)
+        skewed = uniform ** (1.0 + self._item_skew)
+        return min(self._item_count - 1, int(skewed * self._item_count))
+
+    def _poisson(self, mean: float) -> int:
+        """Sample a Poisson variate with the library's ``random.Random`` only."""
+        # Knuth's algorithm is fine for the small means used here (2-8).
+        limit = pow(2.718281828459045, -mean)
+        product = 1.0
+        count = 0
+        while True:
+            product *= self._rng.random()
+            if product <= limit:
+                return count
+            count += 1
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self.patterns)
+
+    def sample(self) -> PotentialItemset:
+        """Draw one pattern with probability proportional to its weight."""
+        point = self._rng.random() * self._cumulative_weights[-1]
+        low, high = 0, len(self._cumulative_weights) - 1
+        while low < high:
+            middle = (low + high) // 2
+            if self._cumulative_weights[middle] < point:
+                low = middle + 1
+            else:
+                high = middle
+        return self.patterns[low]
+
+    def planted_items(self, pattern: PotentialItemset) -> list[Item]:
+        """Items of *pattern* that survive corruption for one transaction."""
+        items = list(pattern.items)
+        # Quest-style corruption: keep dropping items while a coin toss stays
+        # below the pattern's corruption level.
+        while items and self._rng.random() < pattern.corruption:
+            items.pop(self._rng.randrange(len(items)))
+        return items

@@ -1,0 +1,196 @@
+"""The Tx.Iy.Dm.dn synthetic database generator.
+
+The configuration mirrors Table 1 of the paper:
+
+========  =====================================================
+``|D|``   number of transactions in the database ``DB``
+``|d|``   number of transactions in the increment ``db``
+``|T|``   mean size of the transactions
+``|I|``   mean size of the maximal potentially large itemsets
+``|L|``   number of potentially large itemsets (paper: 2000)
+``N``     number of items (paper: 1000)
+========  =====================================================
+
+plus the secondary Quest parameters the paper lists in Section 4.1
+(``S_c = 5`` clustering size, ``P_s = 50`` pool size for transaction filling,
+``M_f = 2000`` multiplying factor).  The increment is produced exactly the way
+the paper describes: a database of ``D + d`` transactions is generated in one
+run, the first ``D`` transactions become ``DB`` and the remaining ``d`` become
+``db``, so both parts follow the same statistical pattern.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+
+from ..db.transaction_db import Transaction, TransactionDatabase
+from ..errors import GeneratorConfigError
+from .patterns import PatternPool
+
+__all__ = ["SyntheticConfig", "SyntheticDataGenerator", "generate_database"]
+
+
+@dataclass(frozen=True)
+class SyntheticConfig:
+    """Parameters of one synthetic workload (paper Table 1 + Section 4.1)."""
+
+    #: Number of transactions in the original database ``DB``.
+    database_size: int = 10_000
+    #: Number of transactions in the increment ``db``.
+    increment_size: int = 1_000
+    #: Mean transaction size ``|T|``.
+    mean_transaction_size: float = 10.0
+    #: Mean size ``|I|`` of the maximal potentially large itemsets.
+    mean_pattern_size: float = 4.0
+    #: Number of potentially large itemsets ``|L|`` (paper: 2000).
+    pattern_count: int = 2_000
+    #: Number of items ``N`` (paper: 1000).
+    item_count: int = 1_000
+    #: Clustering size ``S_c`` — how strongly consecutive patterns overlap.
+    clustering_size: int = 5
+    #: Pool size ``P_s`` — patterns drawn per transaction-filling window.
+    pool_size: int = 50
+    #: Multiplying factor ``M_f`` associated with the pool.
+    multiplying_factor: int = 2_000
+    #: Skew of the item-popularity distribution (0 = uniform, larger values
+    #: give the Zipf-like head-heavy supports real basket data exhibits).
+    item_skew: float = 1.0
+    #: Seed for reproducible generation.
+    seed: int = 19960226  # the first day of ICDE 1996
+
+    def __post_init__(self) -> None:
+        if self.database_size < 0:
+            raise GeneratorConfigError(f"database_size must be >= 0, got {self.database_size}")
+        if self.increment_size < 0:
+            raise GeneratorConfigError(f"increment_size must be >= 0, got {self.increment_size}")
+        if self.mean_transaction_size < 1:
+            raise GeneratorConfigError(
+                f"mean_transaction_size must be >= 1, got {self.mean_transaction_size}"
+            )
+        if self.mean_pattern_size < 1:
+            raise GeneratorConfigError(
+                f"mean_pattern_size must be >= 1, got {self.mean_pattern_size}"
+            )
+        if self.pattern_count < 1:
+            raise GeneratorConfigError(f"pattern_count must be >= 1, got {self.pattern_count}")
+        if self.item_count < 1:
+            raise GeneratorConfigError(f"item_count must be >= 1, got {self.item_count}")
+        if self.clustering_size < 1:
+            raise GeneratorConfigError(f"clustering_size must be >= 1, got {self.clustering_size}")
+        if self.pool_size < 1:
+            raise GeneratorConfigError(f"pool_size must be >= 1, got {self.pool_size}")
+        if self.item_skew < 0:
+            raise GeneratorConfigError(f"item_skew must be >= 0, got {self.item_skew}")
+
+    @property
+    def name(self) -> str:
+        """The paper's ``Tx.Iy.Dm.dn`` notation (sizes in thousands where possible)."""
+        return (
+            f"T{self.mean_transaction_size:g}."
+            f"I{self.mean_pattern_size:g}."
+            f"D{_kilo(self.database_size)}."
+            f"d{_kilo(self.increment_size)}"
+        )
+
+    def with_increment_size(self, increment_size: int) -> "SyntheticConfig":
+        """Return a copy with a different increment size (same seed and pool)."""
+        return replace(self, increment_size=increment_size)
+
+    def with_database_size(self, database_size: int) -> "SyntheticConfig":
+        """Return a copy with a different database size (same seed and pool)."""
+        return replace(self, database_size=database_size)
+
+
+def _kilo(count: int) -> str:
+    """Render a transaction count the way the paper's workload names do."""
+    if count and count % 1000 == 0:
+        return str(count // 1000)
+    return f"{count / 1000:g}"
+
+
+class SyntheticDataGenerator:
+    """Generates ``(DB, db)`` pairs from a :class:`SyntheticConfig`.
+
+    The generator is deterministic given the config (including its seed), so
+    every benchmark run sees the same data and the paper-style comparisons are
+    apples-to-apples across algorithms.
+    """
+
+    def __init__(self, config: SyntheticConfig) -> None:
+        self.config = config
+        self._rng = random.Random(config.seed)
+        self._pool = PatternPool(
+            rng=self._rng,
+            item_count=config.item_count,
+            pool_size=config.pattern_count,
+            mean_pattern_size=config.mean_pattern_size,
+            correlation=min(1.0, config.clustering_size / max(config.mean_pattern_size * 2, 1.0)),
+            item_skew=config.item_skew,
+        )
+
+    # ------------------------------------------------------------------ #
+    def generate(self) -> tuple[TransactionDatabase, TransactionDatabase]:
+        """Generate the ``(DB, db)`` pair for the configured workload.
+
+        A single stream of ``D + d`` transactions is produced and split, as in
+        the paper ("the first D transactions are stored in the database DB and
+        the remaining d transactions is stored in the increment db").
+        """
+        config = self.config
+        total = config.database_size + config.increment_size
+        transactions = [self._transaction() for _ in range(total)]
+        original = TransactionDatabase(name=config.name)
+        original_list = transactions[: config.database_size]
+        increment_list = transactions[config.database_size:]
+        original_transactions = original
+        original_transactions.extend(original_list)
+        increment = TransactionDatabase(name=f"{config.name}.increment")
+        increment.extend(increment_list)
+        return original_transactions, increment
+
+    def generate_updated(self) -> TransactionDatabase:
+        """Generate the full updated database ``DB ∪ db`` in one piece."""
+        original, increment = self.generate()
+        return original.concatenate(increment, name=f"{self.config.name}.updated")
+
+    # ------------------------------------------------------------------ #
+    def _transaction(self) -> Transaction:
+        """Fill one transaction from the pattern pool (Quest model)."""
+        config = self.config
+        rng = self._rng
+        # Transaction size: Poisson around |T|, at least one item, capped by N.
+        size = max(1, self._poisson(config.mean_transaction_size))
+        size = min(size, config.item_count)
+        items: set[int] = set()
+        # Keep planting (possibly corrupted) patterns until the transaction is
+        # full; an overshooting pattern is admitted with 50% probability, as in
+        # the Quest description, otherwise it is dropped and filling stops.
+        while len(items) < size:
+            pattern = self._pool.sample()
+            planted = self._pool.planted_items(pattern)
+            if not planted:
+                continue
+            if len(items) + len(planted) > size:
+                if rng.random() < 0.5:
+                    items.update(planted[: size - len(items)])
+                break
+            items.update(planted)
+        if not items:
+            items.add(rng.randrange(config.item_count))
+        return tuple(sorted(items))
+
+    def _poisson(self, mean: float) -> int:
+        limit = pow(2.718281828459045, -mean)
+        product = 1.0
+        count = 0
+        while True:
+            product *= self._rng.random()
+            if product <= limit:
+                return count
+            count += 1
+
+
+def generate_database(config: SyntheticConfig) -> tuple[TransactionDatabase, TransactionDatabase]:
+    """Convenience wrapper: generate ``(DB, db)`` for *config*."""
+    return SyntheticDataGenerator(config).generate()

@@ -1,0 +1,126 @@
+"""Named workloads: the paper's ``Tx.Iy.Dm.dn`` databases and scaled variants.
+
+The evaluation section uses a small family of workloads —
+``T10.I4.D100.d1`` for Figures 2 and 3, ``T10.I4.D100.dm`` with growing ``m``
+for Figure 4 and Section 4.4, and ``T10.I4.D1000.d10`` for the scale-up test
+of Section 4.6.  This module turns those names into
+:class:`~repro.datagen.synthetic.SyntheticConfig` objects and provides the
+*scaled* variants the benchmark harness runs by default so that every figure
+regenerates in minutes of pure-Python time (pass ``scale=1.0`` for the paper's
+full sizes).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from ..errors import GeneratorConfigError
+from .synthetic import SyntheticConfig, SyntheticDataGenerator
+from ..db.transaction_db import TransactionDatabase
+
+__all__ = [
+    "Workload",
+    "parse_workload_name",
+    "make_workload",
+    "paper_workload",
+    "scaled_paper_workload",
+    "DEFAULT_BENCH_SCALE",
+]
+
+#: Default down-scaling factor applied to the paper's database sizes when the
+#: benchmark harness builds a workload.  0.1 turns D100 (100k transactions)
+#: into 10k transactions — large enough for the algorithmic trade-offs to show,
+#: small enough for pure Python.
+DEFAULT_BENCH_SCALE = 0.1
+
+_NAME_PATTERN = re.compile(
+    r"^T(?P<t>\d+(?:\.\d+)?)\.I(?P<i>\d+(?:\.\d+)?)\.D(?P<d>\d+(?:\.\d+)?)\.d(?P<n>\d+(?:\.\d+)?)$"
+)
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A named synthetic workload together with its generated data."""
+
+    name: str
+    config: SyntheticConfig
+    original: TransactionDatabase
+    increment: TransactionDatabase
+
+    @property
+    def updated(self) -> TransactionDatabase:
+        """The updated database ``DB ∪ db``."""
+        return self.original.concatenate(self.increment, name=f"{self.name}.updated")
+
+
+def parse_workload_name(name: str) -> SyntheticConfig:
+    """Parse the paper's ``Tx.Iy.Dm.dn`` notation into a config.
+
+    ``D`` and ``d`` are in thousands of transactions, as in the paper
+    (``T10.I4.D100.d1`` means 100,000 transactions plus a 1,000-transaction
+    increment).
+    """
+    match = _NAME_PATTERN.match(name.strip())
+    if match is None:
+        raise GeneratorConfigError(
+            f"workload name {name!r} does not match the Tx.Iy.Dm.dn pattern"
+        )
+    return SyntheticConfig(
+        mean_transaction_size=float(match.group("t")),
+        mean_pattern_size=float(match.group("i")),
+        database_size=int(round(float(match.group("d")) * 1000)),
+        increment_size=int(round(float(match.group("n")) * 1000)),
+    )
+
+
+def make_workload(config: SyntheticConfig, name: str | None = None) -> Workload:
+    """Generate the data for *config* and wrap it as a :class:`Workload`."""
+    original, increment = SyntheticDataGenerator(config).generate()
+    return Workload(
+        name=name or config.name,
+        config=config,
+        original=original,
+        increment=increment,
+    )
+
+
+def paper_workload(name: str, seed: int | None = None) -> Workload:
+    """Build a paper workload at its full published size (e.g. ``T10.I4.D100.d1``)."""
+    config = parse_workload_name(name)
+    if seed is not None:
+        config = SyntheticConfig(**{**config.__dict__, "seed": seed})
+    return make_workload(config, name=name)
+
+
+def scaled_paper_workload(
+    name: str,
+    scale: float = DEFAULT_BENCH_SCALE,
+    seed: int | None = None,
+    item_count: int | None = None,
+    pattern_count: int | None = None,
+) -> Workload:
+    """Build a paper workload with its transaction counts scaled by *scale*.
+
+    Only the database and increment sizes are scaled; the per-transaction
+    statistics (``|T|``, ``|I|``) stay at the paper's values so the relative
+    behaviour of the algorithms is preserved.  The item universe and pattern
+    pool can optionally be shrunk too, which keeps the number of large
+    itemsets (and hence the mining workload) proportionate at small scales.
+    """
+    if scale <= 0:
+        raise GeneratorConfigError(f"scale must be positive, got {scale}")
+    config = parse_workload_name(name)
+    updates: dict[str, object] = {
+        "database_size": max(1, int(round(config.database_size * scale))),
+        "increment_size": max(1, int(round(config.increment_size * scale))) if config.increment_size else 0,
+    }
+    if seed is not None:
+        updates["seed"] = seed
+    if item_count is not None:
+        updates["item_count"] = item_count
+    if pattern_count is not None:
+        updates["pattern_count"] = pattern_count
+    scaled = SyntheticConfig(**{**config.__dict__, **updates})
+    label = f"{name}@x{scale:g}"
+    return make_workload(scaled, name=label)

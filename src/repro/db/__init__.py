@@ -1,0 +1,38 @@
+"""Transaction database substrate.
+
+This package provides the storage layer every miner in the library runs on:
+
+* :class:`~repro.db.transaction_db.TransactionDatabase` — the in-memory
+  transaction container with the scan interface the algorithms use.
+* :mod:`repro.db.store` — plain-text and binary persistence.
+* :mod:`repro.db.update` — update batches (insertions / deletions) and the
+  update log used by the maintenance manager.
+* :mod:`repro.db.stats` — summary statistics over a database.
+"""
+
+from .transaction_db import Transaction, TransactionDatabase
+from .update import UpdateBatch, UpdateLog
+from .stats import DatabaseStats, compute_stats
+from .store import (
+    read_transactions_text,
+    write_transactions_text,
+    read_transactions_binary,
+    write_transactions_binary,
+    load_database,
+    save_database,
+)
+
+__all__ = [
+    "Transaction",
+    "TransactionDatabase",
+    "UpdateBatch",
+    "UpdateLog",
+    "DatabaseStats",
+    "compute_stats",
+    "read_transactions_text",
+    "write_transactions_text",
+    "read_transactions_binary",
+    "write_transactions_binary",
+    "load_database",
+    "save_database",
+]

@@ -1,0 +1,62 @@
+"""Summary statistics over transaction databases.
+
+The synthetic-data generator tests and the benchmark reports both need to
+check that a generated workload actually looks like ``Tx.Iy.Dm.dn`` — i.e.
+that the transaction count and mean transaction size match the requested
+parameters.  :func:`compute_stats` gathers those figures in one pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .transaction_db import TransactionDatabase
+
+__all__ = ["DatabaseStats", "compute_stats"]
+
+
+@dataclass(frozen=True)
+class DatabaseStats:
+    """One-pass summary of a transaction database."""
+
+    transaction_count: int
+    distinct_items: int
+    total_item_occurrences: int
+    min_transaction_size: int
+    max_transaction_size: int
+    mean_transaction_size: float
+
+    def as_dict(self) -> dict[str, float | int]:
+        """Return the statistics as a plain dictionary (handy for reports)."""
+        return {
+            "transaction_count": self.transaction_count,
+            "distinct_items": self.distinct_items,
+            "total_item_occurrences": self.total_item_occurrences,
+            "min_transaction_size": self.min_transaction_size,
+            "max_transaction_size": self.max_transaction_size,
+            "mean_transaction_size": self.mean_transaction_size,
+        }
+
+
+def compute_stats(database: TransactionDatabase) -> DatabaseStats:
+    """Compute :class:`DatabaseStats` for *database* in a single scan."""
+    count = 0
+    total_items = 0
+    min_size: int | None = None
+    max_size = 0
+    items: set[int] = set()
+    for transaction in database:
+        count += 1
+        size = len(transaction)
+        total_items += size
+        items.update(transaction)
+        max_size = max(max_size, size)
+        min_size = size if min_size is None else min(min_size, size)
+    return DatabaseStats(
+        transaction_count=count,
+        distinct_items=len(items),
+        total_item_occurrences=total_items,
+        min_transaction_size=min_size if min_size is not None else 0,
+        max_transaction_size=max_size,
+        mean_transaction_size=(total_items / count) if count else 0.0,
+    )

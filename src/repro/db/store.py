@@ -1,0 +1,128 @@
+"""Persistence for transaction databases.
+
+Two interchangeable formats are provided:
+
+* **Text** — one transaction per line, items as space-separated integers.
+  This is the de-facto interchange format used by most frequent-itemset
+  benchmark datasets (e.g. the FIMI repository), so databases written here
+  can be consumed by other tools and vice versa.
+* **Binary** — a compact little-endian encoding (transaction length followed
+  by item ids, 4 bytes each).  Used when the synthetic workloads of the
+  benchmark harness are cached on disk between runs.
+
+Both formats round-trip exactly through :class:`TransactionDatabase`.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from ..errors import StorageError
+from .transaction_db import Transaction, TransactionDatabase
+
+__all__ = [
+    "write_transactions_text",
+    "read_transactions_text",
+    "write_transactions_binary",
+    "read_transactions_binary",
+    "save_database",
+    "load_database",
+]
+
+_HEADER = b"REPROTDB"
+_RECORD = struct.Struct("<I")
+
+
+def write_transactions_text(path: str | Path, transactions: Iterable[Transaction]) -> int:
+    """Write transactions to *path* in the one-line-per-transaction text format.
+
+    Returns the number of transactions written.
+    """
+    path = Path(path)
+    written = 0
+    try:
+        with path.open("w", encoding="ascii") as handle:
+            for transaction in transactions:
+                handle.write(" ".join(str(item) for item in transaction))
+                handle.write("\n")
+                written += 1
+    except OSError as exc:
+        raise StorageError(f"cannot write database to {path}: {exc}") from exc
+    return written
+
+
+def read_transactions_text(path: str | Path) -> Iterator[Transaction]:
+    """Yield transactions from a text-format file (empty lines are empty transactions)."""
+    path = Path(path)
+    try:
+        with path.open("r", encoding="ascii") as handle:
+            for line_number, line in enumerate(handle, start=1):
+                stripped = line.strip()
+                if not stripped:
+                    yield ()
+                    continue
+                try:
+                    yield tuple(sorted({int(token) for token in stripped.split()}))
+                except ValueError as exc:
+                    raise StorageError(
+                        f"{path}:{line_number}: non-integer item in {stripped!r}"
+                    ) from exc
+    except OSError as exc:
+        raise StorageError(f"cannot read database from {path}: {exc}") from exc
+
+
+def write_transactions_binary(path: str | Path, transactions: Iterable[Transaction]) -> int:
+    """Write transactions to *path* in the compact binary format."""
+    path = Path(path)
+    written = 0
+    try:
+        with path.open("wb") as handle:
+            handle.write(_HEADER)
+            for transaction in transactions:
+                handle.write(_RECORD.pack(len(transaction)))
+                for item in transaction:
+                    handle.write(_RECORD.pack(item))
+                written += 1
+    except OSError as exc:
+        raise StorageError(f"cannot write database to {path}: {exc}") from exc
+    return written
+
+
+def read_transactions_binary(path: str | Path) -> Iterator[Transaction]:
+    """Yield transactions from a binary-format file written by this module."""
+    path = Path(path)
+    try:
+        data = path.read_bytes()
+    except OSError as exc:
+        raise StorageError(f"cannot read database from {path}: {exc}") from exc
+    if not data.startswith(_HEADER):
+        raise StorageError(f"{path} is not a repro binary transaction file")
+    offset = len(_HEADER)
+    total = len(data)
+    while offset < total:
+        if offset + _RECORD.size > total:
+            raise StorageError(f"{path} is truncated at byte {offset}")
+        (length,) = _RECORD.unpack_from(data, offset)
+        offset += _RECORD.size
+        end = offset + length * _RECORD.size
+        if end > total:
+            raise StorageError(f"{path} is truncated at byte {offset}")
+        items = struct.unpack_from(f"<{length}I", data, offset) if length else ()
+        offset = end
+        yield tuple(sorted(set(items)))
+
+
+def save_database(database: TransactionDatabase, path: str | Path, binary: bool = False) -> int:
+    """Persist *database* to *path*; pick the format with the *binary* flag."""
+    writer = write_transactions_binary if binary else write_transactions_text
+    return writer(path, database.transactions())
+
+
+def load_database(path: str | Path, name: str = "", binary: bool = False) -> TransactionDatabase:
+    """Load a database previously written with :func:`save_database`."""
+    reader = read_transactions_binary if binary else read_transactions_text
+    database = TransactionDatabase(name=name or Path(path).stem)
+    database.extend(reader(path))
+    return database

@@ -1,0 +1,195 @@
+"""In-memory transaction database.
+
+The three miners in this library (Apriori, DHP and FUP) all consume the same
+scan interface: iterate over transactions, where each transaction is a
+canonical tuple of item ids.  :class:`TransactionDatabase` provides that
+interface plus the mutation operations the incremental-maintenance workflow
+needs (append an increment, delete a batch, concatenate databases).
+
+Transactions are stored as sorted tuples of ints.  Sorted storage matters for
+two reasons: the hash-tree subset enumeration assumes items appear in
+increasing order, and deduplicated sorted tuples make transaction equality and
+the DHP/FUP transaction-trimming optimisations straightforward.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Iterator, Sequence
+
+from ..errors import InvalidTransactionError
+from ..itemsets import Item, Itemset
+
+Transaction = tuple[Item, ...]
+
+__all__ = ["Transaction", "TransactionDatabase"]
+
+
+def _canonical_transaction(raw: Iterable[Item], tid: int | None = None) -> Transaction:
+    """Validate and canonicalise one transaction (sorted, duplicates removed)."""
+    try:
+        unique = set(raw)
+    except TypeError as exc:
+        raise InvalidTransactionError(
+            f"transaction {tid if tid is not None else '?'} is not iterable: {raw!r}"
+        ) from exc
+    for item in unique:
+        if not isinstance(item, int) or isinstance(item, bool) or item < 0:
+            raise InvalidTransactionError(
+                f"transaction {tid if tid is not None else '?'} contains an invalid "
+                f"item {item!r}; items must be non-negative integers"
+            )
+    return tuple(sorted(unique))
+
+
+class TransactionDatabase:
+    """A list of transactions with the scan interface the miners expect.
+
+    Parameters
+    ----------
+    transactions:
+        Any iterable of item iterables.  Each transaction is canonicalised on
+        ingestion (sorted, duplicates removed).  Empty transactions are kept —
+        a customer can buy nothing — but contribute to ``len()`` so support
+        fractions are computed over every recorded transaction, matching the
+        paper's definition of ``D`` as "the number of transactions in DB".
+    name:
+        Optional label used in reports (for example ``"T10.I4.D100.d1"``).
+    """
+
+    __slots__ = ("_transactions", "name")
+
+    def __init__(
+        self,
+        transactions: Iterable[Iterable[Item]] = (),
+        name: str = "",
+    ) -> None:
+        self._transactions: list[Transaction] = [
+            _canonical_transaction(raw, tid) for tid, raw in enumerate(transactions)
+        ]
+        self.name = name
+
+    # ------------------------------------------------------------------ #
+    # Container protocol
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._transactions)
+
+    def __iter__(self) -> Iterator[Transaction]:
+        return iter(self._transactions)
+
+    def __getitem__(self, index: int) -> Transaction:
+        return self._transactions[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TransactionDatabase):
+            return NotImplemented
+        return self._transactions == other._transactions
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        label = f" name={self.name!r}" if self.name else ""
+        return f"<TransactionDatabase{label} size={len(self)}>"
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_transactions(
+        cls, transactions: Iterable[Iterable[Item]], name: str = ""
+    ) -> "TransactionDatabase":
+        """Build a database from any iterable of item iterables."""
+        return cls(transactions, name=name)
+
+    def copy(self, name: str | None = None) -> "TransactionDatabase":
+        """Return an independent copy of this database."""
+        clone = TransactionDatabase(name=self.name if name is None else name)
+        clone._transactions = list(self._transactions)
+        return clone
+
+    # ------------------------------------------------------------------ #
+    # Mutation (used by the incremental maintenance workflow)
+    # ------------------------------------------------------------------ #
+    def append(self, transaction: Iterable[Item]) -> None:
+        """Append a single transaction."""
+        self._transactions.append(_canonical_transaction(transaction, len(self)))
+
+    def extend(self, transactions: Iterable[Iterable[Item]]) -> None:
+        """Append every transaction of *transactions* (an increment ``db``)."""
+        base = len(self)
+        self._transactions.extend(
+            _canonical_transaction(raw, base + offset)
+            for offset, raw in enumerate(transactions)
+        )
+
+    def remove_batch(self, transactions: Iterable[Iterable[Item]]) -> int:
+        """Remove one occurrence of each given transaction; return how many were removed.
+
+        Deletion is multiset-style: if the batch lists a transaction twice and
+        the database holds it three times, two copies are removed.  Unknown
+        transactions are ignored (the count reflects only actual removals).
+        """
+        to_remove = Counter(
+            _canonical_transaction(raw) for raw in transactions
+        )
+        if not to_remove:
+            return 0
+        kept: list[Transaction] = []
+        removed = 0
+        for transaction in self._transactions:
+            if to_remove.get(transaction, 0) > 0:
+                to_remove[transaction] -= 1
+                removed += 1
+            else:
+                kept.append(transaction)
+        self._transactions = kept
+        return removed
+
+    # ------------------------------------------------------------------ #
+    # Scan / query interface used by the miners
+    # ------------------------------------------------------------------ #
+    @property
+    def size(self) -> int:
+        """Number of transactions (``D`` in the paper's notation)."""
+        return len(self._transactions)
+
+    def transactions(self) -> Sequence[Transaction]:
+        """Return a read-only view (the underlying list) of the transactions."""
+        return self._transactions
+
+    def items(self) -> set[Item]:
+        """Return the set of distinct items appearing anywhere in the database."""
+        present: set[Item] = set()
+        for transaction in self._transactions:
+            present.update(transaction)
+        return present
+
+    def item_counts(self) -> Counter[Item]:
+        """Return per-item occurrence counts (support counts of 1-itemsets)."""
+        counts: Counter[Item] = Counter()
+        for transaction in self._transactions:
+            counts.update(transaction)
+        return counts
+
+    def count_itemset(self, candidate: Itemset) -> int:
+        """Count transactions containing *candidate* with a full scan.
+
+        This is the slow-but-obviously-correct reference counter used by the
+        test-suite oracles; the miners use the hash-tree counting pass
+        instead.
+        """
+        needed = set(candidate)
+        return sum(1 for transaction in self._transactions if needed.issubset(transaction))
+
+    def slice(self, start: int, stop: int | None = None, name: str = "") -> "TransactionDatabase":
+        """Return a new database holding transactions ``[start:stop)``."""
+        clone = TransactionDatabase(name=name)
+        clone._transactions = self._transactions[start:stop]
+        return clone
+
+    def concatenate(
+        self, other: "TransactionDatabase", name: str = ""
+    ) -> "TransactionDatabase":
+        """Return a new database ``self ∪ other`` (the updated database ``DB ∪ db``)."""
+        clone = TransactionDatabase(name=name or self.name)
+        clone._transactions = self._transactions + other._transactions
+        return clone

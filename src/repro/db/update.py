@@ -1,0 +1,120 @@
+"""Update batches and the update log.
+
+The paper's setting is an *append-only* update: an increment ``db`` of new
+transactions is added to the original database ``DB``.  Section 5 notes that
+deletion and modification of transactions were also investigated; the
+maintenance manager therefore models a general :class:`UpdateBatch` carrying
+both insertions and deletions, and an :class:`UpdateLog` recording the
+sequence of batches applied so far (useful for audits, replay and the
+sliding-window example).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from ..errors import InvalidTransactionError
+from ..itemsets import Item
+from .transaction_db import Transaction, TransactionDatabase, _canonical_transaction
+
+__all__ = ["UpdateBatch", "UpdateLog"]
+
+
+@dataclass(frozen=True)
+class UpdateBatch:
+    """One maintenance step: transactions to insert and transactions to delete.
+
+    Attributes
+    ----------
+    insertions:
+        New transactions to append (the paper's increment ``db``).
+    deletions:
+        Transactions to remove from the original database (the FUP2-style
+        extension).  Deletion is by value: each listed transaction removes one
+        matching stored transaction.
+    label:
+        Free-form tag used in reports (e.g. ``"day-17"``).
+    """
+
+    insertions: tuple[Transaction, ...] = ()
+    deletions: tuple[Transaction, ...] = ()
+    label: str = ""
+
+    @classmethod
+    def from_iterables(
+        cls,
+        insertions: Iterable[Iterable[Item]] = (),
+        deletions: Iterable[Iterable[Item]] = (),
+        label: str = "",
+    ) -> "UpdateBatch":
+        """Canonicalise raw item iterables into an update batch."""
+        try:
+            canon_ins = tuple(_canonical_transaction(raw) for raw in insertions)
+            canon_del = tuple(_canonical_transaction(raw) for raw in deletions)
+        except InvalidTransactionError:
+            raise
+        return cls(insertions=canon_ins, deletions=canon_del, label=label)
+
+    @property
+    def is_insert_only(self) -> bool:
+        """True when the batch matches the paper's pure-insertion setting."""
+        return bool(self.insertions) and not self.deletions
+
+    @property
+    def is_delete_only(self) -> bool:
+        """True when the batch only removes transactions."""
+        return bool(self.deletions) and not self.insertions
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the batch changes nothing."""
+        return not self.insertions and not self.deletions
+
+    def insertions_database(self, name: str = "increment") -> TransactionDatabase:
+        """Return the insertions as a :class:`TransactionDatabase` (the ``db`` of the paper)."""
+        return TransactionDatabase(self.insertions, name=name)
+
+    def deletions_database(self, name: str = "deletions") -> TransactionDatabase:
+        """Return the deletions as a :class:`TransactionDatabase`."""
+        return TransactionDatabase(self.deletions, name=name)
+
+    def __len__(self) -> int:
+        return len(self.insertions) + len(self.deletions)
+
+
+@dataclass
+class UpdateLog:
+    """Ordered record of every update batch applied to a maintained database."""
+
+    batches: list[UpdateBatch] = field(default_factory=list)
+
+    def record(self, batch: UpdateBatch) -> None:
+        """Append *batch* to the log."""
+        self.batches.append(batch)
+
+    def __len__(self) -> int:
+        return len(self.batches)
+
+    def __iter__(self) -> Iterator[UpdateBatch]:
+        return iter(self.batches)
+
+    @property
+    def total_insertions(self) -> int:
+        """Total number of transactions inserted across all recorded batches."""
+        return sum(len(batch.insertions) for batch in self.batches)
+
+    @property
+    def total_deletions(self) -> int:
+        """Total number of transactions deleted across all recorded batches."""
+        return sum(len(batch.deletions) for batch in self.batches)
+
+    def replay(self, database: TransactionDatabase) -> TransactionDatabase:
+        """Apply every recorded batch, in order, to a copy of *database*."""
+        result = database.copy()
+        for batch in self.batches:
+            if batch.deletions:
+                result.remove_batch(batch.deletions)
+            if batch.insertions:
+                result.extend(batch.insertions)
+        return result

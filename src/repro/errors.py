@@ -1,0 +1,50 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by the library derive from :class:`ReproError` so that
+callers can catch every library failure with a single ``except`` clause while
+still being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the library."""
+
+
+class InvalidItemsetError(ReproError):
+    """An itemset argument is malformed (empty, wrong type, negative item id)."""
+
+
+class InvalidTransactionError(ReproError):
+    """A transaction contains invalid items or cannot be parsed."""
+
+
+class InvalidThresholdError(ReproError):
+    """A support or confidence threshold is outside the valid ``(0, 1]`` range."""
+
+
+class EmptyDatabaseError(ReproError):
+    """An operation that requires transactions was given an empty database."""
+
+
+class StaleStateError(ReproError):
+    """The mined state handed to an incremental update does not match the database.
+
+    FUP requires the support counts of every previously-large itemset measured
+    against the *original* database.  If the recorded database size disagrees
+    with the state, the update would silently compute wrong supports; we
+    refuse instead.
+    """
+
+
+class StorageError(ReproError):
+    """A database file could not be read or written."""
+
+
+class GeneratorConfigError(ReproError):
+    """A synthetic-data generator configuration is inconsistent."""
+
+
+class ExperimentError(ReproError):
+    """An experiment harness configuration or execution failure."""

@@ -1,0 +1,34 @@
+"""Experiment harness: instrumented runs, comparisons, and report formatting.
+
+The benchmark modules under ``benchmarks/`` are thin wrappers around this
+package — each one builds a workload, calls the runner functions here, and
+prints the table or series corresponding to a figure of the paper.
+"""
+
+from .metrics import RunRecord, ComparisonRecord, speedup
+from .runner import (
+    ExperimentRunner,
+    UpdateComparison,
+    run_miner,
+    run_fup_update,
+    compare_update_strategies,
+    measure_fup_overhead,
+    OverheadRecord,
+)
+from .reporting import format_table, format_series, render_records
+
+__all__ = [
+    "RunRecord",
+    "ComparisonRecord",
+    "speedup",
+    "ExperimentRunner",
+    "UpdateComparison",
+    "run_miner",
+    "run_fup_update",
+    "compare_update_strategies",
+    "measure_fup_overhead",
+    "OverheadRecord",
+    "format_table",
+    "format_series",
+    "render_records",
+]

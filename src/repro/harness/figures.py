@@ -1,0 +1,82 @@
+"""ASCII rendering of benchmark series as horizontal bar charts.
+
+The paper presents its evaluation as bar/line figures; the benchmark modules
+print tables (see :mod:`repro.harness.reporting`), and this module adds a
+small plain-text chart renderer so the *shape* of each figure — which bars
+dominate, where the trend bends — is visible directly in the benchmark output
+without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["bar_chart", "grouped_bar_chart"]
+
+_FULL_BLOCK = "#"
+
+
+def _scaled_width(value: float, maximum: float, width: int) -> int:
+    if maximum <= 0 or value <= 0:
+        return 0
+    return max(1, int(round(width * value / maximum)))
+
+
+def bar_chart(
+    points: Sequence[tuple[object, float]],
+    title: str = "",
+    width: int = 40,
+    value_format: str = "{:.2f}",
+) -> str:
+    """Render ``(label, value)`` points as a horizontal ASCII bar chart.
+
+    The longest bar spans *width* characters; values are printed next to the
+    bars so the chart doubles as a table.
+    """
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    if not points:
+        lines.append("(no data)")
+        return "\n".join(lines)
+    labels = [str(label) for label, _ in points]
+    label_width = max(len(label) for label in labels)
+    maximum = max(value for _, value in points)
+    for label, value in points:
+        bar = _FULL_BLOCK * _scaled_width(value, maximum, width)
+        lines.append(
+            f"{str(label).ljust(label_width)}  {bar.ljust(width)}  {value_format.format(value)}"
+        )
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    groups: Sequence[tuple[object, Sequence[tuple[str, float]]]],
+    title: str = "",
+    width: int = 40,
+    value_format: str = "{:.2f}",
+) -> str:
+    """Render grouped series, e.g. one group per support level with a bar per algorithm.
+
+    ``groups`` is a sequence of ``(group_label, [(series_name, value), ...])``.
+    All bars share one scale so groups are visually comparable — which is what
+    the paper's side-by-side ratio bars (Figure 2) rely on.
+    """
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    if not groups:
+        lines.append("(no data)")
+        return "\n".join(lines)
+    series_names = [name for _, series in groups for name, _ in series]
+    name_width = max(len(name) for name in series_names) if series_names else 0
+    all_values: Iterable[float] = (value for _, series in groups for _, value in series)
+    maximum = max(all_values, default=0.0)
+    for group_label, series in groups:
+        lines.append(f"{group_label}:")
+        for name, value in series:
+            bar = _FULL_BLOCK * _scaled_width(value, maximum, width)
+            lines.append(
+                f"  {name.ljust(name_width)}  {bar.ljust(width)}  {value_format.format(value)}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,103 @@
+"""Run records and derived metrics used by the experiment harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..mining.result import MiningResult
+
+__all__ = ["RunRecord", "ComparisonRecord", "speedup"]
+
+
+def speedup(baseline_seconds: float, candidate_seconds: float) -> float:
+    """Ratio ``baseline / candidate``; >1 means the candidate is faster.
+
+    A zero candidate time (possible on very small workloads where the clock
+    resolution dominates) is treated as the smallest measurable tick so the
+    ratio stays finite.
+    """
+    tick = 1e-9
+    return max(baseline_seconds, tick) / max(candidate_seconds, tick)
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One algorithm execution on one workload configuration."""
+
+    workload: str
+    algorithm: str
+    min_support: float
+    elapsed_seconds: float
+    candidates_generated: int
+    database_scans: int
+    increment_scans: int
+    transactions_read: int
+    large_itemsets: int
+
+    @classmethod
+    def from_result(cls, workload: str, result: MiningResult) -> "RunRecord":
+        """Build a record from a :class:`MiningResult`."""
+        return cls(
+            workload=workload,
+            algorithm=result.algorithm,
+            min_support=result.min_support,
+            elapsed_seconds=result.elapsed_seconds,
+            candidates_generated=result.candidates_generated,
+            database_scans=result.database_scans,
+            increment_scans=result.increment_scans,
+            transactions_read=result.transactions_read,
+            large_itemsets=len(result.lattice),
+        )
+
+    def as_dict(self) -> dict[str, float | int | str]:
+        """Flat dictionary form used by the report renderer."""
+        return {
+            "workload": self.workload,
+            "algorithm": self.algorithm,
+            "min_support": self.min_support,
+            "elapsed_seconds": round(self.elapsed_seconds, 6),
+            "candidates": self.candidates_generated,
+            "db_scans": self.database_scans,
+            "incr_scans": self.increment_scans,
+            "transactions_read": self.transactions_read,
+            "large_itemsets": self.large_itemsets,
+        }
+
+
+@dataclass(frozen=True)
+class ComparisonRecord:
+    """FUP compared against one baseline at one parameter point."""
+
+    workload: str
+    min_support: float
+    baseline: str
+    baseline_seconds: float
+    fup_seconds: float
+    baseline_candidates: int
+    fup_candidates: int
+
+    @property
+    def speedup(self) -> float:
+        """How many times faster FUP is than the baseline (the Figure 2 ratio)."""
+        return speedup(self.baseline_seconds, self.fup_seconds)
+
+    @property
+    def candidate_ratio(self) -> float:
+        """FUP candidates as a fraction of the baseline's (the Figure 3 ratio)."""
+        if self.baseline_candidates <= 0:
+            return 0.0
+        return self.fup_candidates / self.baseline_candidates
+
+    def as_dict(self) -> dict[str, float | int | str]:
+        """Flat dictionary form used by the report renderer."""
+        return {
+            "workload": self.workload,
+            "min_support": self.min_support,
+            "baseline": self.baseline,
+            "baseline_seconds": round(self.baseline_seconds, 6),
+            "fup_seconds": round(self.fup_seconds, 6),
+            "speedup": round(self.speedup, 3),
+            "baseline_candidates": self.baseline_candidates,
+            "fup_candidates": self.fup_candidates,
+            "candidate_ratio": round(self.candidate_ratio, 4),
+        }

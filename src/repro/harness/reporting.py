@@ -1,0 +1,60 @@
+"""Plain-text report rendering for the benchmark harness.
+
+The benchmark modules print the same rows/series the paper's figures plot;
+these helpers render lists of flat dictionaries as aligned fixed-width tables
+so the output is readable both on a terminal and inside the pytest-benchmark
+capture.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+__all__ = ["format_table", "format_series", "render_records"]
+
+Row = Mapping[str, object]
+
+
+def _render_cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)
+
+
+def format_table(rows: Sequence[Row], columns: Sequence[str] | None = None, title: str = "") -> str:
+    """Render *rows* (dictionaries) as an aligned fixed-width table."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered_rows = [[_render_cell(row.get(column, "")) for column in columns] for row in rows]
+    widths = [
+        max(len(column), *(len(rendered[index]) for rendered in rendered_rows))
+        for index, column in enumerate(columns)
+    ]
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    header = "  ".join(column.ljust(widths[index]) for index, column in enumerate(columns))
+    lines.append(header)
+    lines.append("  ".join("-" * width for width in widths))
+    for rendered in rendered_rows:
+        lines.append("  ".join(rendered[index].ljust(widths[index]) for index in range(len(columns))))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    y_label: str,
+    points: Iterable[tuple[object, object]],
+    title: str = "",
+) -> str:
+    """Render an (x, y) series — one figure line of the paper — as two columns."""
+    rows = [{x_label: x, y_label: y} for x, y in points]
+    return format_table(rows, columns=[x_label, y_label], title=title)
+
+
+def render_records(records: Iterable[object], title: str = "") -> str:
+    """Render objects exposing ``as_dict()`` (run/comparison/overhead records)."""
+    rows = [record.as_dict() for record in records]  # type: ignore[attr-defined]
+    return format_table(rows, title=title)

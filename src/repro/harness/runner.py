@@ -1,0 +1,260 @@
+"""Experiment runner: the update-vs-re-mine comparisons the paper reports.
+
+Every evaluation in the paper follows the same template: mine the original
+database once (that state is a given — it exists before the update arrives),
+then, when the increment shows up, either
+
+* run **FUP** with the saved state (the paper's proposal), or
+* re-run **Apriori** / **DHP** from scratch on the updated database
+  (the baselines).
+
+:func:`compare_update_strategies` performs exactly that template and returns
+the timings and candidate counts of all three strategies;
+:func:`measure_fup_overhead` implements the Section 4.5 overhead metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.fup import FupUpdater
+from ..core.options import FupOptions
+from ..db.transaction_db import TransactionDatabase
+from ..errors import ExperimentError
+from ..mining.apriori import AprioriMiner
+from ..mining.dhp import DhpMiner
+from ..mining.result import MiningResult
+from .metrics import ComparisonRecord, RunRecord, speedup
+
+__all__ = [
+    "run_miner",
+    "run_fup_update",
+    "UpdateComparison",
+    "compare_update_strategies",
+    "OverheadRecord",
+    "measure_fup_overhead",
+    "ExperimentRunner",
+]
+
+
+def run_miner(
+    algorithm: str,
+    database: TransactionDatabase,
+    min_support: float,
+) -> MiningResult:
+    """Run one of the from-scratch miners (``"apriori"`` or ``"dhp"``)."""
+    if algorithm == "apriori":
+        return AprioriMiner(min_support).mine(database)
+    if algorithm == "dhp":
+        return DhpMiner(min_support).mine(database)
+    raise ExperimentError(f"unknown miner {algorithm!r}; expected 'apriori' or 'dhp'")
+
+
+def run_fup_update(
+    original: TransactionDatabase,
+    previous: MiningResult,
+    increment: TransactionDatabase,
+    min_support: float,
+    options: FupOptions | None = None,
+) -> MiningResult:
+    """Run the FUP update step (the previous mining result is reused, not re-timed)."""
+    return FupUpdater(min_support, options=options).update(original, previous, increment)
+
+
+@dataclass(frozen=True)
+class UpdateComparison:
+    """Timings of FUP vs. re-running the baselines on one update instance."""
+
+    workload: str
+    min_support: float
+    fup: MiningResult
+    apriori: MiningResult
+    dhp: MiningResult
+    initial: MiningResult
+
+    @property
+    def against_apriori(self) -> ComparisonRecord:
+        """FUP compared with re-running Apriori on the updated database."""
+        return ComparisonRecord(
+            workload=self.workload,
+            min_support=self.min_support,
+            baseline="apriori",
+            baseline_seconds=self.apriori.elapsed_seconds,
+            fup_seconds=self.fup.elapsed_seconds,
+            baseline_candidates=self.apriori.candidates_generated,
+            fup_candidates=self.fup.candidates_generated,
+        )
+
+    @property
+    def against_dhp(self) -> ComparisonRecord:
+        """FUP compared with re-running DHP on the updated database."""
+        return ComparisonRecord(
+            workload=self.workload,
+            min_support=self.min_support,
+            baseline="dhp",
+            baseline_seconds=self.dhp.elapsed_seconds,
+            fup_seconds=self.fup.elapsed_seconds,
+            baseline_candidates=self.dhp.candidates_generated,
+            fup_candidates=self.fup.candidates_generated,
+        )
+
+    def consistent(self) -> bool:
+        """True when all three strategies found the same large itemsets."""
+        return (
+            self.fup.lattice.supports() == self.apriori.lattice.supports()
+            and self.apriori.lattice.supports() == self.dhp.lattice.supports()
+        )
+
+
+def compare_update_strategies(
+    original: TransactionDatabase,
+    increment: TransactionDatabase,
+    min_support: float,
+    workload: str = "",
+    options: FupOptions | None = None,
+    initial: MiningResult | None = None,
+) -> UpdateComparison:
+    """Run the paper's comparison template on one update instance.
+
+    Parameters
+    ----------
+    original, increment:
+        The original database ``DB`` and the increment ``db``.
+    min_support:
+        The (unchanged) minimum support threshold.
+    workload:
+        Label used in the records.
+    options:
+        FUP feature switches.
+    initial:
+        The mining result of the original database, if already available;
+        when omitted it is mined here with Apriori (its time is *not* part of
+        the comparison — the paper treats the old large itemsets as given).
+    """
+    if initial is None:
+        initial = AprioriMiner(min_support).mine(original)
+    updated = original.concatenate(increment)
+    fup_result = run_fup_update(original, initial, increment, min_support, options=options)
+    apriori_result = AprioriMiner(min_support).mine(updated)
+    dhp_result = DhpMiner(min_support).mine(updated)
+    return UpdateComparison(
+        workload=workload or original.name or "workload",
+        min_support=min_support,
+        fup=fup_result,
+        apriori=apriori_result,
+        dhp=dhp_result,
+        initial=initial,
+    )
+
+
+@dataclass(frozen=True)
+class OverheadRecord:
+    """The Section 4.5 overhead measurement for one update instance.
+
+    The overhead of maintaining (rather than mining once at the end) is
+    ``[t(mine DB) + t(FUP update)] − t(mine DB ∪ db)`` expressed as a fraction
+    of ``t(mine DB ∪ db)``.
+    """
+
+    workload: str
+    min_support: float
+    mine_original_seconds: float
+    fup_update_seconds: float
+    mine_updated_seconds: float
+
+    @property
+    def overhead_seconds(self) -> float:
+        """Absolute overhead of the maintain-then-update path."""
+        return self.mine_original_seconds + self.fup_update_seconds - self.mine_updated_seconds
+
+    @property
+    def overhead_fraction(self) -> float:
+        """Overhead relative to mining the updated database once."""
+        if self.mine_updated_seconds <= 0:
+            return 0.0
+        return self.overhead_seconds / self.mine_updated_seconds
+
+    def as_dict(self) -> dict[str, float | str]:
+        """Flat dictionary form used by the report renderer."""
+        return {
+            "workload": self.workload,
+            "min_support": self.min_support,
+            "mine_original_s": round(self.mine_original_seconds, 6),
+            "fup_update_s": round(self.fup_update_seconds, 6),
+            "mine_updated_s": round(self.mine_updated_seconds, 6),
+            "overhead_fraction": round(self.overhead_fraction, 4),
+        }
+
+
+def measure_fup_overhead(
+    original: TransactionDatabase,
+    increment: TransactionDatabase,
+    min_support: float,
+    workload: str = "",
+    miner: str = "apriori",
+    options: FupOptions | None = None,
+) -> OverheadRecord:
+    """Measure the Section 4.5 overhead of FUP for one update instance."""
+    initial = run_miner(miner, original, min_support)
+    fup_result = run_fup_update(original, initial, increment, min_support, options=options)
+    updated = original.concatenate(increment)
+    remined = run_miner(miner, updated, min_support)
+    return OverheadRecord(
+        workload=workload or original.name or "workload",
+        min_support=min_support,
+        mine_original_seconds=initial.elapsed_seconds,
+        fup_update_seconds=fup_result.elapsed_seconds,
+        mine_updated_seconds=remined.elapsed_seconds,
+    )
+
+
+class ExperimentRunner:
+    """Convenience object bundling a workload with the comparison helpers.
+
+    Keeps the initial mining result cached so a support-level sweep over the
+    same workload does not re-mine the original database more than once per
+    support value, mirroring how the paper's experiments are set up.
+    """
+
+    def __init__(
+        self,
+        original: TransactionDatabase,
+        increment: TransactionDatabase,
+        workload: str = "",
+        options: FupOptions | None = None,
+    ) -> None:
+        self.original = original
+        self.increment = increment
+        self.workload = workload or original.name or "workload"
+        self.options = options
+        self._initial_cache: dict[float, MiningResult] = {}
+
+    def initial_result(self, min_support: float) -> MiningResult:
+        """Mining result of the original database at *min_support* (cached)."""
+        if min_support not in self._initial_cache:
+            self._initial_cache[min_support] = AprioriMiner(min_support).mine(self.original)
+        return self._initial_cache[min_support]
+
+    def compare(self, min_support: float) -> UpdateComparison:
+        """Run the three-way comparison at one support level."""
+        return compare_update_strategies(
+            self.original,
+            self.increment,
+            min_support,
+            workload=self.workload,
+            options=self.options,
+            initial=self.initial_result(min_support),
+        )
+
+    def sweep(self, supports: list[float]) -> list[UpdateComparison]:
+        """Run the comparison across a list of support levels (Figure 2 / 3 sweeps)."""
+        return [self.compare(min_support) for min_support in supports]
+
+    def run_records(self, min_support: float) -> list[RunRecord]:
+        """Per-algorithm run records at one support level."""
+        comparison = self.compare(min_support)
+        return [
+            RunRecord.from_result(self.workload, comparison.fup),
+            RunRecord.from_result(self.workload, comparison.apriori),
+            RunRecord.from_result(self.workload, comparison.dhp),
+        ]

@@ -1,0 +1,130 @@
+"""Canonical itemset representation and helpers.
+
+Throughout the library an *item* is a non-negative integer identifier and an
+*itemset* is represented by a sorted tuple of distinct item ids.  Sorted
+tuples are hashable (so they can key support-count dictionaries), order
+independent once canonicalised, and cheap to join in lexicographic order —
+which is exactly what the ``apriori_gen`` candidate generation step needs.
+
+The helpers here are deliberately free functions rather than a wrapper class:
+an itemset flows through very hot counting loops, and keeping it a plain
+tuple avoids per-element attribute lookups and object allocation.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from .errors import InvalidItemsetError
+
+Item = int
+Itemset = tuple[Item, ...]
+
+__all__ = [
+    "Item",
+    "Itemset",
+    "itemset",
+    "is_canonical",
+    "union",
+    "subsets_of_size",
+    "proper_subsets",
+    "one_extensions",
+    "contains",
+    "support_fraction",
+    "format_itemset",
+    "parse_itemset",
+]
+
+
+def itemset(items: Iterable[Item]) -> Itemset:
+    """Return the canonical (sorted, duplicate-free) tuple form of *items*.
+
+    Raises
+    ------
+    InvalidItemsetError
+        If *items* is empty or contains anything other than non-negative
+        integers.
+    """
+    try:
+        unique = set(items)
+    except TypeError as exc:  # non-iterable or unhashable members
+        raise InvalidItemsetError(f"cannot build an itemset from {items!r}") from exc
+    if not unique:
+        raise InvalidItemsetError("an itemset must contain at least one item")
+    for item in unique:
+        if not isinstance(item, int) or isinstance(item, bool) or item < 0:
+            raise InvalidItemsetError(
+                f"items must be non-negative integers, got {item!r}"
+            )
+    return tuple(sorted(unique))
+
+
+def is_canonical(candidate: Sequence[Item]) -> bool:
+    """Return ``True`` when *candidate* is already in canonical form."""
+    if not isinstance(candidate, tuple) or not candidate:
+        return False
+    return all(
+        isinstance(item, int) and not isinstance(item, bool) and item >= 0
+        for item in candidate
+    ) and all(a < b for a, b in zip(candidate, candidate[1:]))
+
+
+def union(first: Itemset, second: Itemset) -> Itemset:
+    """Return the canonical union of two canonical itemsets."""
+    return tuple(sorted(set(first) | set(second)))
+
+
+def subsets_of_size(source: Itemset, size: int) -> Iterator[Itemset]:
+    """Yield every *size*-subset of *source* in lexicographic order."""
+    if size <= 0 or size > len(source):
+        return iter(())
+    return combinations(source, size)
+
+
+def proper_subsets(source: Itemset) -> Iterator[Itemset]:
+    """Yield every non-empty proper subset of *source* (all sizes)."""
+    for size in range(1, len(source)):
+        yield from combinations(source, size)
+
+
+def one_extensions(source: Itemset, items: Iterable[Item]) -> Iterator[Itemset]:
+    """Yield canonical supersets of *source* extended by one item from *items*."""
+    members = set(source)
+    for item in items:
+        if item not in members:
+            yield tuple(sorted(source + (item,)))
+
+
+def contains(transaction: Sequence[Item], candidate: Itemset) -> bool:
+    """Return ``True`` if *transaction* (any iterable of items) contains *candidate*."""
+    present = set(transaction)
+    return all(item in present for item in candidate)
+
+
+def support_fraction(count: int, total: int) -> float:
+    """Return ``count / total`` guarding against an empty database."""
+    if total <= 0:
+        return 0.0
+    return count / total
+
+
+def format_itemset(items: Itemset, mapping: Mapping[Item, str] | None = None) -> str:
+    """Render an itemset as ``{a, b, c}`` using *mapping* for item names if given."""
+    if mapping is None:
+        rendered = ", ".join(str(item) for item in items)
+    else:
+        rendered = ", ".join(mapping.get(item, str(item)) for item in items)
+    return "{" + rendered + "}"
+
+
+def parse_itemset(text: str) -> Itemset:
+    """Parse ``"{1, 2, 3}"`` or ``"1 2 3"`` or ``"1,2,3"`` into a canonical itemset."""
+    cleaned = text.strip().strip("{}").replace(",", " ")
+    parts = [part for part in cleaned.split() if part]
+    if not parts:
+        raise InvalidItemsetError(f"cannot parse an itemset from {text!r}")
+    try:
+        return itemset(int(part) for part in parts)
+    except ValueError as exc:
+        raise InvalidItemsetError(f"non-integer item in {text!r}") from exc

@@ -1,0 +1,76 @@
+"""Candidate generation: ``apriori_gen`` and friends.
+
+``apriori_gen`` (Agrawal & Srikant, VLDB '94) takes the large (k−1)-itemsets
+``L_{k-1}`` and produces the candidate k-itemsets ``C_k`` in two steps:
+
+1. **Join** — merge every pair of (k−1)-itemsets that share their first k−2
+   items, producing a k-itemset.
+2. **Prune** — drop any candidate that has a (k−1)-subset not present in
+   ``L_{k-1}`` (downward closure: all subsets of a large itemset are large).
+
+FUP reuses the same function but seeds it with the *new* large (k−1)-itemsets
+``L'_{k-1}`` and then removes the itemsets already handled in ``L_k``
+(paper, Section 3.2 step 2), which is why the join and prune steps are exposed
+separately here.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Set
+
+from ..itemsets import Item, Itemset
+
+__all__ = [
+    "apriori_gen",
+    "join_step",
+    "prune_by_subsets",
+    "generate_level_one_candidates",
+]
+
+
+def generate_level_one_candidates(items: Iterable[Item]) -> list[Itemset]:
+    """Return the size-1 candidate itemsets for the given item universe."""
+    return [(item,) for item in sorted(set(items))]
+
+
+def join_step(previous_level: Set[Itemset]) -> set[Itemset]:
+    """Join step of ``apriori_gen``: merge (k−1)-itemsets sharing a (k−2)-prefix."""
+    if not previous_level:
+        return set()
+    by_prefix: dict[Itemset, list[Itemset]] = defaultdict(list)
+    for candidate in previous_level:
+        by_prefix[candidate[:-1]].append(candidate)
+    joined: set[Itemset] = set()
+    for prefix, group in by_prefix.items():
+        if len(group) < 2:
+            continue
+        tails = sorted(candidate[-1] for candidate in group)
+        for index, first in enumerate(tails):
+            for second in tails[index + 1:]:
+                joined.add(prefix + (first, second))
+    return joined
+
+
+def prune_by_subsets(candidates: Iterable[Itemset], previous_level: Set[Itemset]) -> set[Itemset]:
+    """Prune step: keep only candidates whose every (k−1)-subset is in *previous_level*."""
+    surviving: set[Itemset] = set()
+    for candidate in candidates:
+        keep = True
+        for index in range(len(candidate)):
+            subset = candidate[:index] + candidate[index + 1:]
+            if subset not in previous_level:
+                keep = False
+                break
+        if keep:
+            surviving.add(candidate)
+    return surviving
+
+
+def apriori_gen(previous_level: Set[Itemset]) -> set[Itemset]:
+    """Generate the candidate k-itemsets from the large (k−1)-itemsets.
+
+    This is the ``apriori-gen`` function of [2] that the FUP pseudo-code calls
+    directly (``C = apriori-gen(L'_{k-1}) − L_k``).
+    """
+    return prune_by_subsets(join_step(previous_level), set(previous_level))

@@ -1,0 +1,76 @@
+"""Support-counting passes shared by the miners.
+
+Each function performs one scan over an iterable of transactions and returns
+absolute support counts.  The miners keep their own per-run instrumentation
+(scan counts, transactions read); these helpers only do the counting so that
+Apriori, DHP and FUP cannot drift apart in how a "scan" is defined.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Mapping
+
+from ..itemsets import Item, Itemset
+from .hash_tree import HashTree
+
+__all__ = ["count_items", "count_candidates", "count_candidates_with_tree"]
+
+
+def count_items(transactions: Iterable[tuple[Item, ...]]) -> Counter[Item]:
+    """Count per-item occurrences (supports of all 1-itemsets) in one scan."""
+    counts: Counter[Item] = Counter()
+    for transaction in transactions:
+        counts.update(transaction)
+    return counts
+
+
+def count_candidates(
+    transactions: Iterable[tuple[Item, ...]],
+    candidates: Iterable[Itemset],
+) -> dict[Itemset, int]:
+    """Count the support of *candidates* over *transactions* using hash trees.
+
+    The candidates may be of mixed sizes (one hash tree is built per size).
+    Returns a mapping that contains an entry for **every** candidate, including
+    those with zero support — callers frequently need the explicit zero.
+    """
+    candidate_list = list(candidates)
+    counts: dict[Itemset, int] = {candidate: 0 for candidate in candidate_list}
+    if not candidate_list:
+        return counts
+    by_size: dict[int, list[Itemset]] = {}
+    for candidate in candidate_list:
+        by_size.setdefault(len(candidate), []).append(candidate)
+    trees = [HashTree(group) for group in by_size.values()]
+    for transaction in transactions:
+        for tree in trees:
+            for match in tree.subsets_in(transaction):
+                counts[match] += 1
+    return counts
+
+
+def count_candidates_with_tree(
+    transactions: Iterable[tuple[Item, ...]],
+    tree: HashTree,
+    counts: dict[Itemset, int],
+) -> None:
+    """Accumulate support counts for the candidates already stored in *tree*.
+
+    Used when the caller wants to interleave counting with other per-transaction
+    work (for example DHP's bucket hashing or FUP's transaction trimming) and
+    therefore drives the scan loop itself — this variant simply documents the
+    shared idiom and keeps it in one place for the simple cases.
+    """
+    for transaction in transactions:
+        for match in tree.subsets_in(transaction):
+            counts[match] += 1
+
+
+def supports_as_fractions(
+    counts: Mapping[Itemset, int], database_size: int
+) -> dict[Itemset, float]:
+    """Convert absolute counts to relative supports."""
+    if database_size <= 0:
+        return {candidate: 0.0 for candidate in counts}
+    return {candidate: count / database_size for candidate, count in counts.items()}

@@ -1,0 +1,202 @@
+"""Hash tree for subset counting — the ``Subset(C, T)`` primitive.
+
+Apriori, DHP and FUP all need the same inner operation: given a set of
+candidate k-itemsets ``C`` and a transaction ``T``, find every candidate that
+is contained in ``T`` and bump its support counter.  Agrawal & Srikant store
+the candidates in a *hash tree*: interior nodes hash on the next item, leaves
+hold small buckets of candidates, and a recursive descent enumerates only the
+candidates that can still match the transaction.  The paper's FUP pseudo-code
+calls this operation ``Subset(W, T)`` / ``Subset(C, T)`` and cites [2] for it,
+so it is reproduced here as a first-class substrate.
+
+The implementation keeps the classic structure (interior hash nodes, leaf
+buckets that split once they overflow) because the *number of candidate
+comparisons avoided* is part of what makes the relative algorithm costs
+realistic, even in pure Python.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+from ..itemsets import Item, Itemset
+
+__all__ = ["HashTree"]
+
+
+class _Node:
+    """One hash-tree node; either a leaf bucket or an interior hash node."""
+
+    __slots__ = ("children", "bucket", "depth")
+
+    def __init__(self, depth: int) -> None:
+        self.children: dict[int, "_Node"] | None = None
+        self.bucket: list[Itemset] | None = []
+        self.depth = depth
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.children is None
+
+
+class HashTree:
+    """A hash tree over a set of equal-size candidate itemsets.
+
+    Parameters
+    ----------
+    candidates:
+        Candidate itemsets, all of the same size ``k`` (size-0 trees are
+        permitted and simply match nothing).
+    branching:
+        Number of hash buckets per interior node.
+    leaf_capacity:
+        Maximum number of candidates a leaf holds before it splits into an
+        interior node (leaves at depth ``k`` never split — the hash path is
+        exhausted).
+    """
+
+    __slots__ = ("_root", "_size", "_k", "_branching", "_leaf_capacity")
+
+    def __init__(
+        self,
+        candidates: Iterable[Itemset] = (),
+        branching: int = 8,
+        leaf_capacity: int = 16,
+    ) -> None:
+        if branching < 2:
+            raise ValueError(f"branching must be at least 2, got {branching}")
+        if leaf_capacity < 1:
+            raise ValueError(f"leaf_capacity must be at least 1, got {leaf_capacity}")
+        self._branching = branching
+        self._leaf_capacity = leaf_capacity
+        self._root = _Node(depth=0)
+        self._size = 0
+        self._k = 0
+        for candidate in candidates:
+            self.insert(candidate)
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __iter__(self) -> Iterator[Itemset]:
+        return self._iterate(self._root)
+
+    @property
+    def itemset_size(self) -> int:
+        """The common size ``k`` of the stored candidates (0 when empty)."""
+        return self._k
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def insert(self, candidate: Itemset) -> None:
+        """Insert one candidate itemset (must match the size of prior inserts)."""
+        if self._size == 0:
+            self._k = len(candidate)
+        elif len(candidate) != self._k:
+            raise ValueError(
+                f"all candidates must have size {self._k}, got {candidate!r}"
+            )
+        self._insert(self._root, candidate)
+        self._size += 1
+
+    def _hash(self, item: Item) -> int:
+        return item % self._branching
+
+    def _insert(self, node: _Node, candidate: Itemset) -> None:
+        while not node.is_leaf:
+            assert node.children is not None
+            key = self._hash(candidate[node.depth])
+            child = node.children.get(key)
+            if child is None:
+                child = _Node(depth=node.depth + 1)
+                node.children[key] = child
+            node = child
+        assert node.bucket is not None
+        node.bucket.append(candidate)
+        if len(node.bucket) > self._leaf_capacity and node.depth < self._k:
+            self._split(node)
+
+    def _split(self, node: _Node) -> None:
+        """Convert an overflowing leaf into an interior node."""
+        assert node.bucket is not None
+        pending = node.bucket
+        node.bucket = None
+        node.children = {}
+        for candidate in pending:
+            key = self._hash(candidate[node.depth])
+            child = node.children.get(key)
+            if child is None:
+                child = _Node(depth=node.depth + 1)
+                node.children[key] = child
+            self._insert(child, candidate)
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def subsets_in(self, transaction: Sequence[Item]) -> list[Itemset]:
+        """Return every stored candidate contained in *transaction*.
+
+        *transaction* must be sorted in increasing item order (which is how
+        :class:`~repro.db.transaction_db.TransactionDatabase` stores them).
+        """
+        if self._size == 0 or len(transaction) < self._k:
+            return []
+        matches: list[Itemset] = []
+        members = set(transaction)
+        self._collect(self._root, transaction, 0, members, matches)
+        return matches
+
+    def contains(self, candidate: Itemset) -> bool:
+        """Return True if *candidate* was inserted into the tree."""
+        node = self._root
+        while not node.is_leaf:
+            assert node.children is not None
+            child = node.children.get(self._hash(candidate[node.depth]))
+            if child is None:
+                return False
+            node = child
+        assert node.bucket is not None
+        return candidate in node.bucket
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _collect(
+        self,
+        node: _Node,
+        transaction: Sequence[Item],
+        start: int,
+        members: set[Item],
+        matches: list[Itemset],
+    ) -> None:
+        if node.is_leaf:
+            assert node.bucket is not None
+            for candidate in node.bucket:
+                if all(item in members for item in candidate):
+                    matches.append(candidate)
+            return
+        assert node.children is not None
+        # Descend once per distinct hash bucket reachable from the remaining
+        # transaction items; a candidate whose next item is transaction[i]
+        # lives under hash(transaction[i]).
+        remaining_needed = self._k - node.depth
+        limit = len(transaction) - remaining_needed + 1
+        seen_buckets: set[int] = set()
+        for index in range(start, limit):
+            key = self._hash(transaction[index])
+            if key in seen_buckets:
+                continue
+            seen_buckets.add(key)
+            child = node.children.get(key)
+            if child is not None:
+                self._collect(child, transaction, index + 1, members, matches)
+
+    def _iterate(self, node: _Node) -> Iterator[Itemset]:
+        if node.is_leaf:
+            assert node.bucket is not None
+            yield from node.bucket
+            return
+        assert node.children is not None
+        for child in node.children.values():
+            yield from self._iterate(child)

@@ -1,0 +1,172 @@
+"""Association-rule generation from large itemsets.
+
+The paper (after [1]) decomposes association-rule mining into (1) finding the
+large itemsets and (2) generating the rules from them.  FUP solves the
+maintenance problem for step (1); this module provides step (2) so that the
+library actually delivers maintained *rules*, not just itemsets.
+
+A rule ``X ⇒ Y`` (X, Y disjoint, X ∪ Y large) is *strong* when
+
+* ``support(X ∪ Y) ≥ minsup`` — guaranteed because X ∪ Y is a large itemset,
+* ``confidence = support(X ∪ Y) / support(X) ≥ minconf``.
+
+Besides confidence the module computes the standard interestingness measures
+(lift, leverage, conviction) as a small extension; they are not part of the
+1996 paper but are what a downstream user of a rule-maintenance library
+expects to find.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..errors import InvalidThresholdError
+from ..itemsets import Itemset, format_itemset, proper_subsets
+from .result import ItemsetLattice
+
+__all__ = [
+    "AssociationRule",
+    "generate_rules",
+    "rule_confidence",
+    "rule_lift",
+    "rule_leverage",
+    "rule_conviction",
+]
+
+
+@dataclass(frozen=True)
+class AssociationRule:
+    """One association rule ``antecedent ⇒ consequent`` with its statistics.
+
+    ``support`` and ``confidence`` are fractions in ``[0, 1]``;
+    ``support_count`` is the absolute number of transactions containing
+    ``antecedent ∪ consequent``.
+    """
+
+    antecedent: Itemset
+    consequent: Itemset
+    support: float
+    confidence: float
+    support_count: int
+    lift: float
+    leverage: float
+    conviction: float
+
+    @property
+    def items(self) -> Itemset:
+        """The full itemset ``antecedent ∪ consequent`` the rule was derived from."""
+        return tuple(sorted(set(self.antecedent) | set(self.consequent)))
+
+    def __str__(self) -> str:
+        return (
+            f"{format_itemset(self.antecedent)} => {format_itemset(self.consequent)} "
+            f"(support={self.support:.4f}, confidence={self.confidence:.4f})"
+        )
+
+
+def rule_confidence(joint_support: float, antecedent_support: float) -> float:
+    """``P(Y | X)``: confidence of the rule ``X ⇒ Y``."""
+    if antecedent_support <= 0.0:
+        return 0.0
+    return joint_support / antecedent_support
+
+
+def rule_lift(joint_support: float, antecedent_support: float, consequent_support: float) -> float:
+    """Lift ``P(X ∪ Y) / (P(X)·P(Y))``; 1.0 means independence."""
+    denominator = antecedent_support * consequent_support
+    if denominator <= 0.0:
+        return 0.0
+    return joint_support / denominator
+
+
+def rule_leverage(
+    joint_support: float, antecedent_support: float, consequent_support: float
+) -> float:
+    """Leverage ``P(X ∪ Y) − P(X)·P(Y)``; 0.0 means independence."""
+    return joint_support - antecedent_support * consequent_support
+
+
+def rule_conviction(confidence: float, consequent_support: float) -> float:
+    """Conviction ``(1 − P(Y)) / (1 − confidence)``; ``inf`` for exact rules."""
+    if confidence >= 1.0:
+        return float("inf")
+    return (1.0 - consequent_support) / (1.0 - confidence)
+
+
+def _validate_min_confidence(min_confidence: float) -> float:
+    if not isinstance(min_confidence, (int, float)) or isinstance(min_confidence, bool):
+        raise InvalidThresholdError(
+            f"minimum confidence must be a number, got {min_confidence!r}"
+        )
+    if not 0.0 < float(min_confidence) <= 1.0:
+        raise InvalidThresholdError(
+            f"minimum confidence must be in (0, 1], got {min_confidence!r}"
+        )
+    return float(min_confidence)
+
+
+def generate_rules(
+    lattice: ItemsetLattice,
+    min_confidence: float,
+    max_consequent_size: int | None = None,
+) -> list[AssociationRule]:
+    """Derive every strong rule from the large itemsets in *lattice*.
+
+    Parameters
+    ----------
+    lattice:
+        Large itemsets with support counts (output of any miner or of FUP).
+    min_confidence:
+        Minimum confidence threshold in ``(0, 1]``.
+    max_consequent_size:
+        Optional cap on the consequent size (``None`` generates every split).
+
+    Returns
+    -------
+    list[AssociationRule]
+        Rules sorted by descending confidence, then descending support.
+    """
+    min_confidence = _validate_min_confidence(min_confidence)
+    rules = list(_iter_rules(lattice, min_confidence, max_consequent_size))
+    rules.sort(key=lambda rule: (-rule.confidence, -rule.support, rule.antecedent))
+    return rules
+
+
+def _iter_rules(
+    lattice: ItemsetLattice,
+    min_confidence: float,
+    max_consequent_size: int | None,
+) -> Iterator[AssociationRule]:
+    database_size = lattice.database_size
+    if database_size <= 0:
+        return
+    for joint in lattice.itemsets():
+        if len(joint) < 2:
+            continue
+        joint_count = lattice.support_count(joint)
+        joint_support = joint_count / database_size
+        for antecedent in proper_subsets(joint):
+            consequent = tuple(item for item in joint if item not in antecedent)
+            if max_consequent_size is not None and len(consequent) > max_consequent_size:
+                continue
+            antecedent_count = lattice.support_count(antecedent)
+            if antecedent_count <= 0:
+                # The lattice violates downward closure; skip rather than emit
+                # a rule with undefined confidence.
+                continue
+            confidence = joint_count / antecedent_count
+            if confidence < min_confidence:
+                continue
+            antecedent_support = antecedent_count / database_size
+            consequent_support = lattice.support_count(consequent) / database_size
+            yield AssociationRule(
+                antecedent=antecedent,
+                consequent=consequent,
+                support=joint_support,
+                confidence=confidence,
+                support_count=joint_count,
+                lift=rule_lift(joint_support, antecedent_support, consequent_support),
+                leverage=rule_leverage(joint_support, antecedent_support, consequent_support),
+                conviction=rule_conviction(confidence, consequent_support),
+            )

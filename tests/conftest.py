@@ -1,0 +1,190 @@
+"""Shared fixtures for the test suite.
+
+The fixtures fall into three groups:
+
+* tiny hand-written databases whose large itemsets can be verified by eye,
+* the two worked examples of the paper (Examples 1 and 2 of Section 3), and
+* deterministic random-database factories used by the integration and
+  property-style tests to cross-check the algorithms against each other.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable
+
+import pytest
+
+from repro import TransactionDatabase
+from repro.mining.result import ItemsetLattice
+
+
+@pytest.fixture
+def small_database() -> TransactionDatabase:
+    """Nine transactions over five items with obvious frequent pairs."""
+    return TransactionDatabase(
+        [
+            [1, 2, 3],
+            [1, 2],
+            [1, 2, 4],
+            [2, 3],
+            [1, 3],
+            [2, 4],
+            [1, 2, 3],
+            [3, 4],
+            [1, 2, 3, 4],
+        ],
+        name="small",
+    )
+
+
+@pytest.fixture
+def small_increment() -> TransactionDatabase:
+    """A three-transaction increment for the small database."""
+    return TransactionDatabase([[1, 4], [1, 2, 4], [4, 5]], name="small-increment")
+
+
+@pytest.fixture
+def random_database_factory() -> Callable[..., TransactionDatabase]:
+    """Factory producing reproducible random databases.
+
+    ``factory(transactions, items, max_size, seed)`` returns a database of the
+    requested shape; the default arguments give a database that is small
+    enough for brute-force verification yet rich enough to exercise several
+    itemset levels.
+    """
+
+    def factory(
+        transactions: int = 200,
+        items: int = 15,
+        max_size: int = 8,
+        seed: int = 7,
+        name: str = "random",
+    ) -> TransactionDatabase:
+        rng = random.Random(seed)
+        universe = list(range(items))
+        rows = [
+            rng.sample(universe, rng.randint(1, max_size))
+            for _ in range(transactions)
+        ]
+        return TransactionDatabase(rows, name=name)
+
+    return factory
+
+
+# --------------------------------------------------------------------- #
+# Paper Example 1 (Section 3.1)
+# --------------------------------------------------------------------- #
+# D = 1000, d = 100, s = 3%.  Items I1..I4 are encoded as 1..4.
+# L1 = {I1, I2} with supports 32 and 31.  In the increment, I1 appears 4
+# times, I2 once, I3 six times and I4 twice; I3 has support 28 in DB.
+# Expected: I2 becomes a loser, I4 is pruned from the candidates, I3 becomes a
+# new large 1-itemset, so L'1 = {I1, I3}.
+
+
+def _example1_original() -> TransactionDatabase:
+    """A 1000-transaction database realising Example 1's support counts."""
+    transactions: list[list[int]] = []
+    transactions.extend([[1]] * 32)       # I1.supportD = 32
+    transactions.extend([[2]] * 31)       # I2.supportD = 31
+    transactions.extend([[3]] * 28)       # I3.supportD = 28
+    filler = 1000 - len(transactions)
+    transactions.extend([[9]] * filler)   # item 9 pads the database to D=1000
+    return TransactionDatabase(transactions, name="example1-DB")
+
+
+def _example1_increment() -> TransactionDatabase:
+    """A 100-transaction increment realising Example 1's increment counts."""
+    transactions: list[list[int]] = []
+    transactions.extend([[1]] * 4)        # I1.supportd = 4
+    transactions.extend([[2]] * 1)        # I2.supportd = 1
+    transactions.extend([[3]] * 6)        # I3.supportd = 6
+    transactions.extend([[4]] * 2)        # I4.supportd = 2
+    filler = 100 - len(transactions)
+    transactions.extend([[9]] * filler)
+    return TransactionDatabase(transactions, name="example1-db")
+
+
+@pytest.fixture
+def example1() -> dict[str, object]:
+    """The paper's Example 1: databases, old lattice, threshold."""
+    original = _example1_original()
+    lattice = ItemsetLattice(database_size=len(original))
+    lattice.add((1,), 32)
+    lattice.add((2,), 31)
+    # Item 9 pads the database and is also large in DB; recording it keeps the
+    # old lattice honest (FUP must also re-examine it).
+    lattice.add((9,), original.count_itemset((9,)))
+    return {
+        "original": original,
+        "increment": _example1_increment(),
+        "old_lattice": lattice,
+        "min_support": 0.03,
+    }
+
+
+# --------------------------------------------------------------------- #
+# Paper Example 2 (Section 3.2)
+# --------------------------------------------------------------------- #
+# D = 1000, d = 100, s = 3%.  L1 = {I1, I2, I3}, L2 = {I1I2, I2I3} with
+# I1I2.supportD = 50 and I2I3.supportD = 31.  After the first FUP iteration
+# L'1 = {I1, I2, I4} (I3 is a loser, I4 is a new winner).  In the increment
+# I1I2 appears 3 times, I1I4 five times and I2I4 twice.  Expected
+# L'2 = {I1I2, I1I4}: I2I3 is filtered by Lemma 3, I2I4 is pruned by its
+# increment support, and I1I4 is the new large 2-itemset.
+
+
+def _example2_original() -> TransactionDatabase:
+    """A 1000-transaction database realising Example 2's support counts.
+
+    The counts are arranged so that, at s = 3% (threshold 30 in DB):
+
+    * L1 = {I1, I2, I3} and L2 = {I1I2, I2I3} hold in DB,
+    * I1I2 has support 50 and I2I3 support 31 in DB (the paper's numbers),
+    * I1I4 has support 29 in DB, so neither I4 nor I1I4 is large there.
+      (The paper states 30, but a support of 30 would make I4 large in DB,
+      contradicting L1 = {I1, I2, I3}; 29 keeps the instance consistent while
+      preserving every conclusion of the example.)
+    """
+    transactions: list[list[int]] = []
+    transactions.extend([[1, 2]] * 50)       # I1I2 pairs
+    transactions.extend([[2, 3]] * 31)       # I2I3 pairs; I3 support = 31
+    transactions.extend([[1, 4]] * 29)       # I1I4 pairs (I4 small overall)
+    filler = 1000 - len(transactions)
+    transactions.extend([[9]] * filler)
+    return TransactionDatabase(transactions, name="example2-DB")
+
+
+def _example2_increment() -> TransactionDatabase:
+    """A 100-transaction increment realising Example 2's increment counts.
+
+    In the increment: I1 appears often enough to stay large, I2 stays large,
+    I3 almost vanishes (it becomes a loser), I4 appears 34 times so it becomes
+    a new large 1-itemset, I1I2 appears 3 times, I1I4 five times and I2I4
+    twice.
+    """
+    transactions: list[list[int]] = []
+    transactions.extend([[1, 2]] * 3)        # I1I2.supportd = 3
+    transactions.extend([[1, 4]] * 5)        # I1I4.supportd = 5
+    transactions.extend([[2, 4]] * 2)        # I2I4.supportd = 2
+    transactions.extend([[4]] * 27)          # I4 alone: total I4.supportd = 34
+    transactions.extend([[1]] * 10)          # keep I1 comfortably large
+    transactions.extend([[2]] * 10)          # keep I2 comfortably large
+    filler = 100 - len(transactions)
+    transactions.extend([[9]] * filler)
+    return TransactionDatabase(transactions, name="example2-db")
+
+
+@pytest.fixture
+def example2() -> dict[str, object]:
+    """The paper's Example 2: databases, old lattice, threshold."""
+    original = _example2_original()
+    lattice = ItemsetLattice(database_size=len(original))
+    for candidate in [(1,), (2,), (3,), (9,), (1, 2), (2, 3)]:
+        lattice.add(candidate, original.count_itemset(candidate))
+    return {
+        "original": original,
+        "increment": _example2_increment(),
+        "old_lattice": lattice,
+        "min_support": 0.03,
+    }

@@ -1,0 +1,168 @@
+"""Unit and equivalence tests for the FUP2-style generalised updater."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import AprioriMiner, Fup2Updater, TransactionDatabase, update_with_fup2
+from repro.errors import StaleStateError
+
+
+def tail_split(database: TransactionDatabase, count: int):
+    """Return (head, tail) where tail holds the last *count* transactions."""
+    cut = len(database) - count
+    return database.slice(0, cut), database.slice(cut)
+
+
+class TestInsertOnly:
+    """With no deletions, FUP2 must agree with FUP and with re-mining."""
+
+    def test_matches_remining(self, small_database, small_increment):
+        support = 0.3
+        initial = AprioriMiner(support).mine(small_database)
+        result = Fup2Updater(support).update(
+            small_database, initial, small_increment, TransactionDatabase()
+        )
+        remined = AprioriMiner(support).mine(small_database.concatenate(small_increment))
+        assert result.lattice.supports() == remined.lattice.supports()
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_databases(self, random_database_factory, seed):
+        database = random_database_factory(transactions=220, items=14, seed=seed)
+        original, increment = tail_split(database, 40)
+        support = 0.09
+        initial = AprioriMiner(support).mine(original)
+        result = Fup2Updater(support).update(original, initial, increment, TransactionDatabase())
+        remined = AprioriMiner(support).mine(database)
+        assert result.lattice.supports() == remined.lattice.supports()
+
+
+class TestDeleteOnly:
+    def test_matches_remining_on_remainder(self, random_database_factory):
+        database = random_database_factory(transactions=250, items=14, seed=5)
+        support = 0.08
+        initial = AprioriMiner(support).mine(database)
+        keep, deleted = tail_split(database, 60)
+        result = Fup2Updater(support).update(
+            database, initial, TransactionDatabase(), deleted
+        )
+        remined = AprioriMiner(support).mine(keep)
+        assert result.lattice.supports() == remined.lattice.supports()
+
+    def test_insert_then_delete_roundtrip(self, random_database_factory):
+        # Applying an increment with FUP2 and then deleting the same
+        # transactions must restore the original mined state exactly.
+        original = random_database_factory(transactions=200, items=12, seed=6)
+        increment = random_database_factory(transactions=50, items=12, seed=7)
+        support = 0.1
+        initial = AprioriMiner(support).mine(original)
+        after_insert = Fup2Updater(support).update(
+            original, initial, increment, TransactionDatabase()
+        )
+        combined = original.concatenate(increment)
+        after_delete = Fup2Updater(support).update(
+            combined, after_insert, TransactionDatabase(), increment
+        )
+        assert after_delete.lattice.supports() == initial.lattice.supports()
+
+    def test_deletion_can_create_new_winners(self):
+        # Item 5 is just below the threshold; deleting transactions that do
+        # not contain it raises its relative support above the threshold.
+        original = TransactionDatabase([[5]] * 4 + [[1, 2]] * 6)
+        support = 0.5
+        initial = AprioriMiner(support).mine(original)
+        assert (5,) not in initial.lattice
+        deletions = TransactionDatabase([[1, 2]] * 4)
+        result = Fup2Updater(support).update(
+            original, initial, TransactionDatabase(), deletions
+        )
+        assert (5,) in result.lattice
+        remined = AprioriMiner(support).mine(TransactionDatabase([[5]] * 4 + [[1, 2]] * 2))
+        assert result.lattice.supports() == remined.lattice.supports()
+
+    def test_delete_everything(self, small_database):
+        support = 0.3
+        initial = AprioriMiner(support).mine(small_database)
+        result = Fup2Updater(support).update(
+            small_database, initial, TransactionDatabase(), small_database.copy()
+        )
+        assert len(result.lattice) == 0
+        assert result.database_size == 0
+
+
+class TestMixedBatches:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_simultaneous_insert_and_delete(self, random_database_factory, seed):
+        database = random_database_factory(transactions=260, items=15, seed=seed + 20)
+        original, deletions = tail_split(database, 40)
+        # Delete 40 existing transactions while inserting 55 new ones.
+        insertions = random_database_factory(transactions=55, items=15, seed=seed + 50)
+        support = 0.09
+        initial = AprioriMiner(support).mine(database)
+        result = Fup2Updater(support).update(database, initial, insertions, deletions)
+        expected_database = original.concatenate(insertions)
+        remined = AprioriMiner(support).mine(expected_database)
+        assert result.lattice.supports() == remined.lattice.supports()
+
+    def test_modification_as_delete_plus_insert(self):
+        # "Modify" the last two transactions by deleting the old versions and
+        # inserting replacements.
+        original = TransactionDatabase([[1, 2]] * 5 + [[3, 4]] * 2)
+        support = 0.25
+        initial = AprioriMiner(support).mine(original)
+        result = Fup2Updater(support).update(
+            original,
+            initial,
+            TransactionDatabase([[1, 3]] * 2),
+            TransactionDatabase([[3, 4]] * 2),
+        )
+        remined = AprioriMiner(support).mine(TransactionDatabase([[1, 2]] * 5 + [[1, 3]] * 2))
+        assert result.lattice.supports() == remined.lattice.supports()
+
+    def test_empty_update_is_identity(self, small_database):
+        support = 0.3
+        initial = AprioriMiner(support).mine(small_database)
+        result = Fup2Updater(support).update(
+            small_database, initial, TransactionDatabase(), TransactionDatabase()
+        )
+        assert result.lattice.supports() == initial.lattice.supports()
+
+    def test_convenience_wrapper(self, small_database, small_increment):
+        support = 0.3
+        initial = AprioriMiner(support).mine(small_database)
+        direct = Fup2Updater(support).update(
+            small_database, initial, small_increment, TransactionDatabase()
+        )
+        wrapped = update_with_fup2(
+            small_database, initial, small_increment, TransactionDatabase(), support
+        )
+        assert direct.lattice.supports() == wrapped.lattice.supports()
+
+
+class TestFup2Validation:
+    def test_rejects_stale_database_size(self, small_database, small_increment):
+        initial = AprioriMiner(0.3).mine(small_database)
+        grown = small_database.copy()
+        grown.append([1])
+        with pytest.raises(StaleStateError):
+            Fup2Updater(0.3).update(grown, initial, small_increment, TransactionDatabase())
+
+    def test_rejects_changed_support(self, small_database, small_increment):
+        initial = AprioriMiner(0.3).mine(small_database)
+        with pytest.raises(StaleStateError):
+            Fup2Updater(0.2).update(
+                small_database, initial, small_increment, TransactionDatabase()
+            )
+
+    def test_rejects_oversized_deletion_batch(self, small_database):
+        initial = AprioriMiner(0.3).mine(small_database)
+        too_many = TransactionDatabase([[1]] * (len(small_database) + 1))
+        with pytest.raises(StaleStateError):
+            Fup2Updater(0.3).update(small_database, initial, TransactionDatabase(), too_many)
+
+    def test_algorithm_label(self, small_database, small_increment):
+        initial = AprioriMiner(0.3).mine(small_database)
+        result = Fup2Updater(0.3).update(
+            small_database, initial, small_increment, TransactionDatabase()
+        )
+        assert result.algorithm == "fup2"

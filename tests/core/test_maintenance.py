@@ -1,0 +1,172 @@
+"""Unit and integration tests for the RuleMaintainer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    AprioriMiner,
+    RuleMaintainer,
+    TransactionDatabase,
+    UpdateBatch,
+    generate_rules,
+)
+from repro.errors import EmptyDatabaseError, InvalidThresholdError
+
+
+@pytest.fixture
+def maintainer(small_database) -> RuleMaintainer:
+    maintainer = RuleMaintainer(min_support=0.3, min_confidence=0.6)
+    maintainer.initialise(small_database)
+    return maintainer
+
+
+class TestInitialisation:
+    def test_initial_state_matches_apriori(self, small_database, maintainer):
+        expected = AprioriMiner(0.3).mine(small_database)
+        assert maintainer.result.lattice.supports() == expected.lattice.supports()
+        assert maintainer.rules == generate_rules(expected.lattice, 0.6)
+
+    def test_initialise_accepts_raw_transactions(self):
+        maintainer = RuleMaintainer(0.5, 0.5)
+        maintainer.initialise([[1, 2], [1, 2], [3]])
+        assert (1, 2) in maintainer.result.lattice
+
+    def test_initialise_with_dhp(self, small_database):
+        maintainer = RuleMaintainer(0.3, 0.6, miner="dhp")
+        maintainer.initialise(small_database)
+        expected = AprioriMiner(0.3).mine(small_database)
+        assert maintainer.result.lattice.supports() == expected.lattice.supports()
+
+    def test_uninitialised_access_raises(self):
+        maintainer = RuleMaintainer(0.3, 0.6)
+        assert not maintainer.is_initialised
+        with pytest.raises(EmptyDatabaseError):
+            _ = maintainer.result
+        with pytest.raises(EmptyDatabaseError):
+            _ = maintainer.database
+        with pytest.raises(EmptyDatabaseError):
+            _ = maintainer.rules
+
+    def test_initialise_copies_the_database(self, small_database):
+        maintainer = RuleMaintainer(0.3, 0.6)
+        maintainer.initialise(small_database)
+        maintainer.add_transactions([[9, 9]])
+        assert len(small_database) == 9  # caller's database untouched
+
+    def test_validation_of_thresholds(self):
+        with pytest.raises(InvalidThresholdError):
+            RuleMaintainer(0.0, 0.5)
+        with pytest.raises(InvalidThresholdError):
+            RuleMaintainer(0.5, 1.5)
+
+    def test_validation_of_miner_name(self):
+        with pytest.raises(ValueError):
+            RuleMaintainer(0.5, 0.5, miner="eclat")
+
+    def test_validation_of_remine_factor(self):
+        with pytest.raises(ValueError):
+            RuleMaintainer(0.5, 0.5, remine_increment_factor=0)
+
+
+class TestInsertions:
+    def test_insert_only_uses_fup(self, maintainer, small_increment):
+        report = maintainer.add_transactions(list(small_increment), label="batch-1")
+        assert report.algorithm == "fup"
+        assert report.inserted_transactions == len(small_increment)
+        assert report.database_size == 9 + len(small_increment)
+
+    def test_state_matches_full_remine_after_insert(self, maintainer, small_database, small_increment):
+        maintainer.add_transactions(list(small_increment))
+        remined = AprioriMiner(0.3).mine(small_database.concatenate(small_increment))
+        assert maintainer.result.lattice.supports() == remined.lattice.supports()
+        assert maintainer.rules == generate_rules(remined.lattice, 0.6)
+
+    def test_successive_increments(self, random_database_factory):
+        database = random_database_factory(transactions=240, items=14, seed=2)
+        maintainer = RuleMaintainer(0.1, 0.5)
+        maintainer.initialise(database.slice(0, 120))
+        for start in (120, 160, 200):
+            maintainer.add_transactions(list(database.slice(start, start + 40)))
+        remined = AprioriMiner(0.1).mine(database)
+        assert maintainer.result.lattice.supports() == remined.lattice.supports()
+
+    def test_report_tracks_new_and_lost_itemsets(self, maintainer):
+        # The increment floods the database with item 7, creating new large
+        # itemsets and demoting the old ones.
+        report = maintainer.add_transactions([[7, 8]] * 30)
+        assert (7,) in report.itemsets_added
+        assert report.itemsets_removed  # old itemsets fell below threshold
+        assert report.itemsets_changed
+
+    def test_report_tracks_rule_changes(self, maintainer):
+        report = maintainer.add_transactions([[7, 8]] * 30)
+        assert any(rule.items == (7, 8) for rule in report.rules_added)
+        assert report.rules_changed
+
+    def test_remine_fallback_for_huge_increment(self, small_database):
+        maintainer = RuleMaintainer(0.3, 0.6, remine_increment_factor=1.0)
+        maintainer.initialise(small_database)
+        report = maintainer.add_transactions([[1, 2]] * 30)  # > 1x database size
+        assert report.algorithm == "remine-apriori"
+        remined = AprioriMiner(0.3).mine(maintainer.database)
+        assert maintainer.result.lattice.supports() == remined.lattice.supports()
+
+
+class TestDeletions:
+    def test_delete_only_uses_fup2(self, maintainer, small_database):
+        report = maintainer.remove_transactions([list(small_database[0])], label="gc")
+        assert report.algorithm == "fup2"
+        assert report.deleted_transactions == 1
+        assert report.database_size == 8
+
+    def test_state_matches_remine_after_delete(self, maintainer, small_database):
+        maintainer.remove_transactions([list(small_database[0])])
+        remined = AprioriMiner(0.3).mine(small_database.slice(1))
+        assert maintainer.result.lattice.supports() == remined.lattice.supports()
+
+    def test_mixed_batch(self, maintainer, small_database):
+        batch = UpdateBatch.from_iterables(
+            insertions=[[1, 4], [1, 4], [2, 4]],
+            deletions=[list(small_database[0])],
+            label="mixed",
+        )
+        report = maintainer.apply(batch)
+        assert report.algorithm == "fup2"
+        expected = small_database.slice(1).concatenate(
+            TransactionDatabase([[1, 4], [1, 4], [2, 4]])
+        )
+        remined = AprioriMiner(0.3).mine(expected)
+        assert maintainer.result.lattice.supports() == remined.lattice.supports()
+
+
+class TestBookkeeping:
+    def test_empty_batch_is_noop(self, maintainer):
+        before = maintainer.result.lattice.supports()
+        report = maintainer.apply(UpdateBatch())
+        assert report.algorithm == "noop"
+        assert maintainer.result.lattice.supports() == before
+
+    def test_update_log_records_batches(self, maintainer, small_increment):
+        maintainer.add_transactions(list(small_increment), label="a")
+        maintainer.remove_transactions([[1, 2, 3]], label="b")
+        assert len(maintainer.update_log) == 2
+        assert [batch.label for batch in maintainer.update_log] == ["a", "b"]
+        assert maintainer.update_log.total_insertions == len(small_increment)
+        assert maintainer.update_log.total_deletions == 1
+
+    def test_report_summary_fields(self, maintainer, small_increment):
+        report = maintainer.add_transactions(list(small_increment), label="day-1")
+        summary = report.summary()
+        assert summary["batch"] == "day-1"
+        assert summary["inserted"] == len(small_increment)
+        assert summary["deleted"] == 0
+        assert summary["database_size"] == maintainer.database.size
+
+    def test_large_itemsets_property(self, maintainer):
+        assert maintainer.large_itemsets == maintainer.result.large_itemsets
+
+    def test_rules_property_returns_copy(self, maintainer):
+        rules = maintainer.rules
+        rules.clear()
+        assert maintainer.rules  # internal list unaffected

@@ -1,0 +1,143 @@
+"""The paper's worked examples (Section 3.1 Example 1, Section 3.2 Example 2).
+
+The fixtures in ``conftest.py`` build concrete databases realising the support
+counts the paper assumes; these tests check that FUP reaches exactly the
+conclusions the paper walks through.
+"""
+
+from __future__ import annotations
+
+from repro import AprioriMiner, FupUpdater
+
+I1, I2, I3, I4 = 1, 2, 3, 4
+
+
+class TestExample1:
+    """First iteration: losers, candidate pruning, new winners (Section 3.1)."""
+
+    def test_setup_matches_the_paper(self, example1):
+        original = example1["original"]
+        increment = example1["increment"]
+        assert len(original) == 1000
+        assert len(increment) == 100
+        assert original.count_itemset((I1,)) == 32
+        assert original.count_itemset((I2,)) == 31
+        assert original.count_itemset((I3,)) == 28
+        assert increment.count_itemset((I1,)) == 4
+        assert increment.count_itemset((I2,)) == 1
+        assert increment.count_itemset((I3,)) == 6
+        assert increment.count_itemset((I4,)) == 2
+
+    def test_i1_stays_large(self, example1):
+        result = FupUpdater(example1["min_support"]).update(
+            example1["original"], example1["old_lattice"], example1["increment"]
+        )
+        assert (I1,) in result.lattice
+        assert result.support_count((I1,)) == 36  # 32 + 4, as in the paper
+
+    def test_i2_becomes_a_loser(self, example1):
+        result = FupUpdater(example1["min_support"]).update(
+            example1["original"], example1["old_lattice"], example1["increment"]
+        )
+        assert (I2,) not in result.lattice  # 32 < 33 = 3% of 1100
+
+    def test_i3_becomes_a_new_winner(self, example1):
+        result = FupUpdater(example1["min_support"]).update(
+            example1["original"], example1["old_lattice"], example1["increment"]
+        )
+        assert (I3,) in result.lattice
+        assert result.support_count((I3,)) == 34  # 28 + 6, as in the paper
+
+    def test_i4_is_pruned_before_the_database_scan(self, example1):
+        # I4 appears only twice in the increment (< 3% of 100), so Lemma 2
+        # removes it from the candidate set and it never becomes large.
+        result = FupUpdater(example1["min_support"]).update(
+            example1["original"], example1["old_lattice"], example1["increment"]
+        )
+        assert (I4,) not in result.lattice
+
+    def test_fup_matches_remining(self, example1):
+        support = example1["min_support"]
+        updated = example1["original"].concatenate(example1["increment"])
+        fup = FupUpdater(support).update(
+            example1["original"], example1["old_lattice"], example1["increment"]
+        )
+        remined = AprioriMiner(support).mine(updated)
+        assert fup.lattice.supports() == remined.lattice.supports()
+
+
+class TestExample2:
+    """Second iteration: Lemma 3 filtering and new size-2 winners (Section 3.2)."""
+
+    def test_setup_matches_the_paper(self, example2):
+        original = example2["original"]
+        increment = example2["increment"]
+        assert len(original) == 1000
+        assert len(increment) == 100
+        assert original.count_itemset((I1, I2)) == 50
+        assert original.count_itemset((I2, I3)) == 31
+        assert increment.count_itemset((I1, I2)) == 3
+        assert increment.count_itemset((I1, I4)) == 5
+        assert increment.count_itemset((I2, I4)) == 2
+        # Old mined state is exactly L1 = {I1, I2, I3, filler} and
+        # L2 = {I1I2, I2I3}, as the example assumes.
+        old = example2["old_lattice"]
+        assert (I1, I2) in old
+        assert (I2, I3) in old
+        assert (I1, I4) not in old
+
+    def test_new_level_one_winners(self, example2):
+        result = FupUpdater(example2["min_support"]).update(
+            example2["original"], example2["old_lattice"], example2["increment"]
+        )
+        level_one = result.level(1)
+        assert (I1,) in level_one
+        assert (I2,) in level_one
+        assert (I4,) in level_one  # new winner found from the increment
+        assert (I3,) not in level_one  # loser
+
+    def test_i2i3_is_filtered_as_a_loser(self, example2):
+        # I3 is a level-1 loser, so Lemma 3 discards I2I3 without counting.
+        result = FupUpdater(example2["min_support"]).update(
+            example2["original"], example2["old_lattice"], example2["increment"]
+        )
+        assert (I2, I3) not in result.lattice
+
+    def test_i1i2_stays_large(self, example2):
+        result = FupUpdater(example2["min_support"]).update(
+            example2["original"], example2["old_lattice"], example2["increment"]
+        )
+        assert (I1, I2) in result.lattice
+        assert result.support_count((I1, I2)) == 53  # 50 + 3, as in the paper
+
+    def test_i1i4_is_the_new_size_two_winner(self, example2):
+        result = FupUpdater(example2["min_support"]).update(
+            example2["original"], example2["old_lattice"], example2["increment"]
+        )
+        assert (I1, I4) in result.lattice
+        assert result.support_count((I1, I4)) == 34  # 29 in DB + 5 in db
+
+    def test_i2i4_is_pruned_by_its_increment_support(self, example2):
+        # I2I4 occurs only twice in the increment (< 3), so Lemma 5 prunes it.
+        result = FupUpdater(example2["min_support"]).update(
+            example2["original"], example2["old_lattice"], example2["increment"]
+        )
+        assert (I2, I4) not in result.lattice
+
+    def test_final_level_two_matches_the_example(self, example2):
+        result = FupUpdater(example2["min_support"]).update(
+            example2["original"], example2["old_lattice"], example2["increment"]
+        )
+        level_two = {
+            candidate for candidate in result.level(2) if set(candidate) <= {I1, I2, I3, I4}
+        }
+        assert level_two == {(I1, I2), (I1, I4)}
+
+    def test_fup_matches_remining(self, example2):
+        support = example2["min_support"]
+        updated = example2["original"].concatenate(example2["increment"])
+        fup = FupUpdater(support).update(
+            example2["original"], example2["old_lattice"], example2["increment"]
+        )
+        remined = AprioriMiner(support).mine(updated)
+        assert fup.lattice.supports() == remined.lattice.supports()

@@ -1,0 +1,122 @@
+"""Unit tests for the potentially-large-itemset pool."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.datagen.patterns import PatternPool, PotentialItemset
+from repro.errors import GeneratorConfigError
+
+
+class TestPotentialItemset:
+    def test_valid_pattern(self):
+        pattern = PotentialItemset(items=(1, 2, 3), weight=0.5, corruption=0.3)
+        assert pattern.items == (1, 2, 3)
+
+    def test_rejects_empty_items(self):
+        with pytest.raises(GeneratorConfigError):
+            PotentialItemset(items=(), weight=0.5, corruption=0.3)
+
+    def test_rejects_negative_weight(self):
+        with pytest.raises(GeneratorConfigError):
+            PotentialItemset(items=(1,), weight=-0.1, corruption=0.3)
+
+    def test_rejects_bad_corruption(self):
+        with pytest.raises(GeneratorConfigError):
+            PotentialItemset(items=(1,), weight=0.1, corruption=1.0)
+
+
+class TestPatternPool:
+    def _pool(self, **overrides) -> PatternPool:
+        params = {
+            "rng": random.Random(3),
+            "item_count": 100,
+            "pool_size": 50,
+            "mean_pattern_size": 4.0,
+        }
+        params.update(overrides)
+        return PatternPool(**params)
+
+    def test_pool_size(self):
+        assert len(self._pool()) == 50
+
+    def test_items_are_within_universe(self):
+        pool = self._pool(item_count=20)
+        for pattern in pool.patterns:
+            assert all(0 <= item < 20 for item in pattern.items)
+
+    def test_patterns_are_canonical(self):
+        pool = self._pool()
+        for pattern in pool.patterns:
+            assert list(pattern.items) == sorted(set(pattern.items))
+
+    def test_weights_sum_to_one(self):
+        pool = self._pool()
+        assert sum(pattern.weight for pattern in pool.patterns) == pytest.approx(1.0)
+
+    def test_mean_pattern_size_is_respected(self):
+        pool = self._pool(pool_size=400, mean_pattern_size=4.0)
+        mean = sum(len(pattern.items) for pattern in pool.patterns) / len(pool)
+        assert 2.5 < mean < 5.5
+
+    def test_correlation_produces_overlap(self):
+        pool = self._pool(pool_size=200, correlation=0.9)
+        overlaps = 0
+        for previous, current in zip(pool.patterns, pool.patterns[1:]):
+            if set(previous.items) & set(current.items):
+                overlaps += 1
+        # With 90% correlation a clear majority of consecutive pairs overlap.
+        assert overlaps > len(pool) / 2
+
+    def test_zero_correlation_allowed(self):
+        pool = self._pool(correlation=0.0)
+        assert len(pool) == 50
+
+    def test_sampling_follows_weights(self):
+        pool = self._pool(pool_size=10)
+        counts = {index: 0 for index in range(10)}
+        index_of = {pattern.items: index for index, pattern in enumerate(pool.patterns)}
+        for _ in range(3000):
+            counts[index_of[pool.sample().items]] += 1
+        heaviest = max(range(10), key=lambda index: pool.patterns[index].weight)
+        lightest = min(range(10), key=lambda index: pool.patterns[index].weight)
+        assert counts[heaviest] > counts[lightest]
+
+    def test_planted_items_subset_of_pattern(self):
+        pool = self._pool()
+        pattern = pool.patterns[0]
+        for _ in range(20):
+            assert set(pool.planted_items(pattern)) <= set(pattern.items)
+
+    def test_item_skew_biases_toward_low_item_ids(self):
+        uniform = self._pool(item_skew=0.0, pool_size=300, correlation=0.0)
+        skewed = self._pool(item_skew=2.0, pool_size=300, correlation=0.0)
+
+        def mean_item(pool: PatternPool) -> float:
+            items = [item for pattern in pool.patterns for item in pattern.items]
+            return sum(items) / len(items)
+
+        assert mean_item(skewed) < mean_item(uniform) * 0.7
+
+    def test_zero_skew_spreads_items_evenly(self):
+        pool = self._pool(item_skew=0.0, pool_size=500, correlation=0.0, item_count=10)
+        counts = {}
+        for pattern in pool.patterns:
+            for item in pattern.items:
+                counts[item] = counts.get(item, 0) + 1
+        # Every item of a 10-item universe should appear somewhere in 500 patterns.
+        assert len(counts) == 10
+
+    def test_validation(self):
+        with pytest.raises(GeneratorConfigError):
+            self._pool(item_count=0)
+        with pytest.raises(GeneratorConfigError):
+            self._pool(pool_size=0)
+        with pytest.raises(GeneratorConfigError):
+            self._pool(mean_pattern_size=0.5)
+        with pytest.raises(GeneratorConfigError):
+            self._pool(correlation=1.5)
+        with pytest.raises(GeneratorConfigError):
+            self._pool(item_skew=-0.5)

@@ -1,0 +1,151 @@
+"""Unit tests for the Tx.Iy.Dm.dn synthetic data generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import SyntheticConfig, SyntheticDataGenerator, compute_stats, generate_database
+from repro.errors import GeneratorConfigError
+
+
+@pytest.fixture(scope="module")
+def small_config() -> SyntheticConfig:
+    return SyntheticConfig(
+        database_size=800,
+        increment_size=200,
+        mean_transaction_size=8.0,
+        mean_pattern_size=3.0,
+        pattern_count=100,
+        item_count=120,
+        seed=5,
+    )
+
+
+@pytest.fixture(scope="module")
+def generated(small_config):
+    return SyntheticDataGenerator(small_config).generate()
+
+
+class TestSyntheticConfig:
+    def test_name_follows_paper_notation(self):
+        config = SyntheticConfig(
+            database_size=100_000,
+            increment_size=1_000,
+            mean_transaction_size=10,
+            mean_pattern_size=4,
+        )
+        assert config.name == "T10.I4.D100.d1"
+
+    def test_name_for_non_kilo_sizes(self):
+        config = SyntheticConfig(database_size=500, increment_size=250)
+        assert "D0.5" in config.name
+        assert "d0.25" in config.name
+
+    def test_with_increment_size(self, small_config):
+        changed = small_config.with_increment_size(999)
+        assert changed.increment_size == 999
+        assert changed.database_size == small_config.database_size
+
+    def test_with_database_size(self, small_config):
+        assert small_config.with_database_size(42).database_size == 42
+
+    @pytest.mark.parametrize(
+        "field, value",
+        [
+            ("database_size", -1),
+            ("increment_size", -5),
+            ("mean_transaction_size", 0),
+            ("mean_pattern_size", 0),
+            ("pattern_count", 0),
+            ("item_count", 0),
+            ("clustering_size", 0),
+            ("pool_size", 0),
+            ("item_skew", -1.0),
+        ],
+    )
+    def test_validation(self, field, value):
+        with pytest.raises(GeneratorConfigError):
+            SyntheticConfig(**{field: value})
+
+    def test_item_skew_concentrates_support_on_head_items(self, small_config):
+        skewed_config = SyntheticConfig(**{**small_config.__dict__, "item_skew": 2.0})
+        flat_config = SyntheticConfig(**{**small_config.__dict__, "item_skew": 0.0})
+        skewed, _ = SyntheticDataGenerator(skewed_config).generate()
+        flat, _ = SyntheticDataGenerator(flat_config).generate()
+
+        def top_item_share(database) -> float:
+            counts = database.item_counts()
+            total = sum(counts.values())
+            top = sorted(counts.values(), reverse=True)[:10]
+            return sum(top) / total
+
+        assert top_item_share(skewed) > top_item_share(flat)
+
+
+class TestGeneratedData:
+    def test_sizes_match_config(self, small_config, generated):
+        original, increment = generated
+        assert len(original) == small_config.database_size
+        assert len(increment) == small_config.increment_size
+
+    def test_items_within_universe(self, small_config, generated):
+        original, increment = generated
+        assert all(0 <= item < small_config.item_count for item in original.items())
+        assert all(0 <= item < small_config.item_count for item in increment.items())
+
+    def test_mean_transaction_size_close_to_target(self, small_config, generated):
+        original, _ = generated
+        stats = compute_stats(original)
+        assert stats.mean_transaction_size == pytest.approx(
+            small_config.mean_transaction_size, rel=0.35
+        )
+
+    def test_increment_follows_same_distribution(self, small_config, generated):
+        # The paper builds DB and db from one generation run precisely so they
+        # share the statistical pattern; the mean sizes should be close.
+        original, increment = generated
+        original_mean = compute_stats(original).mean_transaction_size
+        increment_mean = compute_stats(increment).mean_transaction_size
+        assert increment_mean == pytest.approx(original_mean, rel=0.25)
+
+    def test_deterministic_for_same_seed(self, small_config):
+        first = SyntheticDataGenerator(small_config).generate()
+        second = SyntheticDataGenerator(small_config).generate()
+        assert list(first[0]) == list(second[0])
+        assert list(first[1]) == list(second[1])
+
+    def test_different_seeds_differ(self, small_config):
+        other = SyntheticConfig(**{**small_config.__dict__, "seed": 99})
+        first = SyntheticDataGenerator(small_config).generate()
+        second = SyntheticDataGenerator(other).generate()
+        assert list(first[0]) != list(second[0])
+
+    def test_transactions_are_canonical(self, generated):
+        original, _ = generated
+        for transaction in original:
+            assert list(transaction) == sorted(set(transaction))
+
+    def test_data_contains_frequent_pairs(self, generated):
+        # The planted patterns must produce at least one frequent 2-itemset at
+        # a low threshold, otherwise the generator is not planting correlations.
+        from repro import AprioriMiner
+
+        original, _ = generated
+        result = AprioriMiner(0.02).mine(original)
+        assert result.lattice.max_size() >= 2
+
+    def test_generate_updated_concatenates(self, small_config):
+        generator = SyntheticDataGenerator(small_config)
+        updated = generator.generate_updated()
+        assert len(updated) == small_config.database_size + small_config.increment_size
+
+    def test_zero_increment(self):
+        config = SyntheticConfig(database_size=50, increment_size=0, item_count=30, pattern_count=20)
+        original, increment = generate_database(config)
+        assert len(original) == 50
+        assert len(increment) == 0
+
+    def test_module_level_wrapper(self, small_config):
+        original, increment = generate_database(small_config)
+        assert len(original) == small_config.database_size
+        assert len(increment) == small_config.increment_size

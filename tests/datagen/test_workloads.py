@@ -1,0 +1,111 @@
+"""Unit tests for the named paper workloads and their scaled variants."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen.workloads import (
+    DEFAULT_BENCH_SCALE,
+    make_workload,
+    paper_workload,
+    parse_workload_name,
+    scaled_paper_workload,
+)
+from repro import SyntheticConfig
+from repro.errors import GeneratorConfigError
+
+
+class TestParseWorkloadName:
+    def test_figure2_workload(self):
+        config = parse_workload_name("T10.I4.D100.d1")
+        assert config.mean_transaction_size == 10
+        assert config.mean_pattern_size == 4
+        assert config.database_size == 100_000
+        assert config.increment_size == 1_000
+
+    def test_scaleup_workload(self):
+        config = parse_workload_name("T10.I4.D1000.d10")
+        assert config.database_size == 1_000_000
+        assert config.increment_size == 10_000
+
+    def test_fractional_sizes(self):
+        config = parse_workload_name("T5.I2.D0.5.d0.1")
+        assert config.database_size == 500
+        assert config.increment_size == 100
+
+    def test_round_trip_with_config_name(self):
+        config = parse_workload_name("T10.I4.D100.d1")
+        assert config.name == "T10.I4.D100.d1"
+
+    @pytest.mark.parametrize("bad", ["", "T10.D100.d1", "X10.I4.D100.d1", "T10.I4.D100"])
+    def test_rejects_malformed_names(self, bad):
+        with pytest.raises(GeneratorConfigError):
+            parse_workload_name(bad)
+
+
+class TestMakeWorkload:
+    def test_small_custom_workload(self):
+        config = SyntheticConfig(
+            database_size=300, increment_size=60, item_count=80, pattern_count=60, seed=1
+        )
+        workload = make_workload(config)
+        assert len(workload.original) == 300
+        assert len(workload.increment) == 60
+        assert len(workload.updated) == 360
+        assert workload.name == config.name
+
+    def test_updated_is_original_plus_increment(self):
+        config = SyntheticConfig(
+            database_size=100, increment_size=20, item_count=50, pattern_count=30, seed=2
+        )
+        workload = make_workload(config)
+        assert list(workload.updated)[:100] == list(workload.original)
+        assert list(workload.updated)[100:] == list(workload.increment)
+
+
+class TestScaledWorkloads:
+    def test_default_scale_shrinks_transaction_counts(self):
+        workload = scaled_paper_workload(
+            "T10.I4.D100.d1", scale=0.01, item_count=200, pattern_count=100
+        )
+        assert len(workload.original) == 1_000
+        assert len(workload.increment) == 10
+
+    def test_scale_one_matches_paper_sizes(self):
+        config = parse_workload_name("T10.I4.D100.d1")
+        workload_config = scaled_paper_workload.__wrapped__ if hasattr(
+            scaled_paper_workload, "__wrapped__"
+        ) else None
+        assert workload_config is None  # plain function, no decorator surprises
+        assert config.database_size == 100_000
+
+    def test_scaled_name_mentions_scale(self):
+        workload = scaled_paper_workload(
+            "T10.I4.D100.d1", scale=0.005, item_count=100, pattern_count=50
+        )
+        assert "@x0.005" in workload.name
+
+    def test_rejects_non_positive_scale(self):
+        with pytest.raises(GeneratorConfigError):
+            scaled_paper_workload("T10.I4.D100.d1", scale=0)
+
+    def test_default_bench_scale_value(self):
+        assert 0 < DEFAULT_BENCH_SCALE <= 1
+
+    def test_custom_seed_changes_data(self):
+        first = scaled_paper_workload(
+            "T10.I4.D100.d1", scale=0.002, seed=1, item_count=100, pattern_count=50
+        )
+        second = scaled_paper_workload(
+            "T10.I4.D100.d1", scale=0.002, seed=2, item_count=100, pattern_count=50
+        )
+        assert list(first.original) != list(second.original)
+
+
+class TestPaperWorkload:
+    def test_small_paper_scale_workload(self):
+        # Use a tiny named workload so the full-size path is exercised quickly.
+        workload = paper_workload("T5.I2.D0.2.d0.05")
+        assert len(workload.original) == 200
+        assert len(workload.increment) == 50
+        assert workload.name == "T5.I2.D0.2.d0.05"

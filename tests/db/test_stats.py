@@ -1,0 +1,48 @@
+"""Unit tests for database statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import TransactionDatabase, compute_stats
+
+
+class TestComputeStats:
+    def test_empty_database(self):
+        stats = compute_stats(TransactionDatabase())
+        assert stats.transaction_count == 0
+        assert stats.distinct_items == 0
+        assert stats.mean_transaction_size == 0.0
+        assert stats.min_transaction_size == 0
+        assert stats.max_transaction_size == 0
+
+    def test_counts(self, small_database):
+        stats = compute_stats(small_database)
+        assert stats.transaction_count == 9
+        assert stats.distinct_items == 4
+        assert stats.total_item_occurrences == sum(len(t) for t in small_database)
+
+    def test_sizes(self):
+        stats = compute_stats(TransactionDatabase([[1], [1, 2, 3], [4, 5]]))
+        assert stats.min_transaction_size == 1
+        assert stats.max_transaction_size == 3
+        assert stats.mean_transaction_size == pytest.approx(2.0)
+
+    def test_empty_transaction_counts_toward_minimum(self):
+        stats = compute_stats(TransactionDatabase([[], [1, 2]]))
+        assert stats.min_transaction_size == 0
+        assert stats.transaction_count == 2
+
+    def test_as_dict_round_trip(self, small_database):
+        stats = compute_stats(small_database)
+        as_dict = stats.as_dict()
+        assert as_dict["transaction_count"] == stats.transaction_count
+        assert as_dict["mean_transaction_size"] == stats.mean_transaction_size
+        assert set(as_dict) == {
+            "transaction_count",
+            "distinct_items",
+            "total_item_occurrences",
+            "min_transaction_size",
+            "max_transaction_size",
+            "mean_transaction_size",
+        }

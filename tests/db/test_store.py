@@ -1,0 +1,107 @@
+"""Unit tests for the text and binary persistence formats."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import TransactionDatabase, load_database, save_database
+from repro.db.store import (
+    read_transactions_binary,
+    read_transactions_text,
+    write_transactions_binary,
+    write_transactions_text,
+)
+from repro.errors import StorageError
+
+
+@pytest.fixture
+def sample_database() -> TransactionDatabase:
+    return TransactionDatabase([[1, 2, 3], [5], [], [10, 20, 30, 40]], name="sample")
+
+
+class TestTextFormat:
+    def test_round_trip(self, tmp_path, sample_database):
+        path = tmp_path / "db.txt"
+        written = write_transactions_text(path, sample_database.transactions())
+        assert written == 4
+        loaded = list(read_transactions_text(path))
+        assert loaded == list(sample_database)
+
+    def test_file_is_plain_integers(self, tmp_path, sample_database):
+        path = tmp_path / "db.txt"
+        write_transactions_text(path, sample_database.transactions())
+        assert path.read_text().splitlines()[0] == "1 2 3"
+
+    def test_empty_transaction_is_blank_line(self, tmp_path, sample_database):
+        path = tmp_path / "db.txt"
+        write_transactions_text(path, sample_database.transactions())
+        assert path.read_text().splitlines()[2] == ""
+
+    def test_read_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("1 2\n3 four\n")
+        with pytest.raises(StorageError):
+            list(read_transactions_text(path))
+
+    def test_read_missing_file(self, tmp_path):
+        with pytest.raises(StorageError):
+            list(read_transactions_text(tmp_path / "missing.txt"))
+
+    def test_read_deduplicates_and_sorts(self, tmp_path):
+        path = tmp_path / "db.txt"
+        path.write_text("3 1 3 2\n")
+        assert list(read_transactions_text(path)) == [(1, 2, 3)]
+
+
+class TestBinaryFormat:
+    def test_round_trip(self, tmp_path, sample_database):
+        path = tmp_path / "db.bin"
+        written = write_transactions_binary(path, sample_database.transactions())
+        assert written == 4
+        loaded = list(read_transactions_binary(path))
+        assert loaded == list(sample_database)
+
+    def test_rejects_wrong_magic(self, tmp_path):
+        path = tmp_path / "bad.bin"
+        path.write_bytes(b"NOTADB\x00\x00")
+        with pytest.raises(StorageError):
+            list(read_transactions_binary(path))
+
+    def test_rejects_truncated_file(self, tmp_path, sample_database):
+        path = tmp_path / "db.bin"
+        write_transactions_binary(path, sample_database.transactions())
+        data = path.read_bytes()
+        path.write_bytes(data[:-2])
+        with pytest.raises(StorageError):
+            list(read_transactions_binary(path))
+
+    def test_read_missing_file(self, tmp_path):
+        with pytest.raises(StorageError):
+            list(read_transactions_binary(tmp_path / "missing.bin"))
+
+
+class TestHighLevelHelpers:
+    def test_save_and_load_text(self, tmp_path, sample_database):
+        path = tmp_path / "db.txt"
+        save_database(sample_database, path)
+        loaded = load_database(path)
+        assert list(loaded) == list(sample_database)
+        assert loaded.name == "db"
+
+    def test_save_and_load_binary(self, tmp_path, sample_database):
+        path = tmp_path / "db.bin"
+        save_database(sample_database, path, binary=True)
+        loaded = load_database(path, binary=True)
+        assert list(loaded) == list(sample_database)
+
+    def test_load_with_explicit_name(self, tmp_path, sample_database):
+        path = tmp_path / "db.txt"
+        save_database(sample_database, path)
+        assert load_database(path, name="renamed").name == "renamed"
+
+    def test_formats_agree(self, tmp_path, sample_database):
+        text_path = tmp_path / "db.txt"
+        binary_path = tmp_path / "db.bin"
+        save_database(sample_database, text_path)
+        save_database(sample_database, binary_path, binary=True)
+        assert list(load_database(text_path)) == list(load_database(binary_path, binary=True))

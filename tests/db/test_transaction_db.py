@@ -1,0 +1,149 @@
+"""Unit tests for the in-memory transaction database."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import TransactionDatabase
+from repro.errors import InvalidTransactionError
+
+
+class TestConstruction:
+    def test_empty_database(self):
+        database = TransactionDatabase()
+        assert len(database) == 0
+        assert database.items() == set()
+
+    def test_transactions_are_canonicalised(self):
+        database = TransactionDatabase([[3, 1, 1, 2]])
+        assert database[0] == (1, 2, 3)
+
+    def test_empty_transactions_are_kept(self):
+        database = TransactionDatabase([[], [1]])
+        assert len(database) == 2
+        assert database[0] == ()
+
+    def test_rejects_invalid_items(self):
+        with pytest.raises(InvalidTransactionError):
+            TransactionDatabase([[1, -5]])
+
+    def test_rejects_non_iterable_transaction(self):
+        with pytest.raises(InvalidTransactionError):
+            TransactionDatabase([42])  # type: ignore[list-item]
+
+    def test_rejects_string_items(self):
+        with pytest.raises(InvalidTransactionError):
+            TransactionDatabase([["a", "b"]])
+
+    def test_from_transactions_classmethod(self):
+        database = TransactionDatabase.from_transactions([[1], [2]], name="x")
+        assert len(database) == 2
+        assert database.name == "x"
+
+
+class TestContainerProtocol:
+    def test_iteration_order_preserved(self):
+        rows = [[1, 2], [3], [2, 4]]
+        database = TransactionDatabase(rows)
+        assert list(database) == [(1, 2), (3,), (2, 4)]
+
+    def test_indexing(self, small_database):
+        assert small_database[0] == (1, 2, 3)
+
+    def test_equality(self):
+        assert TransactionDatabase([[1, 2]]) == TransactionDatabase([[2, 1]])
+
+    def test_inequality(self):
+        assert TransactionDatabase([[1]]) != TransactionDatabase([[2]])
+
+    def test_equality_with_other_types(self):
+        assert TransactionDatabase([[1]]) != [[1]]
+
+    def test_size_property(self, small_database):
+        assert small_database.size == len(small_database) == 9
+
+
+class TestMutation:
+    def test_append(self):
+        database = TransactionDatabase()
+        database.append([2, 1])
+        assert database[0] == (1, 2)
+
+    def test_extend(self):
+        database = TransactionDatabase([[1]])
+        database.extend([[2], [3]])
+        assert len(database) == 3
+
+    def test_extend_validates(self):
+        database = TransactionDatabase()
+        with pytest.raises(InvalidTransactionError):
+            database.extend([[1], [-1]])
+
+    def test_remove_batch_removes_one_copy_each(self):
+        database = TransactionDatabase([[1, 2], [1, 2], [3]])
+        removed = database.remove_batch([[2, 1]])
+        assert removed == 1
+        assert list(database) == [(1, 2), (3,)]
+
+    def test_remove_batch_multiset_semantics(self):
+        database = TransactionDatabase([[1], [1], [1]])
+        removed = database.remove_batch([[1], [1]])
+        assert removed == 2
+        assert len(database) == 1
+
+    def test_remove_batch_ignores_missing(self):
+        database = TransactionDatabase([[1]])
+        removed = database.remove_batch([[9]])
+        assert removed == 0
+        assert len(database) == 1
+
+    def test_remove_batch_empty(self):
+        database = TransactionDatabase([[1]])
+        assert database.remove_batch([]) == 0
+
+    def test_copy_is_independent(self, small_database):
+        clone = small_database.copy()
+        clone.append([7, 8])
+        assert len(clone) == len(small_database) + 1
+
+    def test_copy_can_rename(self, small_database):
+        assert small_database.copy(name="renamed").name == "renamed"
+
+
+class TestQueries:
+    def test_items(self, small_database):
+        assert small_database.items() == {1, 2, 3, 4}
+
+    def test_item_counts(self):
+        database = TransactionDatabase([[1, 2], [2], [2, 3]])
+        counts = database.item_counts()
+        assert counts[2] == 3
+        assert counts[1] == 1
+        assert counts[3] == 1
+
+    def test_count_itemset(self, small_database):
+        assert small_database.count_itemset((1, 2)) == 5
+        assert small_database.count_itemset((1, 2, 3)) == 3
+        assert small_database.count_itemset((5,)) == 0
+
+    def test_slice(self, small_database):
+        head = small_database.slice(0, 3)
+        assert len(head) == 3
+        assert head[0] == small_database[0]
+
+    def test_slice_to_end(self, small_database):
+        tail = small_database.slice(7)
+        assert len(tail) == 2
+
+    def test_concatenate(self, small_database, small_increment):
+        combined = small_database.concatenate(small_increment)
+        assert len(combined) == len(small_database) + len(small_increment)
+        assert combined[len(small_database)] == small_increment[0]
+
+    def test_concatenate_does_not_mutate_inputs(self, small_database, small_increment):
+        before = len(small_database)
+        small_database.concatenate(small_increment)
+        assert len(small_database) == before
+
+    def test_transactions_view(self, small_database):
+        assert len(small_database.transactions()) == 9

@@ -1,0 +1,95 @@
+"""Unit tests for update batches and the update log."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import TransactionDatabase, UpdateBatch, UpdateLog
+from repro.errors import InvalidTransactionError
+
+
+class TestUpdateBatch:
+    def test_from_iterables_canonicalises(self):
+        batch = UpdateBatch.from_iterables(insertions=[[2, 1]], deletions=[[4, 3]])
+        assert batch.insertions == ((1, 2),)
+        assert batch.deletions == ((3, 4),)
+
+    def test_from_iterables_validates(self):
+        with pytest.raises(InvalidTransactionError):
+            UpdateBatch.from_iterables(insertions=[[-1]])
+
+    def test_insert_only_flag(self):
+        batch = UpdateBatch.from_iterables(insertions=[[1]])
+        assert batch.is_insert_only
+        assert not batch.is_delete_only
+        assert not batch.is_empty
+
+    def test_delete_only_flag(self):
+        batch = UpdateBatch.from_iterables(deletions=[[1]])
+        assert batch.is_delete_only
+        assert not batch.is_insert_only
+
+    def test_mixed_batch_flags(self):
+        batch = UpdateBatch.from_iterables(insertions=[[1]], deletions=[[2]])
+        assert not batch.is_insert_only
+        assert not batch.is_delete_only
+
+    def test_empty_batch(self):
+        batch = UpdateBatch()
+        assert batch.is_empty
+        assert len(batch) == 0
+
+    def test_len_counts_both_sides(self):
+        batch = UpdateBatch.from_iterables(insertions=[[1], [2]], deletions=[[3]])
+        assert len(batch) == 3
+
+    def test_insertions_database(self):
+        batch = UpdateBatch.from_iterables(insertions=[[1, 2], [3]])
+        database = batch.insertions_database()
+        assert len(database) == 2
+        assert database[0] == (1, 2)
+
+    def test_deletions_database(self):
+        batch = UpdateBatch.from_iterables(deletions=[[5]])
+        assert list(batch.deletions_database()) == [(5,)]
+
+    def test_label_is_kept(self):
+        assert UpdateBatch.from_iterables(insertions=[[1]], label="day-1").label == "day-1"
+
+
+class TestUpdateLog:
+    def test_record_and_len(self):
+        log = UpdateLog()
+        log.record(UpdateBatch.from_iterables(insertions=[[1]]))
+        log.record(UpdateBatch.from_iterables(deletions=[[2]]))
+        assert len(log) == 2
+
+    def test_totals(self):
+        log = UpdateLog()
+        log.record(UpdateBatch.from_iterables(insertions=[[1], [2]], deletions=[[3]]))
+        log.record(UpdateBatch.from_iterables(insertions=[[4]]))
+        assert log.total_insertions == 3
+        assert log.total_deletions == 1
+
+    def test_iteration_order(self):
+        log = UpdateLog()
+        first = UpdateBatch.from_iterables(insertions=[[1]], label="a")
+        second = UpdateBatch.from_iterables(insertions=[[2]], label="b")
+        log.record(first)
+        log.record(second)
+        assert [batch.label for batch in log] == ["a", "b"]
+
+    def test_replay_reproduces_final_state(self):
+        base = TransactionDatabase([[1, 2], [3]])
+        log = UpdateLog()
+        log.record(UpdateBatch.from_iterables(insertions=[[4, 5]]))
+        log.record(UpdateBatch.from_iterables(deletions=[[3]]))
+        replayed = log.replay(base)
+        assert list(replayed) == [(1, 2), (4, 5)]
+
+    def test_replay_does_not_mutate_base(self):
+        base = TransactionDatabase([[1]])
+        log = UpdateLog()
+        log.record(UpdateBatch.from_iterables(deletions=[[1]]))
+        log.replay(base)
+        assert len(base) == 1

@@ -1,0 +1,62 @@
+"""Unit tests for the ASCII chart rendering."""
+
+from __future__ import annotations
+
+from repro.harness.figures import bar_chart, grouped_bar_chart
+
+
+class TestBarChart:
+    def test_longest_bar_spans_full_width(self):
+        chart = bar_chart([("a", 1.0), ("b", 4.0)], width=20)
+        lines = chart.splitlines()
+        assert lines[1].count("#") == 20
+        assert lines[0].count("#") == 5
+
+    def test_values_are_printed(self):
+        chart = bar_chart([("fup", 2.5)], value_format="{:.1f}")
+        assert "2.5" in chart
+
+    def test_title(self):
+        chart = bar_chart([("a", 1.0)], title="Figure 2")
+        assert chart.splitlines()[0] == "Figure 2"
+
+    def test_zero_values_have_no_bar(self):
+        chart = bar_chart([("a", 0.0), ("b", 3.0)])
+        assert "#" not in chart.splitlines()[0]
+
+    def test_empty_points(self):
+        assert "(no data)" in bar_chart([])
+
+    def test_labels_are_aligned(self):
+        chart = bar_chart([("short", 1.0), ("much-longer-label", 2.0)])
+        lines = chart.splitlines()
+        assert lines[0].index("#") == lines[1].index("#")
+
+    def test_small_nonzero_values_get_a_visible_bar(self):
+        chart = bar_chart([("tiny", 0.001), ("big", 100.0)], width=10)
+        assert chart.splitlines()[0].count("#") == 1
+
+
+class TestGroupedBarChart:
+    def test_groups_and_series(self):
+        chart = grouped_bar_chart(
+            [
+                ("2%", [("dhp/fup", 4.0), ("apriori/fup", 5.0)]),
+                ("1%", [("dhp/fup", 6.0), ("apriori/fup", 8.0)]),
+            ],
+            title="ratios",
+        )
+        lines = chart.splitlines()
+        assert lines[0] == "ratios"
+        assert lines[1] == "2%:"
+        assert any("apriori/fup" in line for line in lines)
+
+    def test_shared_scale_across_groups(self):
+        chart = grouped_bar_chart(
+            [("g1", [("s", 1.0)]), ("g2", [("s", 2.0)])], width=10
+        )
+        bars = [line.count("#") for line in chart.splitlines() if "#" in line]
+        assert bars == [5, 10]
+
+    def test_empty_groups(self):
+        assert "(no data)" in grouped_bar_chart([])

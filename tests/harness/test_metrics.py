@@ -1,0 +1,75 @@
+"""Unit tests for the harness run records and derived ratios."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import AprioriMiner
+from repro.harness.metrics import ComparisonRecord, RunRecord, speedup
+
+
+class TestSpeedup:
+    def test_plain_ratio(self):
+        assert speedup(2.0, 0.5) == pytest.approx(4.0)
+
+    def test_slower_candidate(self):
+        assert speedup(1.0, 2.0) == pytest.approx(0.5)
+
+    def test_zero_candidate_time_is_finite(self):
+        assert speedup(1.0, 0.0) > 0
+        assert speedup(0.0, 0.0) == pytest.approx(1.0)
+
+
+class TestRunRecord:
+    def test_from_result(self, small_database):
+        result = AprioriMiner(0.3).mine(small_database)
+        record = RunRecord.from_result("small", result)
+        assert record.workload == "small"
+        assert record.algorithm == "apriori"
+        assert record.large_itemsets == len(result.lattice)
+        assert record.candidates_generated == result.candidates_generated
+
+    def test_as_dict_keys(self, small_database):
+        record = RunRecord.from_result("small", AprioriMiner(0.3).mine(small_database))
+        as_dict = record.as_dict()
+        assert as_dict["workload"] == "small"
+        assert as_dict["algorithm"] == "apriori"
+        assert "elapsed_seconds" in as_dict
+        assert "candidates" in as_dict
+
+
+class TestComparisonRecord:
+    def _record(self) -> ComparisonRecord:
+        return ComparisonRecord(
+            workload="w",
+            min_support=0.02,
+            baseline="dhp",
+            baseline_seconds=4.0,
+            fup_seconds=1.0,
+            baseline_candidates=1000,
+            fup_candidates=30,
+        )
+
+    def test_speedup(self):
+        assert self._record().speedup == pytest.approx(4.0)
+
+    def test_candidate_ratio(self):
+        assert self._record().candidate_ratio == pytest.approx(0.03)
+
+    def test_candidate_ratio_with_zero_baseline(self):
+        record = ComparisonRecord(
+            workload="w",
+            min_support=0.02,
+            baseline="dhp",
+            baseline_seconds=1.0,
+            fup_seconds=1.0,
+            baseline_candidates=0,
+            fup_candidates=0,
+        )
+        assert record.candidate_ratio == 0.0
+
+    def test_as_dict(self):
+        as_dict = self._record().as_dict()
+        assert as_dict["baseline"] == "dhp"
+        assert as_dict["speedup"] == pytest.approx(4.0)
+        assert as_dict["candidate_ratio"] == pytest.approx(0.03)

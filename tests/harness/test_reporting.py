@@ -1,0 +1,72 @@
+"""Unit tests for the plain-text report rendering."""
+
+from __future__ import annotations
+
+from repro.harness.metrics import ComparisonRecord
+from repro.harness.reporting import format_series, format_table, render_records
+
+
+class TestFormatTable:
+    def test_header_and_rows(self):
+        rows = [{"a": 1, "b": "x"}, {"a": 22, "b": "yy"}]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert lines[0].split() == ["a", "b"]
+        assert "22" in lines[3]
+
+    def test_title_line(self):
+        text = format_table([{"a": 1}], title="Figure 2")
+        assert text.splitlines()[0] == "Figure 2"
+
+    def test_explicit_column_selection_and_order(self):
+        rows = [{"a": 1, "b": 2, "c": 3}]
+        text = format_table(rows, columns=["c", "a"])
+        assert text.splitlines()[0].split() == ["c", "a"]
+        assert "2" not in text.splitlines()[2]
+
+    def test_missing_column_renders_empty(self):
+        text = format_table([{"a": 1}], columns=["a", "zz"])
+        assert "zz" in text
+
+    def test_float_formatting(self):
+        text = format_table([{"ratio": 0.123456}])
+        assert "0.1235" in text
+
+    def test_empty_rows(self):
+        assert "(no rows)" in format_table([])
+        assert format_table([], title="t").startswith("t")
+
+    def test_columns_are_aligned(self):
+        rows = [{"name": "a", "value": 1}, {"name": "longer", "value": 22}]
+        lines = format_table(rows).splitlines()
+        assert len(lines[2]) == len(lines[3]) or lines[2].rstrip() != lines[3].rstrip()
+        # Every data line starts its second column at the same offset.
+        offset_first = lines[2].index("1")
+        offset_second = lines[3].index("22")
+        assert offset_first == offset_second
+
+
+class TestFormatSeries:
+    def test_series_rendering(self):
+        text = format_series("x", "y", [(1, 2.0), (3, 4.0)], title="Figure 4")
+        lines = text.splitlines()
+        assert lines[0] == "Figure 4"
+        assert lines[1].split() == ["x", "y"]
+        assert lines[3].split() == ["1", "2.0000"]
+
+
+class TestRenderRecords:
+    def test_records_with_as_dict(self):
+        record = ComparisonRecord(
+            workload="w",
+            min_support=0.02,
+            baseline="dhp",
+            baseline_seconds=2.0,
+            fup_seconds=1.0,
+            baseline_candidates=100,
+            fup_candidates=5,
+        )
+        text = render_records([record], title="ratios")
+        assert "ratios" in text
+        assert "dhp" in text
+        assert "2.0" in text

@@ -1,0 +1,113 @@
+"""Unit tests for the experiment runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import AprioriMiner, TransactionDatabase
+from repro.errors import ExperimentError
+from repro.harness.runner import (
+    ExperimentRunner,
+    compare_update_strategies,
+    measure_fup_overhead,
+    run_fup_update,
+    run_miner,
+)
+
+
+@pytest.fixture(scope="module")
+def workload_pair():
+    import random
+
+    rng = random.Random(12)
+    universe = list(range(18))
+    rows = [rng.sample(universe, rng.randint(2, 8)) for _ in range(280)]
+    original = TransactionDatabase(rows[:230], name="runner-original")
+    increment = TransactionDatabase(rows[230:], name="runner-increment")
+    return original, increment
+
+
+class TestRunMiner:
+    def test_apriori_and_dhp(self, workload_pair):
+        original, _ = workload_pair
+        apriori = run_miner("apriori", original, 0.1)
+        dhp = run_miner("dhp", original, 0.1)
+        assert apriori.lattice.supports() == dhp.lattice.supports()
+
+    def test_unknown_miner(self, workload_pair):
+        original, _ = workload_pair
+        with pytest.raises(ExperimentError):
+            run_miner("eclat", original, 0.1)
+
+
+class TestCompareUpdateStrategies:
+    def test_all_strategies_agree(self, workload_pair):
+        original, increment = workload_pair
+        comparison = compare_update_strategies(original, increment, 0.1, workload="runner")
+        assert comparison.consistent()
+
+    def test_records_expose_ratios(self, workload_pair):
+        original, increment = workload_pair
+        comparison = compare_update_strategies(original, increment, 0.1)
+        assert comparison.against_apriori.speedup > 0
+        assert comparison.against_dhp.speedup > 0
+        assert 0 <= comparison.against_dhp.candidate_ratio <= 1.5
+
+    def test_fup_reduces_candidates(self, workload_pair):
+        original, increment = workload_pair
+        comparison = compare_update_strategies(original, increment, 0.08)
+        assert comparison.fup.candidates_generated < comparison.apriori.candidates_generated
+
+    def test_accepts_precomputed_initial_result(self, workload_pair):
+        original, increment = workload_pair
+        initial = AprioriMiner(0.1).mine(original)
+        comparison = compare_update_strategies(
+            original, increment, 0.1, initial=initial
+        )
+        assert comparison.initial is initial
+        assert comparison.consistent()
+
+
+class TestOverheadMeasurement:
+    def test_overhead_record_fields(self, workload_pair):
+        original, increment = workload_pair
+        record = measure_fup_overhead(original, increment, 0.1, workload="runner")
+        assert record.mine_original_seconds > 0
+        assert record.fup_update_seconds > 0
+        assert record.mine_updated_seconds > 0
+        assert record.overhead_seconds == pytest.approx(
+            record.mine_original_seconds
+            + record.fup_update_seconds
+            - record.mine_updated_seconds
+        )
+        assert record.as_dict()["workload"] == "runner"
+
+    def test_run_fup_update_matches_remining(self, workload_pair):
+        original, increment = workload_pair
+        initial = AprioriMiner(0.1).mine(original)
+        fup = run_fup_update(original, initial, increment, 0.1)
+        remined = AprioriMiner(0.1).mine(original.concatenate(increment))
+        assert fup.lattice.supports() == remined.lattice.supports()
+
+
+class TestExperimentRunner:
+    def test_sweep_produces_one_comparison_per_support(self, workload_pair):
+        original, increment = workload_pair
+        runner = ExperimentRunner(original, increment, workload="runner")
+        comparisons = runner.sweep([0.15, 0.1])
+        assert len(comparisons) == 2
+        assert all(comparison.consistent() for comparison in comparisons)
+
+    def test_initial_result_is_cached(self, workload_pair):
+        original, increment = workload_pair
+        runner = ExperimentRunner(original, increment)
+        first = runner.initial_result(0.1)
+        second = runner.initial_result(0.1)
+        assert first is second
+
+    def test_run_records(self, workload_pair):
+        original, increment = workload_pair
+        runner = ExperimentRunner(original, increment, workload="runner")
+        records = runner.run_records(0.1)
+        assert [record.algorithm for record in records] == ["fup", "apriori", "dhp"]
+        assert all(record.workload == "runner" for record in records)

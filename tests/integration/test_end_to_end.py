@@ -1,0 +1,117 @@
+"""End-to-end integration tests exercising the whole stack together.
+
+These tests wire the synthetic generator, the miners, FUP/FUP2, the
+maintenance manager and persistence into the workflows a downstream user
+would actually run — the point is to catch interface mismatches that unit
+tests on individual modules cannot see.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    AprioriMiner,
+    DhpMiner,
+    FupUpdater,
+    RuleMaintainer,
+    SyntheticConfig,
+    SyntheticDataGenerator,
+    UpdateBatch,
+    generate_rules,
+    load_database,
+    save_database,
+)
+from repro.harness.runner import compare_update_strategies
+
+
+@pytest.fixture(scope="module")
+def synthetic_pair():
+    config = SyntheticConfig(
+        database_size=1_500,
+        increment_size=300,
+        mean_transaction_size=8,
+        mean_pattern_size=3,
+        pattern_count=150,
+        item_count=200,
+        seed=77,
+    )
+    return SyntheticDataGenerator(config).generate()
+
+
+class TestSyntheticWorkflow:
+    def test_fup_on_generated_data_matches_remining(self, synthetic_pair):
+        original, increment = synthetic_pair
+        support = 0.01
+        initial = AprioriMiner(support).mine(original)
+        fup = FupUpdater(support).update(original, initial, increment)
+        remined = AprioriMiner(support).mine(original.concatenate(increment))
+        assert fup.lattice.supports() == remined.lattice.supports()
+
+    def test_three_way_comparison_is_consistent(self, synthetic_pair):
+        original, increment = synthetic_pair
+        comparison = compare_update_strategies(original, increment, 0.0125, workload="e2e")
+        assert comparison.consistent()
+        # FUP's headline property on realistic data: far fewer candidates.
+        assert comparison.fup.candidates_generated < comparison.dhp.candidates_generated
+
+    def test_generated_data_has_multi_level_structure(self, synthetic_pair):
+        original, _ = synthetic_pair
+        result = DhpMiner(0.01).mine(original)
+        assert result.lattice.max_size() >= 2
+
+
+class TestMaintainerLifecycle:
+    def test_daily_increments_with_rule_tracking(self, synthetic_pair):
+        original, increment = synthetic_pair
+        maintainer = RuleMaintainer(min_support=0.015, min_confidence=0.4)
+        maintainer.initialise(original)
+        # Split the increment into three "days" and apply them one by one.
+        day_size = len(increment) // 3
+        for day in range(3):
+            start = day * day_size
+            stop = start + day_size if day < 2 else len(increment)
+            report = maintainer.add_transactions(
+                [list(transaction) for transaction in increment.transactions()[start:stop]],
+                label=f"day-{day}",
+            )
+            assert report.algorithm == "fup"
+        final = AprioriMiner(0.015).mine(original.concatenate(increment))
+        assert maintainer.result.lattice.supports() == final.lattice.supports()
+        assert maintainer.rules == generate_rules(final.lattice, 0.4)
+
+    def test_sliding_window_with_deletions(self, synthetic_pair):
+        original, increment = synthetic_pair
+        window = original.copy()
+        maintainer = RuleMaintainer(min_support=0.02, min_confidence=0.5)
+        maintainer.initialise(window)
+        # Slide: remove the 200 oldest transactions, add 200 new ones.
+        oldest = [list(transaction) for transaction in window.transactions()[:200]]
+        newest = [list(transaction) for transaction in increment.transactions()[:200]]
+        report = maintainer.apply(
+            UpdateBatch.from_iterables(insertions=newest, deletions=oldest, label="slide")
+        )
+        assert report.algorithm == "fup2"
+        expected = original.slice(200).concatenate(increment.slice(0, 200))
+        remined = AprioriMiner(0.02).mine(expected)
+        assert maintainer.result.lattice.supports() == remined.lattice.supports()
+
+
+class TestPersistenceWorkflow:
+    def test_save_mine_update_reload_cycle(self, tmp_path, synthetic_pair):
+        original, increment = synthetic_pair
+        database_path = tmp_path / "db.txt"
+        increment_path = tmp_path / "increment.bin"
+        save_database(original, database_path)
+        save_database(increment, increment_path, binary=True)
+
+        reloaded_original = load_database(database_path)
+        reloaded_increment = load_database(increment_path, binary=True)
+        assert list(reloaded_original) == list(original)
+        assert list(reloaded_increment) == list(increment)
+
+        support = 0.02
+        initial = AprioriMiner(support).mine(reloaded_original)
+        fup = FupUpdater(support).update(reloaded_original, initial, reloaded_increment)
+        remined = AprioriMiner(support).mine(original.concatenate(increment))
+        assert fup.lattice.supports() == remined.lattice.supports()

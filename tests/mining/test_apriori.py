@@ -1,0 +1,103 @@
+"""Unit tests for the Apriori baseline miner."""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import pytest
+
+from repro import AprioriMiner, TransactionDatabase, mine_apriori
+from repro.errors import InvalidThresholdError
+
+
+def brute_force_large_itemsets(database: TransactionDatabase, min_support: float):
+    """Exhaustive reference: enumerate every itemset over the database's items."""
+    threshold = AprioriMiner(min_support).required_count(len(database))
+    items = sorted(database.items())
+    expected = {}
+    for size in range(1, len(items) + 1):
+        found_any = False
+        for candidate in combinations(items, size):
+            count = database.count_itemset(candidate)
+            if count >= threshold:
+                expected[candidate] = count
+                found_any = True
+        if not found_any:
+            break
+    return expected
+
+
+class TestAprioriBasics:
+    def test_small_database(self, small_database):
+        result = AprioriMiner(min_support=0.4).mine(small_database)
+        # threshold = ceil(0.4 * 9) = 4
+        assert result.support_count((1,)) == 6
+        assert result.support_count((2,)) == 7
+        assert result.support_count((1, 2)) == 5
+        assert (1, 2, 3) not in result.lattice  # support 3 < 4
+
+    def test_matches_brute_force(self, small_database):
+        result = AprioriMiner(min_support=0.3).mine(small_database)
+        assert result.lattice.supports() == brute_force_large_itemsets(small_database, 0.3)
+
+    def test_matches_brute_force_random(self, random_database_factory):
+        database = random_database_factory(transactions=120, items=10, max_size=6)
+        result = AprioriMiner(min_support=0.15).mine(database)
+        assert result.lattice.supports() == brute_force_large_itemsets(database, 0.15)
+
+    def test_empty_database(self):
+        result = AprioriMiner(min_support=0.5).mine(TransactionDatabase())
+        assert len(result.lattice) == 0
+        assert result.database_size == 0
+
+    def test_full_support_threshold(self):
+        database = TransactionDatabase([[1, 2], [1, 2], [1, 2]])
+        result = AprioriMiner(min_support=1.0).mine(database)
+        assert set(result.large_itemsets) == {(1,), (2,), (1, 2)}
+
+    def test_nothing_frequent(self):
+        database = TransactionDatabase([[1], [2], [3], [4]])
+        result = AprioriMiner(min_support=0.75).mine(database)
+        assert result.large_itemsets == []
+
+    def test_downward_closure_holds(self, random_database_factory):
+        database = random_database_factory(transactions=150, items=12)
+        result = AprioriMiner(min_support=0.1).mine(database)
+        assert result.lattice.violates_downward_closure() == []
+
+    def test_max_itemset_size_cap(self, small_database):
+        result = AprioriMiner(min_support=0.3, max_itemset_size=1).mine(small_database)
+        assert result.lattice.max_size() == 1
+
+    def test_convenience_wrapper(self, small_database):
+        assert (
+            mine_apriori(small_database, 0.4).lattice.supports()
+            == AprioriMiner(0.4).mine(small_database).lattice.supports()
+        )
+
+
+class TestAprioriValidation:
+    @pytest.mark.parametrize("bad", [0.0, -1, 2.0])
+    def test_rejects_bad_support(self, bad):
+        with pytest.raises(InvalidThresholdError):
+            AprioriMiner(bad)
+
+    def test_rejects_bad_max_size(self):
+        with pytest.raises(ValueError):
+            AprioriMiner(0.5, max_itemset_size=0)
+
+
+class TestAprioriInstrumentation:
+    def test_scan_and_candidate_accounting(self, small_database):
+        result = AprioriMiner(min_support=0.3).mine(small_database)
+        assert result.database_scans == len(result.candidates_per_level)
+        assert result.increment_scans == 0
+        assert result.transactions_read == result.database_scans * len(small_database)
+        assert result.candidates_generated == sum(result.candidates_per_level.values())
+
+    def test_level_one_candidates_are_all_items(self, small_database):
+        result = AprioriMiner(min_support=0.3).mine(small_database)
+        assert result.candidates_per_level[1] == len(small_database.items())
+
+    def test_elapsed_time_recorded(self, small_database):
+        assert AprioriMiner(0.3).mine(small_database).elapsed_seconds > 0

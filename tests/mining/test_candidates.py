@@ -1,0 +1,77 @@
+"""Unit tests for apriori_gen and its join/prune steps."""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from repro.mining.candidates import (
+    apriori_gen,
+    generate_level_one_candidates,
+    join_step,
+    prune_by_subsets,
+)
+
+
+class TestLevelOneCandidates:
+    def test_sorted_unique_singletons(self):
+        assert generate_level_one_candidates([3, 1, 3, 2]) == [(1,), (2,), (3,)]
+
+    def test_empty_universe(self):
+        assert generate_level_one_candidates([]) == []
+
+
+class TestJoinStep:
+    def test_joins_singletons_into_pairs(self):
+        assert join_step({(1,), (2,), (3,)}) == {(1, 2), (1, 3), (2, 3)}
+
+    def test_joins_pairs_sharing_prefix(self):
+        assert join_step({(1, 2), (1, 3), (2, 3)}) == {(1, 2, 3)}
+
+    def test_no_join_without_shared_prefix(self):
+        assert join_step({(1, 2), (3, 4)}) == set()
+
+    def test_empty_input(self):
+        assert join_step(set()) == set()
+
+
+class TestPruneStep:
+    def test_keeps_candidates_with_all_subsets(self):
+        previous = {(1, 2), (1, 3), (2, 3)}
+        assert prune_by_subsets({(1, 2, 3)}, previous) == {(1, 2, 3)}
+
+    def test_drops_candidates_missing_a_subset(self):
+        previous = {(1, 2), (1, 3)}  # (2, 3) missing
+        assert prune_by_subsets({(1, 2, 3)}, previous) == set()
+
+    def test_empty_candidates(self):
+        assert prune_by_subsets(set(), {(1, 2)}) == set()
+
+
+class TestAprioriGen:
+    def test_classic_example(self):
+        # From Agrawal & Srikant: L3 = {123, 124, 134, 135, 234};
+        # join gives {1234, 1345}; prune removes 1345 because 145 is absent.
+        level3 = {(1, 2, 3), (1, 2, 4), (1, 3, 4), (1, 3, 5), (2, 3, 4)}
+        assert apriori_gen(level3) == {(1, 2, 3, 4)}
+
+    def test_pairs_from_singletons(self):
+        assert apriori_gen({(2,), (5,), (9,)}) == {(2, 5), (2, 9), (5, 9)}
+
+    def test_empty_level(self):
+        assert apriori_gen(set()) == set()
+
+    def test_single_itemset_generates_nothing(self):
+        assert apriori_gen({(1, 2)}) == set()
+
+    def test_all_candidate_subsets_are_in_previous_level(self):
+        previous = {
+            (1, 2), (1, 3), (1, 4), (2, 3), (2, 4), (3, 4), (5, 6),
+        }
+        for candidate in apriori_gen(previous):
+            for subset in combinations(candidate, len(candidate) - 1):
+                assert subset in previous
+
+    def test_superset_completeness(self):
+        # Every itemset whose subsets are all present must be generated.
+        previous = {(1, 2), (1, 3), (2, 3)}
+        assert (1, 2, 3) in apriori_gen(previous)

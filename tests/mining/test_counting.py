@@ -1,0 +1,54 @@
+"""Unit tests for the shared counting passes."""
+
+from __future__ import annotations
+
+from repro import TransactionDatabase
+from repro.mining.counting import count_candidates, count_items, supports_as_fractions
+from repro.mining.hash_tree import HashTree
+from repro.mining.counting import count_candidates_with_tree
+
+
+class TestCountItems:
+    def test_counts_every_item(self, small_database):
+        counts = count_items(small_database)
+        assert counts[1] == 6
+        assert counts[2] == 7
+        assert counts[3] == 6
+        assert counts[4] == 4
+
+    def test_empty_database(self):
+        assert count_items(TransactionDatabase()) == {}
+
+
+class TestCountCandidates:
+    def test_counts_match_reference(self, small_database):
+        candidates = [(1, 2), (1, 3), (2, 4), (1, 2, 3)]
+        counts = count_candidates(small_database, candidates)
+        for candidate in candidates:
+            assert counts[candidate] == small_database.count_itemset(candidate)
+
+    def test_zero_support_candidates_are_reported(self, small_database):
+        counts = count_candidates(small_database, [(1, 5)])
+        assert counts[(1, 5)] == 0
+
+    def test_no_candidates(self, small_database):
+        assert count_candidates(small_database, []) == {}
+
+    def test_with_prebuilt_tree(self, small_database):
+        candidates = [(1, 2), (3, 4)]
+        tree = HashTree(candidates)
+        counts = {candidate: 0 for candidate in candidates}
+        count_candidates_with_tree(small_database, tree, counts)
+        assert counts[(1, 2)] == small_database.count_itemset((1, 2))
+        assert counts[(3, 4)] == small_database.count_itemset((3, 4))
+
+
+class TestSupportFractions:
+    def test_fractions(self):
+        fractions = supports_as_fractions({(1,): 3, (2,): 1}, 4)
+        assert fractions[(1,)] == 0.75
+        assert fractions[(2,)] == 0.25
+
+    def test_zero_database_size(self):
+        fractions = supports_as_fractions({(1,): 3}, 0)
+        assert fractions[(1,)] == 0.0

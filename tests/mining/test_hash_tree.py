@@ -1,0 +1,115 @@
+"""Unit tests for the hash tree (the Subset(C, T) primitive)."""
+
+from __future__ import annotations
+
+import random
+from itertools import combinations
+
+import pytest
+
+from repro.mining.hash_tree import HashTree
+
+
+class TestConstruction:
+    def test_empty_tree(self):
+        tree = HashTree()
+        assert len(tree) == 0
+        assert tree.subsets_in((1, 2, 3)) == []
+
+    def test_insert_and_len(self):
+        tree = HashTree([(1, 2), (2, 3)])
+        assert len(tree) == 2
+        assert tree.itemset_size == 2
+
+    def test_iteration_returns_all_candidates(self):
+        candidates = {(1, 2), (2, 3), (1, 5), (4, 9)}
+        tree = HashTree(candidates)
+        assert set(tree) == candidates
+
+    def test_rejects_mixed_sizes(self):
+        tree = HashTree([(1, 2)])
+        with pytest.raises(ValueError):
+            tree.insert((1, 2, 3))
+
+    def test_rejects_bad_branching(self):
+        with pytest.raises(ValueError):
+            HashTree(branching=1)
+
+    def test_rejects_bad_leaf_capacity(self):
+        with pytest.raises(ValueError):
+            HashTree(leaf_capacity=0)
+
+    def test_contains(self):
+        tree = HashTree([(1, 2), (3, 4)])
+        assert tree.contains((1, 2))
+        assert not tree.contains((2, 3))
+
+
+class TestSubsetMatching:
+    def test_matches_contained_candidates(self):
+        tree = HashTree([(1, 2), (2, 3), (1, 4)])
+        assert set(tree.subsets_in((1, 2, 3))) == {(1, 2), (2, 3)}
+
+    def test_no_match_for_short_transaction(self):
+        tree = HashTree([(1, 2, 3)])
+        assert tree.subsets_in((1, 2)) == []
+
+    def test_no_false_positives(self):
+        tree = HashTree([(1, 9)])
+        assert tree.subsets_in((1, 2, 3)) == []
+
+    def test_each_candidate_reported_once(self):
+        tree = HashTree([(1, 2)], branching=2)
+        matches = tree.subsets_in((1, 2, 3, 4, 5, 6))
+        assert matches.count((1, 2)) == 1
+
+    def test_singleton_candidates(self):
+        tree = HashTree([(1,), (5,), (9,)])
+        assert set(tree.subsets_in((1, 9))) == {(1,), (9,)}
+
+    def test_leaf_split_preserves_matches(self):
+        # Force splits with a tiny leaf capacity and many colliding candidates.
+        candidates = [(a, b) for a in range(0, 16, 2) for b in range(17, 33, 2) if a < b]
+        tree = HashTree(candidates, branching=4, leaf_capacity=2)
+        transaction = tuple(range(0, 33))
+        assert set(tree.subsets_in(transaction)) == set(candidates)
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("size", [1, 2, 3, 4])
+    def test_matches_equal_brute_force(self, size):
+        rng = random.Random(size * 101)
+        universe = list(range(30))
+        candidates = {
+            tuple(sorted(rng.sample(universe, size))) for _ in range(60)
+        }
+        tree = HashTree(candidates, branching=5, leaf_capacity=3)
+        for _ in range(50):
+            transaction = tuple(sorted(rng.sample(universe, rng.randint(size, 12))))
+            expected = {
+                candidate
+                for candidate in candidates
+                if set(candidate).issubset(transaction)
+            }
+            assert set(tree.subsets_in(transaction)) == expected
+            assert len(tree.subsets_in(transaction)) == len(expected)
+
+    def test_counting_matches_itertools(self):
+        rng = random.Random(99)
+        universe = list(range(20))
+        transactions = [
+            tuple(sorted(rng.sample(universe, rng.randint(2, 10)))) for _ in range(100)
+        ]
+        candidates = {tuple(sorted(rng.sample(universe, 3))) for _ in range(40)}
+        tree = HashTree(candidates)
+        counts = {candidate: 0 for candidate in candidates}
+        for transaction in transactions:
+            for match in tree.subsets_in(transaction):
+                counts[match] += 1
+        for candidate in candidates:
+            expected = sum(
+                1
+                for transaction in transactions
+                if set(candidate).issubset(transaction)
+            )
+            assert counts[candidate] == expected

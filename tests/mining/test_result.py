@@ -1,0 +1,163 @@
+"""Unit tests for the itemset lattice and mining-result containers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvalidItemsetError, InvalidThresholdError
+from repro.mining.result import (
+    ItemsetLattice,
+    MiningResult,
+    required_support_count,
+    validate_min_support,
+)
+
+
+class TestRequiredSupportCount:
+    def test_exact_products_are_not_rounded_up(self):
+        # 0.03 * 1100 is 33.000000000000004 in floating point; the threshold
+        # must still be 33, matching the paper's Example 1 arithmetic.
+        assert required_support_count(0.03, 1100) == 33
+
+    def test_fractional_products_round_up(self):
+        assert required_support_count(0.03, 1010) == 31  # 30.3 -> 31
+
+    def test_full_support(self):
+        assert required_support_count(1.0, 250) == 250
+
+    def test_empty_database(self):
+        assert required_support_count(0.1, 0) == 0
+
+    @pytest.mark.parametrize(
+        ("support", "size"),
+        [(0.06, 101_000), (0.0075, 101_000), (0.02, 11_000), (0.01, 350_000)],
+    )
+    def test_paper_parameter_points_match_exact_arithmetic(self, support, size):
+        from fractions import Fraction
+
+        exact = Fraction(str(support)) * size
+        expected = int(exact) if exact.denominator == 1 else int(exact) + 1
+        assert required_support_count(support, size) == expected
+
+
+class TestValidateMinSupport:
+    def test_accepts_valid_values(self):
+        assert validate_min_support(0.5) == 0.5
+        assert validate_min_support(1) == 1.0
+
+    @pytest.mark.parametrize("bad", [0.0, -0.1, 1.5, "high", None, True])
+    def test_rejects_invalid_values(self, bad):
+        with pytest.raises(InvalidThresholdError):
+            validate_min_support(bad)
+
+
+class TestItemsetLattice:
+    def test_add_and_query(self):
+        lattice = ItemsetLattice(database_size=10)
+        lattice.add((1, 2), 4)
+        assert (1, 2) in lattice
+        assert lattice.support_count((1, 2)) == 4
+        assert lattice.support((1, 2)) == pytest.approx(0.4)
+
+    def test_add_canonicalises(self):
+        lattice = ItemsetLattice()
+        lattice.add((2, 1), 3)  # type: ignore[arg-type]
+        assert lattice.support_count((1, 2)) == 3
+
+    def test_add_rejects_negative_count(self):
+        lattice = ItemsetLattice()
+        with pytest.raises(InvalidItemsetError):
+            lattice.add((1,), -1)
+
+    def test_missing_itemset_has_zero_support(self):
+        lattice = ItemsetLattice(database_size=10)
+        assert lattice.support_count((9,)) == 0
+        assert lattice.support((9,)) == 0.0
+
+    def test_levels(self):
+        lattice = ItemsetLattice()
+        lattice.add((1,), 5)
+        lattice.add((2,), 5)
+        lattice.add((1, 2), 3)
+        assert lattice.level(1) == {(1,), (2,)}
+        assert lattice.level(2) == {(1, 2)}
+        assert lattice.level(3) == set()
+        assert lattice.sizes() == [1, 2]
+        assert lattice.max_size() == 2
+
+    def test_discard(self):
+        lattice = ItemsetLattice()
+        lattice.add((1,), 5)
+        lattice.discard((1,))
+        assert (1,) not in lattice
+        assert lattice.max_size() == 0
+        lattice.discard((1,))  # idempotent
+
+    def test_itemsets_sorted_by_size_then_lex(self):
+        lattice = ItemsetLattice()
+        lattice.add((2, 3), 1)
+        lattice.add((1,), 1)
+        lattice.add((1, 2), 1)
+        lattice.add((3,), 1)
+        assert lattice.itemsets() == [(1,), (3,), (1, 2), (2, 3)]
+
+    def test_copy_is_independent(self):
+        lattice = ItemsetLattice(database_size=5)
+        lattice.add((1,), 2)
+        clone = lattice.copy()
+        clone.add((2,), 1)
+        assert (2,) not in lattice
+        assert clone.database_size == 5
+
+    def test_equality(self):
+        first = ItemsetLattice({(1,): 2})
+        second = ItemsetLattice({(1,): 2})
+        third = ItemsetLattice({(1,): 3})
+        assert first == second
+        assert first != third
+
+    def test_downward_closure_check(self):
+        lattice = ItemsetLattice()
+        lattice.add((1, 2), 2)  # subsets missing
+        assert lattice.violates_downward_closure() == [(1, 2)]
+        lattice.add((1,), 3)
+        lattice.add((2,), 3)
+        assert lattice.violates_downward_closure() == []
+
+    def test_constructor_from_mapping(self):
+        lattice = ItemsetLattice({(1,): 4, (1, 2): 2}, database_size=8)
+        assert len(lattice) == 2
+        assert lattice.database_size == 8
+
+
+class TestMiningResult:
+    def _result(self) -> MiningResult:
+        lattice = ItemsetLattice({(1,): 6, (2,): 5, (1, 2): 4}, database_size=10)
+        return MiningResult(
+            lattice=lattice,
+            min_support=0.3,
+            algorithm="apriori",
+            candidates_generated=7,
+            candidates_per_level={1: 4, 2: 3},
+            database_scans=2,
+            transactions_read=20,
+            elapsed_seconds=0.01,
+        )
+
+    def test_properties(self):
+        result = self._result()
+        assert result.database_size == 10
+        assert result.large_itemsets == [(1,), (2,), (1, 2)]
+        assert result.level(2) == {(1, 2)}
+
+    def test_support_accessors_accept_any_iterable(self):
+        result = self._result()
+        assert result.support_count([2, 1]) == 4
+        assert result.support([1]) == pytest.approx(0.6)
+
+    def test_summary_fields(self):
+        summary = self._result().summary()
+        assert summary["algorithm"] == "apriori"
+        assert summary["large_itemsets"] == 3
+        assert summary["candidates_generated"] == 7
+        assert summary["max_itemset_size"] == 2

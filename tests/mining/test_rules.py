@@ -1,0 +1,137 @@
+"""Unit tests for association-rule generation and interest measures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import AprioriMiner, TransactionDatabase, generate_rules
+from repro.errors import InvalidThresholdError
+from repro.mining.result import ItemsetLattice
+from repro.mining.rules import (
+    AssociationRule,
+    rule_confidence,
+    rule_conviction,
+    rule_leverage,
+    rule_lift,
+)
+
+
+@pytest.fixture
+def mined_lattice(small_database) -> ItemsetLattice:
+    return AprioriMiner(min_support=0.3).mine(small_database).lattice
+
+
+class TestRuleGeneration:
+    def test_rules_meet_confidence_threshold(self, mined_lattice):
+        for rule in generate_rules(mined_lattice, min_confidence=0.7):
+            assert rule.confidence >= 0.7
+
+    def test_rule_statistics_are_consistent(self, small_database, mined_lattice):
+        for rule in generate_rules(mined_lattice, min_confidence=0.5):
+            joint = small_database.count_itemset(rule.items)
+            antecedent = small_database.count_itemset(rule.antecedent)
+            assert rule.support_count == joint
+            assert rule.support == pytest.approx(joint / len(small_database))
+            assert rule.confidence == pytest.approx(joint / antecedent)
+
+    def test_antecedent_and_consequent_are_disjoint(self, mined_lattice):
+        for rule in generate_rules(mined_lattice, min_confidence=0.5):
+            assert not set(rule.antecedent) & set(rule.consequent)
+            assert rule.items in mined_lattice
+
+    def test_every_split_of_every_large_itemset_is_considered(self):
+        # A fully deterministic database: {1, 2} in every transaction.
+        database = TransactionDatabase([[1, 2]] * 4)
+        lattice = AprioriMiner(0.5).mine(database).lattice
+        rules = generate_rules(lattice, min_confidence=0.9)
+        pairs = {(rule.antecedent, rule.consequent) for rule in rules}
+        assert ((1,), (2,)) in pairs
+        assert ((2,), (1,)) in pairs
+
+    def test_confidence_filters_asymmetric_rules(self):
+        # 1 => 2 holds strongly; 2 => 1 only half the time.
+        database = TransactionDatabase([[1, 2], [1, 2], [2, 3], [2, 4]])
+        lattice = AprioriMiner(0.25).mine(database).lattice
+        rules = generate_rules(lattice, min_confidence=0.9)
+        pairs = {(rule.antecedent, rule.consequent) for rule in rules}
+        assert ((1,), (2,)) in pairs
+        assert ((2,), (1,)) not in pairs
+
+    def test_sorted_by_confidence_then_support(self, mined_lattice):
+        rules = generate_rules(mined_lattice, min_confidence=0.4)
+        keys = [(-rule.confidence, -rule.support) for rule in rules]
+        assert keys == sorted(keys)
+
+    def test_max_consequent_size(self, random_database_factory):
+        database = random_database_factory(transactions=100, items=8, max_size=6)
+        lattice = AprioriMiner(0.2).mine(database).lattice
+        rules = generate_rules(lattice, 0.3, max_consequent_size=1)
+        assert all(len(rule.consequent) == 1 for rule in rules)
+
+    def test_empty_lattice_gives_no_rules(self):
+        assert generate_rules(ItemsetLattice(database_size=10), 0.5) == []
+
+    def test_singleton_only_lattice_gives_no_rules(self):
+        lattice = ItemsetLattice({(1,): 5, (2,): 3}, database_size=10)
+        assert generate_rules(lattice, 0.5) == []
+
+    def test_rejects_bad_confidence(self, mined_lattice):
+        with pytest.raises(InvalidThresholdError):
+            generate_rules(mined_lattice, 0.0)
+        with pytest.raises(InvalidThresholdError):
+            generate_rules(mined_lattice, 1.5)
+
+    def test_rule_string_rendering(self, mined_lattice):
+        rules = generate_rules(mined_lattice, 0.5)
+        assert rules, "expected at least one rule from the small database"
+        text = str(rules[0])
+        assert "=>" in text
+        assert "confidence=" in text
+
+
+class TestInterestMeasures:
+    def test_confidence(self):
+        assert rule_confidence(0.2, 0.4) == pytest.approx(0.5)
+        assert rule_confidence(0.2, 0.0) == 0.0
+
+    def test_lift_independence_is_one(self):
+        assert rule_lift(0.25, 0.5, 0.5) == pytest.approx(1.0)
+
+    def test_lift_positive_correlation(self):
+        assert rule_lift(0.4, 0.5, 0.5) > 1.0
+
+    def test_lift_zero_denominator(self):
+        assert rule_lift(0.1, 0.0, 0.5) == 0.0
+
+    def test_leverage_independence_is_zero(self):
+        assert rule_leverage(0.25, 0.5, 0.5) == pytest.approx(0.0)
+
+    def test_conviction_exact_rule_is_infinite(self):
+        assert rule_conviction(1.0, 0.4) == float("inf")
+
+    def test_conviction_typical_value(self):
+        assert rule_conviction(0.75, 0.5) == pytest.approx(2.0)
+
+    def test_rule_lift_matches_definition_in_generated_rules(self, small_database):
+        lattice = AprioriMiner(0.3).mine(small_database).lattice
+        size = len(small_database)
+        for rule in generate_rules(lattice, 0.4):
+            antecedent = small_database.count_itemset(rule.antecedent) / size
+            consequent = small_database.count_itemset(rule.consequent) / size
+            assert rule.lift == pytest.approx(rule.support / (antecedent * consequent))
+            assert rule.leverage == pytest.approx(rule.support - antecedent * consequent)
+
+
+class TestAssociationRuleDataclass:
+    def test_items_property(self):
+        rule = AssociationRule(
+            antecedent=(2,),
+            consequent=(1, 3),
+            support=0.5,
+            confidence=0.8,
+            support_count=5,
+            lift=1.2,
+            leverage=0.1,
+            conviction=2.0,
+        )
+        assert rule.items == (1, 2, 3)

@@ -1,0 +1,27 @@
+"""Hypothesis strategies shared by the property-based test modules."""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro import TransactionDatabase
+
+#: A single transaction: a small set of item ids drawn from a small universe,
+#: so that random databases actually contain frequent itemsets.
+transactions = st.lists(
+    st.integers(min_value=0, max_value=11), min_size=1, max_size=6
+)
+
+#: A whole database: between 1 and 60 transactions.
+transaction_lists = st.lists(transactions, min_size=1, max_size=60)
+
+#: A (possibly empty) increment of up to 25 transactions.
+increment_lists = st.lists(transactions, min_size=0, max_size=25)
+
+#: Minimum-support thresholds spanning permissive to strict.
+supports = st.sampled_from([0.1, 0.2, 0.25, 0.3, 0.5, 0.75])
+
+
+def build_database(rows: list[list[int]], name: str = "") -> TransactionDatabase:
+    """Create a database from raw hypothesis-generated rows."""
+    return TransactionDatabase(rows, name=name)

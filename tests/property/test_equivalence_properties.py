@@ -1,0 +1,90 @@
+"""Property-based tests of the central correctness invariants.
+
+The single most important property in this reproduction is the FUP
+equivalence: for *any* original database, increment and threshold, the
+incremental update must produce exactly the large itemsets (with exactly the
+support counts) that re-mining the updated database from scratch produces.
+Hypothesis hammers that invariant with adversarial small databases — empty
+increments, increments larger than the database, items that vanish, items
+that appear out of nowhere.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import AprioriMiner, DhpMiner, Fup2Updater, FupOptions, FupUpdater, TransactionDatabase
+
+from .strategies import build_database, increment_lists, supports, transaction_lists
+
+RELAXED = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@RELAXED
+@given(rows=transaction_lists, increment=increment_lists, min_support=supports)
+def test_fup_equals_apriori_on_updated_database(rows, increment, min_support):
+    original = build_database(rows)
+    increment_db = build_database(increment) if increment else TransactionDatabase()
+    initial = AprioriMiner(min_support).mine(original)
+    fup = FupUpdater(min_support).update(original, initial, increment_db)
+    remined = AprioriMiner(min_support).mine(original.concatenate(increment_db))
+    assert fup.lattice.supports() == remined.lattice.supports()
+
+
+@RELAXED
+@given(rows=transaction_lists, increment=increment_lists, min_support=supports)
+def test_fup_with_all_optimisations_disabled_is_still_exact(rows, increment, min_support):
+    original = build_database(rows)
+    increment_db = build_database(increment) if increment else TransactionDatabase()
+    initial = AprioriMiner(min_support).mine(original)
+    fup = FupUpdater(min_support, options=FupOptions.all_disabled()).update(
+        original, initial, increment_db
+    )
+    remined = AprioriMiner(min_support).mine(original.concatenate(increment_db))
+    assert fup.lattice.supports() == remined.lattice.supports()
+
+
+@RELAXED
+@given(rows=transaction_lists, min_support=supports)
+def test_dhp_equals_apriori(rows, min_support):
+    database = build_database(rows)
+    apriori = AprioriMiner(min_support).mine(database)
+    dhp = DhpMiner(min_support).mine(database)
+    assert dhp.lattice.supports() == apriori.lattice.supports()
+
+
+@RELAXED
+@given(
+    rows=transaction_lists,
+    insertions=increment_lists,
+    delete_count=st.integers(min_value=0, max_value=20),
+    min_support=supports,
+)
+def test_fup2_equals_apriori_on_modified_database(rows, insertions, delete_count, min_support):
+    original = build_database(rows)
+    delete_count = min(delete_count, len(original))
+    deletions = original.slice(len(original) - delete_count)
+    remaining = original.slice(0, len(original) - delete_count)
+    insert_db = build_database(insertions) if insertions else TransactionDatabase()
+
+    initial = AprioriMiner(min_support).mine(original)
+    result = Fup2Updater(min_support).update(original, initial, insert_db, deletions)
+    remined = AprioriMiner(min_support).mine(remaining.concatenate(insert_db))
+    assert result.lattice.supports() == remined.lattice.supports()
+
+
+@RELAXED
+@given(rows=transaction_lists, increment=increment_lists, min_support=supports)
+def test_fup_support_counts_are_true_counts(rows, increment, min_support):
+    original = build_database(rows)
+    increment_db = build_database(increment) if increment else TransactionDatabase()
+    updated = original.concatenate(increment_db)
+    initial = AprioriMiner(min_support).mine(original)
+    fup = FupUpdater(min_support).update(original, initial, increment_db)
+    for candidate, count in fup.lattice.supports().items():
+        assert count == updated.count_itemset(candidate)

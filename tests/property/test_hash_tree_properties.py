@@ -1,0 +1,60 @@
+"""Property-based tests for the hash tree against a brute-force oracle."""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.mining.hash_tree import HashTree
+
+RELAXED = settings(
+    max_examples=80,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+items = st.integers(min_value=0, max_value=25)
+
+
+@st.composite
+def candidates_and_transaction(draw):
+    size = draw(st.integers(min_value=1, max_value=4))
+    candidate_pool = draw(
+        st.lists(
+            st.lists(items, min_size=size, max_size=size, unique=True).map(
+                lambda values: tuple(sorted(values))
+            ),
+            min_size=0,
+            max_size=30,
+            unique=True,
+        )
+    )
+    transaction = tuple(sorted(draw(st.sets(items, min_size=0, max_size=15))))
+    branching = draw(st.integers(min_value=2, max_value=9))
+    leaf_capacity = draw(st.integers(min_value=1, max_value=6))
+    return candidate_pool, transaction, branching, leaf_capacity
+
+
+@RELAXED
+@given(data=candidates_and_transaction())
+def test_subsets_in_matches_brute_force(data):
+    candidate_pool, transaction, branching, leaf_capacity = data
+    tree = HashTree(candidate_pool, branching=branching, leaf_capacity=leaf_capacity)
+    matches = tree.subsets_in(transaction)
+    expected = {
+        candidate for candidate in candidate_pool if set(candidate).issubset(transaction)
+    }
+    assert set(matches) == expected
+    # Each match reported exactly once, so counting loops stay exact.
+    assert len(matches) == len(expected)
+
+
+@RELAXED
+@given(data=candidates_and_transaction())
+def test_tree_stores_every_candidate(data):
+    candidate_pool, _, branching, leaf_capacity = data
+    tree = HashTree(candidate_pool, branching=branching, leaf_capacity=leaf_capacity)
+    assert set(tree) == set(candidate_pool)
+    assert len(tree) == len(candidate_pool)
+    for candidate in candidate_pool:
+        assert tree.contains(candidate)

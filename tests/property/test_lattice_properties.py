@@ -1,0 +1,67 @@
+"""Property-based tests of lattice invariants and rule soundness."""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import AprioriMiner, generate_rules
+from repro.mining.result import required_support_count
+
+from .strategies import build_database, supports, transaction_lists
+
+RELAXED = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@RELAXED
+@given(rows=transaction_lists, min_support=supports)
+def test_downward_closure(rows, min_support):
+    database = build_database(rows)
+    result = AprioriMiner(min_support).mine(database)
+    assert result.lattice.violates_downward_closure() == []
+
+
+@RELAXED
+@given(rows=transaction_lists, min_support=supports)
+def test_every_large_itemset_meets_the_threshold(rows, min_support):
+    database = build_database(rows)
+    result = AprioriMiner(min_support).mine(database)
+    threshold = required_support_count(min_support, len(database))
+    for candidate, count in result.lattice.supports().items():
+        assert count >= threshold
+        assert count == database.count_itemset(candidate)
+
+
+@RELAXED
+@given(rows=transaction_lists, min_support=supports)
+def test_no_large_itemset_is_missed_at_level_one(rows, min_support):
+    # Completeness spot-check at level 1, where brute force is cheap.
+    database = build_database(rows)
+    result = AprioriMiner(min_support).mine(database)
+    threshold = required_support_count(min_support, len(database))
+    for item, count in database.item_counts().items():
+        if count >= threshold:
+            assert (item,) in result.lattice
+
+
+@RELAXED
+@given(
+    rows=transaction_lists,
+    min_support=supports,
+    min_confidence=st.sampled_from([0.2, 0.5, 0.8, 1.0]),
+)
+def test_rule_soundness(rows, min_support, min_confidence):
+    database = build_database(rows)
+    result = AprioriMiner(min_support).mine(database)
+    for rule in generate_rules(result.lattice, min_confidence):
+        joint = database.count_itemset(rule.items)
+        antecedent = database.count_itemset(rule.antecedent)
+        assert rule.support_count == joint
+        assert joint / antecedent >= min_confidence
+        assert not set(rule.antecedent) & set(rule.consequent)
+        # The rule's itemset is large, so its support meets the threshold.
+        assert joint >= required_support_count(min_support, len(database))

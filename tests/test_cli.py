@@ -1,0 +1,206 @@
+"""End-to-end tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import AprioriMiner, TransactionDatabase, load_database, save_database
+from repro.cli import build_parser, load_state, main, save_state
+from repro.errors import ReproError
+
+
+@pytest.fixture
+def workload_files(tmp_path, random_database_factory):
+    """A database file, an increment file and their in-memory counterparts."""
+    database = random_database_factory(transactions=300, items=20, max_size=7, seed=3)
+    original = database.slice(0, 250, name="original")
+    increment = database.slice(250, name="increment")
+    database_path = tmp_path / "db.txt"
+    increment_path = tmp_path / "incr.txt"
+    save_database(original, database_path)
+    save_database(increment, increment_path)
+    return {
+        "database_path": database_path,
+        "increment_path": increment_path,
+        "original": original,
+        "increment": increment,
+    }
+
+
+class TestStateFiles:
+    def test_round_trip(self, tmp_path, small_database):
+        result = AprioriMiner(0.3).mine(small_database)
+        path = tmp_path / "state.json"
+        save_state(result, path)
+        lattice, min_support = load_state(path)
+        assert lattice.supports() == result.lattice.supports()
+        assert lattice.database_size == len(small_database)
+        assert min_support == 0.3
+
+    def test_state_file_is_json(self, tmp_path, small_database):
+        path = tmp_path / "state.json"
+        save_state(AprioriMiner(0.3).mine(small_database), path)
+        payload = json.loads(path.read_text())
+        assert payload["format"] == "repro-itemset-state"
+        assert payload["algorithm"] == "apriori"
+
+    def test_load_rejects_other_json(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text('{"hello": "world"}')
+        with pytest.raises(ReproError):
+            load_state(path)
+
+
+class TestParser:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+        assert "repro" in capsys.readouterr().out
+
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_mine_requires_support(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["mine", "db.txt"])
+
+
+class TestGenerateCommand:
+    def test_generates_files_of_requested_size(self, tmp_path, capsys):
+        database_path = tmp_path / "db.txt"
+        increment_path = tmp_path / "incr.txt"
+        code = main(
+            [
+                "generate",
+                str(database_path),
+                "--increment", str(increment_path),
+                "--database-size", "200",
+                "--increment-size", "40",
+                "--items", "50",
+                "--patterns", "30",
+                "--transaction-size", "6",
+                "--pattern-size", "3",
+                "--seed", "9",
+            ]
+        )
+        assert code == 0
+        assert len(load_database(database_path)) == 200
+        assert len(load_database(increment_path)) == 40
+        assert "wrote 200 transactions" in capsys.readouterr().out
+
+    def test_generate_without_increment_file(self, tmp_path):
+        database_path = tmp_path / "db.txt"
+        code = main(
+            [
+                "generate", str(database_path),
+                "--database-size", "50", "--increment-size", "10",
+                "--items", "30", "--patterns", "20",
+            ]
+        )
+        assert code == 0
+        assert database_path.exists()
+
+
+class TestMineCommand:
+    def test_mine_writes_state(self, tmp_path, workload_files, capsys):
+        state_path = tmp_path / "state.json"
+        code = main(
+            [
+                "mine", str(workload_files["database_path"]),
+                "--min-support", "0.1",
+                "--state", str(state_path),
+            ]
+        )
+        assert code == 0
+        lattice, min_support = load_state(state_path)
+        expected = AprioriMiner(0.1).mine(workload_files["original"])
+        assert lattice.supports() == expected.lattice.supports()
+        assert min_support == 0.1
+        assert "large itemsets" in capsys.readouterr().out
+
+    def test_mine_with_dhp_and_rules(self, workload_files, capsys):
+        code = main(
+            [
+                "mine", str(workload_files["database_path"]),
+                "--algorithm", "dhp",
+                "--min-support", "0.1",
+                "--min-confidence", "0.5",
+                "--top", "3",
+            ]
+        )
+        assert code == 0
+        assert "strong rules" in capsys.readouterr().out
+
+
+class TestUpdateCommand:
+    def test_update_matches_remining(self, tmp_path, workload_files, capsys):
+        state_path = tmp_path / "state.json"
+        out_state = tmp_path / "updated.json"
+        out_database = tmp_path / "updated.txt"
+        assert main(
+            [
+                "mine", str(workload_files["database_path"]),
+                "--min-support", "0.1", "--state", str(state_path),
+            ]
+        ) == 0
+        code = main(
+            [
+                "update",
+                str(workload_files["database_path"]),
+                str(workload_files["increment_path"]),
+                str(state_path),
+                "--out-state", str(out_state),
+                "--out-database", str(out_database),
+            ]
+        )
+        assert code == 0
+        lattice, _ = load_state(out_state)
+        updated = workload_files["original"].concatenate(workload_files["increment"])
+        expected = AprioriMiner(0.1).mine(updated)
+        assert lattice.supports() == expected.lattice.supports()
+        assert list(load_database(out_database)) == list(updated)
+        assert "fup" in capsys.readouterr().out
+
+    def test_update_with_stale_state_fails_cleanly(self, tmp_path, workload_files, capsys):
+        # State mined from the *increment* does not match the database size.
+        state_path = tmp_path / "state.json"
+        save_state(AprioriMiner(0.1).mine(workload_files["increment"]), state_path)
+        code = main(
+            [
+                "update",
+                str(workload_files["database_path"]),
+                str(workload_files["increment_path"]),
+                str(state_path),
+            ]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestRulesCommand:
+    def test_rules_from_state(self, tmp_path, small_database, capsys):
+        state_path = tmp_path / "state.json"
+        save_state(AprioriMiner(0.3).mine(small_database), state_path)
+        code = main(["rules", str(state_path), "--min-confidence", "0.6", "--top", "5"])
+        assert code == 0
+        assert "strong rules" in capsys.readouterr().out
+
+
+class TestCompareCommand:
+    def test_compare_reports_speedups(self, workload_files, capsys):
+        code = main(
+            [
+                "compare",
+                str(workload_files["database_path"]),
+                str(workload_files["increment_path"]),
+                "--min-support", "0.1",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "speed-up of FUP" in output
+        assert "candidate ratio" in output

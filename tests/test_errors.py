@@ -1,0 +1,47 @@
+"""Tests for the exception hierarchy and the public package surface."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro import errors
+
+
+class TestExceptionHierarchy:
+    @pytest.mark.parametrize(
+        "exception_type",
+        [
+            errors.InvalidItemsetError,
+            errors.InvalidTransactionError,
+            errors.InvalidThresholdError,
+            errors.EmptyDatabaseError,
+            errors.StaleStateError,
+            errors.StorageError,
+            errors.GeneratorConfigError,
+            errors.ExperimentError,
+        ],
+    )
+    def test_all_errors_derive_from_repro_error(self, exception_type):
+        assert issubclass(exception_type, errors.ReproError)
+        assert issubclass(exception_type, Exception)
+
+    def test_catching_the_base_class_catches_library_errors(self):
+        with pytest.raises(errors.ReproError):
+            repro.itemset([])
+
+
+class TestPublicApi:
+    def test_all_names_are_importable(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.__all__ lists missing name {name}"
+
+    def test_version_is_a_string(self):
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") == 2
+
+    def test_core_classes_exposed_at_top_level(self):
+        assert repro.FupUpdater.algorithm_name == "fup"
+        assert repro.Fup2Updater.algorithm_name == "fup2"
+        assert repro.AprioriMiner.algorithm_name == "apriori"
+        assert repro.DhpMiner.algorithm_name == "dhp"

@@ -1,0 +1,148 @@
+"""Unit tests for the canonical itemset helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvalidItemsetError
+from repro.itemsets import (
+    contains,
+    format_itemset,
+    is_canonical,
+    itemset,
+    one_extensions,
+    parse_itemset,
+    proper_subsets,
+    subsets_of_size,
+    support_fraction,
+    union,
+)
+
+
+class TestItemsetConstruction:
+    def test_sorts_and_deduplicates(self):
+        assert itemset([3, 1, 2, 1]) == (1, 2, 3)
+
+    def test_accepts_any_iterable(self):
+        assert itemset({5, 2}) == (2, 5)
+        assert itemset(iter([7])) == (7,)
+
+    def test_single_item(self):
+        assert itemset([0]) == (0,)
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidItemsetError):
+            itemset([])
+
+    def test_rejects_negative_items(self):
+        with pytest.raises(InvalidItemsetError):
+            itemset([1, -2])
+
+    def test_rejects_non_integer_items(self):
+        with pytest.raises(InvalidItemsetError):
+            itemset([1, "a"])
+
+    def test_rejects_booleans(self):
+        with pytest.raises(InvalidItemsetError):
+            itemset([True, 2])
+
+    def test_rejects_non_iterable(self):
+        with pytest.raises(InvalidItemsetError):
+            itemset(42)  # type: ignore[arg-type]
+
+
+class TestIsCanonical:
+    def test_accepts_sorted_tuple(self):
+        assert is_canonical((1, 2, 5))
+
+    def test_rejects_unsorted(self):
+        assert not is_canonical((2, 1))
+
+    def test_rejects_duplicates(self):
+        assert not is_canonical((1, 1, 2))
+
+    def test_rejects_list(self):
+        assert not is_canonical([1, 2])  # type: ignore[arg-type]
+
+    def test_rejects_empty_tuple(self):
+        assert not is_canonical(())
+
+    def test_rejects_negative(self):
+        assert not is_canonical((-1, 2))
+
+    def test_rejects_bool_members(self):
+        assert not is_canonical((True, 2))
+
+
+class TestSetOperations:
+    def test_union_is_canonical(self):
+        assert union((1, 3), (2, 3)) == (1, 2, 3)
+
+    def test_union_disjoint(self):
+        assert union((1,), (2,)) == (1, 2)
+
+    def test_subsets_of_size(self):
+        assert list(subsets_of_size((1, 2, 3), 2)) == [(1, 2), (1, 3), (2, 3)]
+
+    def test_subsets_of_size_zero(self):
+        assert list(subsets_of_size((1, 2), 0)) == []
+
+    def test_subsets_of_size_too_large(self):
+        assert list(subsets_of_size((1, 2), 3)) == []
+
+    def test_proper_subsets(self):
+        assert set(proper_subsets((1, 2, 3))) == {
+            (1,), (2,), (3,), (1, 2), (1, 3), (2, 3),
+        }
+
+    def test_proper_subsets_of_singleton_is_empty(self):
+        assert list(proper_subsets((1,))) == []
+
+    def test_one_extensions(self):
+        assert set(one_extensions((2,), [1, 2, 3])) == {(1, 2), (2, 3)}
+
+    def test_one_extensions_skips_members(self):
+        assert list(one_extensions((1, 2), [1, 2])) == []
+
+    def test_contains_true(self):
+        assert contains((1, 2, 3, 4), (2, 4))
+
+    def test_contains_false(self):
+        assert not contains((1, 2, 3), (2, 5))
+
+
+class TestSupportFraction:
+    def test_plain_division(self):
+        assert support_fraction(3, 10) == pytest.approx(0.3)
+
+    def test_zero_total_is_zero(self):
+        assert support_fraction(5, 0) == 0.0
+
+
+class TestFormatting:
+    def test_format_plain(self):
+        assert format_itemset((1, 2)) == "{1, 2}"
+
+    def test_format_with_names(self):
+        assert format_itemset((1, 2), {1: "beer", 2: "nappies"}) == "{beer, nappies}"
+
+    def test_format_with_partial_names(self):
+        assert format_itemset((1, 2), {1: "beer"}) == "{beer, 2}"
+
+    def test_parse_braced(self):
+        assert parse_itemset("{3, 1, 2}") == (1, 2, 3)
+
+    def test_parse_space_separated(self):
+        assert parse_itemset("5 4") == (4, 5)
+
+    def test_parse_round_trip(self):
+        original = (2, 7, 9)
+        assert parse_itemset(format_itemset(original)) == original
+
+    def test_parse_rejects_empty(self):
+        with pytest.raises(InvalidItemsetError):
+            parse_itemset("{}")
+
+    def test_parse_rejects_non_integer(self):
+        with pytest.raises(InvalidItemsetError):
+            parse_itemset("1 two")
