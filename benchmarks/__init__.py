@@ -1,0 +1,6 @@
+"""Paper-reproduction benchmarks (collected as the ``benchmarks`` package).
+
+The ``__init__`` makes relative imports of the shared ``conftest`` helpers
+(``from .conftest import ...``) package-safe so that ``python -m pytest``
+collects these modules from any rootdir.
+"""

@@ -17,7 +17,7 @@ import pytest
 
 from repro.harness.runner import measure_fup_overhead
 
-from .conftest import build_workload, print_report
+from .conftest import build_workload, print_report, timing_asserts_enabled
 
 #: Increment sizes (relative to the database) probed for the overhead curve.
 INCREMENT_FRACTIONS = [0.05, 0.25, 1.0, 2.0]
@@ -72,5 +72,6 @@ def test_section45_overhead_of_fup(benchmark):
     # increment grow FUP's own cost faster than re-mining grows, so the trend
     # is only asserted loosely here and the measured curve is recorded instead.
     fractions = {fraction: record.overhead_fraction for fraction, record in records}
-    assert fractions[INCREMENT_FRACTIONS[0]] < 0.25
-    assert all(value < 0.6 for value in fractions.values())
+    if timing_asserts_enabled():
+        assert fractions[INCREMENT_FRACTIONS[0]] < 0.25
+        assert all(value < 0.6 for value in fractions.values())

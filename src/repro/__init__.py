@@ -46,14 +46,22 @@ from .db import (
     save_database,
 )
 from .mining import (
+    BACKEND_NAMES,
     AprioriMiner,
     AssociationRule,
+    CountingBackend,
     DhpMiner,
+    DhpOptions,
     HashTree,
+    HorizontalBackend,
     ItemsetLattice,
+    MiningOptions,
     MiningResult,
+    PartitionedBackend,
+    VerticalBackend,
     apriori_gen,
     generate_rules,
+    make_backend,
     mine_apriori,
     mine_dhp,
 )
@@ -107,6 +115,7 @@ __all__ = [
     # mining
     "AprioriMiner",
     "DhpMiner",
+    "DhpOptions",
     "HashTree",
     "ItemsetLattice",
     "MiningResult",
@@ -115,6 +124,14 @@ __all__ = [
     "generate_rules",
     "mine_apriori",
     "mine_dhp",
+    # counting backends
+    "BACKEND_NAMES",
+    "CountingBackend",
+    "HorizontalBackend",
+    "VerticalBackend",
+    "PartitionedBackend",
+    "MiningOptions",
+    "make_backend",
     # core
     "FupUpdater",
     "Fup2Updater",

@@ -35,13 +35,15 @@ from typing import Sequence
 
 from . import __version__
 from .core.fup import FupUpdater
+from .core.options import FupOptions
 from .datagen.synthetic import SyntheticConfig, SyntheticDataGenerator
 from .db.store import load_database, save_database
 from .errors import ReproError
 from .harness.reporting import format_table
 from .harness.runner import compare_update_strategies
 from .mining.apriori import AprioriMiner
-from .mining.dhp import DhpMiner
+from .mining.backends import BACKEND_NAMES, DEFAULT_SHARDS, MiningOptions
+from .mining.dhp import DhpMiner, DhpOptions
 from .mining.result import ItemsetLattice, MiningResult
 from .mining.rules import generate_rules
 
@@ -100,15 +102,19 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _make_miner(name: str, min_support: float):
+def _make_miner(name: str, min_support: float, backend: str, shards: int):
     if name == "dhp":
-        return DhpMiner(min_support)
-    return AprioriMiner(min_support)
+        return DhpMiner(min_support, options=DhpOptions(backend=backend, shards=shards))
+    return AprioriMiner(
+        min_support, options=MiningOptions(backend=backend, shards=shards)
+    )
 
 
 def _cmd_mine(args: argparse.Namespace) -> int:
     database = load_database(args.database)
-    result = _make_miner(args.algorithm, args.min_support).mine(database)
+    result = _make_miner(
+        args.algorithm, args.min_support, args.backend, args.shards
+    ).mine(database)
     print(
         f"{result.algorithm}: {len(result.lattice)} large itemsets "
         f"(max size {result.lattice.max_size()}) from {len(database)} transactions "
@@ -129,7 +135,8 @@ def _cmd_update(args: argparse.Namespace) -> int:
     original = load_database(args.database)
     increment = load_database(args.increment)
     lattice, min_support = load_state(args.state)
-    result = FupUpdater(min_support).update(original, lattice, increment)
+    options = FupOptions(backend=args.backend, shards=args.shards)
+    result = FupUpdater(min_support, options=options).update(original, lattice, increment)
 
     before = set(lattice.itemsets())
     after = set(result.lattice.itemsets())
@@ -160,7 +167,11 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     original = load_database(args.database)
     increment = load_database(args.increment)
     comparison = compare_update_strategies(
-        original, increment, args.min_support, workload=Path(args.database).stem
+        original,
+        increment,
+        args.min_support,
+        workload=Path(args.database).stem,
+        mining=MiningOptions(backend=args.backend, shards=args.shards),
     )
     rows = [
         {
@@ -203,6 +214,26 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--version", action="version", version=f"repro {__version__}")
     commands = parser.add_subparsers(dest="command", required=True)
 
+    def positive_int(value: str) -> int:
+        number = int(value)
+        if number < 1:
+            raise argparse.ArgumentTypeError(f"must be a positive integer, got {number}")
+        return number
+
+    def add_backend_flags(subparser: argparse.ArgumentParser) -> None:
+        subparser.add_argument(
+            "--backend",
+            choices=list(BACKEND_NAMES),
+            default="horizontal",
+            help="support-counting engine (default: horizontal hash-tree scan)",
+        )
+        subparser.add_argument(
+            "--shards",
+            type=positive_int,
+            default=DEFAULT_SHARDS,
+            help="partition count for the partitioned backend",
+        )
+
     generate = commands.add_parser("generate", help="generate a synthetic Tx.Iy.Dm.dn workload")
     generate.add_argument("database", help="output file for the original database DB")
     generate.add_argument("--increment", help="output file for the increment db")
@@ -222,6 +253,7 @@ def build_parser() -> argparse.ArgumentParser:
     mine.add_argument("--state", help="write the itemset state (JSON) to this file")
     mine.add_argument("--min-confidence", type=float, help="also print rules at this confidence")
     mine.add_argument("--top", type=int, default=10, help="number of rules to print")
+    add_backend_flags(mine)
     mine.set_defaults(handler=_cmd_mine)
 
     update = commands.add_parser("update", help="apply an increment with FUP")
@@ -230,6 +262,7 @@ def build_parser() -> argparse.ArgumentParser:
     update.add_argument("state", help="itemset state file produced by 'mine'")
     update.add_argument("--out-state", help="write the updated itemset state here")
     update.add_argument("--out-database", help="write the concatenated database here")
+    add_backend_flags(update)
     update.set_defaults(handler=_cmd_update)
 
     rules = commands.add_parser("rules", help="derive strong rules from a saved state")
@@ -244,6 +277,7 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("database", help="original database file")
     compare.add_argument("increment", help="increment file")
     compare.add_argument("--min-support", type=float, required=True)
+    add_backend_flags(compare)
     compare.set_defaults(handler=_cmd_compare)
 
     return parser

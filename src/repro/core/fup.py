@@ -31,11 +31,12 @@ from __future__ import annotations
 import time
 from collections import Counter
 from itertools import combinations
-from typing import Iterable, Sequence
+from typing import Sequence
 
 from ..db.transaction_db import Transaction, TransactionDatabase
 from ..errors import StaleStateError
 from ..itemsets import Item, Itemset
+from ..mining.backends import CountingBackend, make_backend
 from ..mining.candidates import apriori_gen
 from ..mining.hash_tree import HashTree
 from ..mining.result import (
@@ -89,6 +90,7 @@ class FupUpdater:
         if max_itemset_size is not None and max_itemset_size < 1:
             raise ValueError(f"max_itemset_size must be positive, got {max_itemset_size}")
         self.max_itemset_size = max_itemset_size
+        self.backend = make_backend(self.options.backend, shards=self.options.shards)
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -119,6 +121,7 @@ class FupUpdater:
             original=original,
             old=old,
             increment=increment,
+            backend=self.backend,
         )
         lattice = state.run()
 
@@ -170,6 +173,7 @@ class _FupRun:
         original: TransactionDatabase,
         old: ItemsetLattice,
         increment: TransactionDatabase,
+        backend: CountingBackend | None = None,
     ) -> None:
         self.min_support = min_support
         self.options = options
@@ -181,16 +185,38 @@ class _FupRun:
         self.required_total = required_support_count(min_support, self.total_size)
         self.required_increment = required_support_count(min_support, self.increment_size)
 
+        # Counting engine.  The Section 3.4 database reductions and the DHP
+        # hash filter are interleaved into the horizontal per-transaction
+        # scan; engines without such a loop run every counting pass
+        # themselves and those two (lossless) prunes are skipped, keeping the
+        # databases intact so index-caching engines can reuse their
+        # per-database representation across iterations.
+        self.backend = backend if backend is not None else make_backend(
+            options.backend, shards=options.shards
+        )
+        self.interleaved_scans = self.backend.supports_transaction_pruning
+        self.original_db = original
+        self.increment_db = increment
+
         # Working copies of the two databases; the Section 3.4 reductions
-        # shrink these as the iterations proceed.
-        self.working_increment: list[Transaction] = list(increment)
-        self.working_original: list[Transaction] = list(original)
+        # shrink these as the iterations proceed.  Only the interleaved
+        # (horizontal) mode reduces — and therefore needs — the copies; the
+        # engine modes scan the database objects directly, so copying the
+        # potentially huge original database would be pure waste.
+        if self.interleaved_scans:
+            self.working_increment: list[Transaction] = list(increment)
+            self.working_original: list[Transaction] = list(original)
+        else:
+            self.working_increment = []
+            self.working_original = []
 
         # Direct-hashing buckets over size-2 subsets (Section 3.4, DHP
         # integration); the original-database buckets are only available when
         # the first iteration actually had to scan the original database.
         self.increment_buckets: list[int] | None = (
-            [0] * options.hash_table_size if options.use_hash_filter else None
+            [0] * options.hash_table_size
+            if options.use_hash_filter and self.interleaved_scans
+            else None
         )
         self.original_buckets: list[int] | None = None
 
@@ -227,14 +253,19 @@ class _FupRun:
         # Single scan of the increment: counts every item (both for updating
         # the old winners and for harvesting new candidates) and, when the
         # hash filter is on, the size-2 subset buckets.
-        increment_counts: Counter[Item] = Counter()
-        for transaction in self.working_increment:
-            increment_counts.update(transaction)
-            if self.increment_buckets is not None:
-                for pair in combinations(transaction, 2):
-                    self.increment_buckets[_hash_pair(pair, options.hash_table_size)] += 1
+        if self.interleaved_scans:
+            increment_counts: Counter[Item] = Counter()
+            for transaction in self.working_increment:
+                increment_counts.update(transaction)
+                if self.increment_buckets is not None:
+                    for pair in combinations(transaction, 2):
+                        self.increment_buckets[_hash_pair(pair, options.hash_table_size)] += 1
+        else:
+            increment_counts = self.backend.count_items(self.increment_db)
         self.increment_scans += 1
-        self.transactions_read += len(self.working_increment)
+        # The first scan always reads the whole increment (no reduction has
+        # happened yet in either mode).
+        self.transactions_read += self.increment_size
 
         # Winners and losers among the old large 1-itemsets (Lemma 1).
         new_level: set[Itemset] = set()
@@ -278,28 +309,34 @@ class _FupRun:
     ) -> None:
         """Scan ``DB`` once: count the surviving 1-candidates, drop ``P`` items."""
         options = self.options
-        original_counts: dict[Item, int] = {candidate[0]: 0 for candidate in candidate_counts}
-        remove_hopeless = options.reduce_databases and bool(hopeless_items)
-        if options.use_hash_filter:
-            self.original_buckets = [0] * options.hash_table_size
+        if not self.interleaved_scans:
+            counted = self.backend.count_candidates(self.original_db, list(candidate_counts))
+            original_counts = {candidate[0]: count for candidate, count in counted.items()}
+            self.database_scans += 1
+            self.transactions_read += self.original_size
+        else:
+            original_counts = {candidate[0]: 0 for candidate in candidate_counts}
+            remove_hopeless = options.reduce_databases and bool(hopeless_items)
+            if options.use_hash_filter:
+                self.original_buckets = [0] * options.hash_table_size
 
-        reduced: list[Transaction] = []
-        for transaction in self.working_original:
-            if remove_hopeless:
-                transaction = tuple(
-                    item for item in transaction if item not in hopeless_items
-                )
-            for item in transaction:
-                if item in original_counts:
-                    original_counts[item] += 1
-            if self.original_buckets is not None:
-                for pair in combinations(transaction, 2):
-                    self.original_buckets[_hash_pair(pair, options.hash_table_size)] += 1
-            reduced.append(transaction)
-        self.database_scans += 1
-        self.transactions_read += len(self.working_original)
-        if options.reduce_databases:
-            self.working_original = reduced
+            reduced: list[Transaction] = []
+            for transaction in self.working_original:
+                if remove_hopeless:
+                    transaction = tuple(
+                        item for item in transaction if item not in hopeless_items
+                    )
+                for item in transaction:
+                    if item in original_counts:
+                        original_counts[item] += 1
+                if self.original_buckets is not None:
+                    for pair in combinations(transaction, 2):
+                        self.original_buckets[_hash_pair(pair, options.hash_table_size)] += 1
+                reduced.append(transaction)
+            self.database_scans += 1
+            self.transactions_read += len(self.working_original)
+            if options.reduce_databases:
+                self.working_original = reduced
 
         for candidate, increment_count in candidate_counts.items():
             count = original_counts[candidate[0]] + increment_count
@@ -389,6 +426,17 @@ class _FupRun:
     ) -> tuple[dict[Itemset, int], dict[Itemset, int]]:
         """One pass over the increment counting both pools, with Reduce-db trimming."""
         options = self.options
+        if not self.interleaved_scans:
+            # The engine counts both pools in one pass; Reduce-db is skipped
+            # (the increment was never reduced in this mode, so the cached
+            # per-database index stays valid).
+            winner_counts, candidate_counts = self.backend.count_pools(
+                self.increment_db, [winners_pool, candidates]
+            )
+            self.increment_scans += 1
+            self.transactions_read += self.increment_size
+            return winner_counts, candidate_counts
+
         winner_tree = HashTree(winners_pool) if winners_pool else None
         candidate_tree = HashTree(candidates) if candidates else None
         winner_counts: dict[Itemset, int] = {candidate: 0 for candidate in winners_pool}
@@ -427,6 +475,17 @@ class _FupRun:
     ) -> None:
         """Scan ``DB`` counting the pruned candidates, with Reduce-DB trimming."""
         options = self.options
+        if not self.interleaved_scans:
+            original_counts = self.backend.count_candidates(self.original_db, candidates)
+            self.database_scans += 1
+            self.transactions_read += self.original_size
+            for candidate in candidates:
+                count = original_counts[candidate] + candidate_counts[candidate]
+                if count >= self.required_total:
+                    lattice.add(candidate, count)
+                    new_level.add(candidate)
+            return
+
         candidate_tree = HashTree(candidates)
         original_counts: dict[Itemset, int] = {candidate: 0 for candidate in candidates}
 
@@ -464,7 +523,7 @@ class _FupRun:
     def _contains_loser(candidate: Itemset, losers: set[Itemset]) -> bool:
         """True when some (k−1)-subset of *candidate* is a known loser (Lemma 3)."""
         for index in range(len(candidate)):
-            if candidate[:index] + candidate[index + 1:] in losers:
+            if candidate[:index] + candidate[index + 1 :] in losers:
                 return True
         return False
 

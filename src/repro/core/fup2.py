@@ -32,13 +32,12 @@ from __future__ import annotations
 
 import time
 from collections import Counter
-from typing import Iterable
 
 from ..db.transaction_db import Transaction, TransactionDatabase
 from ..errors import StaleStateError
 from ..itemsets import Item, Itemset
+from ..mining.backends import CountingBackend, MiningOptions, make_backend
 from ..mining.candidates import apriori_gen
-from ..mining.hash_tree import HashTree
 from ..mining.result import (
     ItemsetLattice,
     MiningResult,
@@ -59,15 +58,31 @@ class Fup2Updater:
         used by the previous mining run.
     max_itemset_size:
         Optional cap on the itemset size explored.
+    options:
+        Counting-engine configuration (:class:`MiningOptions`); a ready
+        :class:`~repro.mining.backends.CountingBackend` instance or a
+        registry name is also accepted.  Default: the horizontal hash-tree
+        scan.
     """
 
     algorithm_name = "fup2"
 
-    def __init__(self, min_support: float, max_itemset_size: int | None = None) -> None:
+    def __init__(
+        self,
+        min_support: float,
+        max_itemset_size: int | None = None,
+        options: MiningOptions | CountingBackend | str | None = None,
+    ) -> None:
         self.min_support = validate_min_support(min_support)
         if max_itemset_size is not None and max_itemset_size < 1:
             raise ValueError(f"max_itemset_size must be positive, got {max_itemset_size}")
         self.max_itemset_size = max_itemset_size
+        if options is None:
+            self.backend: CountingBackend = make_backend()
+        elif isinstance(options, MiningOptions):
+            self.backend = options.make_backend()
+        else:
+            self.backend = make_backend(options)
 
     # ------------------------------------------------------------------ #
     def update(
@@ -115,6 +130,7 @@ class Fup2Updater:
             old=old,
             insertions=insertions,
             deletions=deletions,
+            backend=self.backend,
         )
         lattice = run.run()
         elapsed = time.perf_counter() - start
@@ -142,11 +158,13 @@ class _Fup2Run:
         old: ItemsetLattice,
         insertions: TransactionDatabase,
         deletions: TransactionDatabase,
+        backend: CountingBackend | None = None,
     ) -> None:
         self.min_support = min_support
         self.max_itemset_size = max_itemset_size
         self.old = old
         self.original = original
+        self.backend = backend if backend is not None else make_backend()
         self.insertions = list(insertions)
         self.deletions = list(deletions)
         self.original_size = len(original)
@@ -224,11 +242,12 @@ class _Fup2Run:
         if not candidate_items:
             return new_level
 
-        original_counts: dict[Item, int] = {item: 0 for item in candidate_items}
-        for transaction in self.original:
-            for item in transaction:
-                if item in original_counts:
-                    original_counts[item] += 1
+        counted = self.backend.count_candidates(
+            self.original, [(item,) for item in candidate_items]
+        )
+        original_counts: dict[Item, int] = {
+            candidate[0]: count for candidate, count in counted.items()
+        }
         self.database_scans += 1
         self.transactions_read += self.original_size
 
@@ -242,17 +261,12 @@ class _Fup2Run:
 
     # ------------------------------------------------------------------ #
     def _count_pool(
-        self, transactions: Iterable[Transaction], pool: set[Itemset]
+        self, transactions: "TransactionDatabase | list[Transaction]", pool: set[Itemset]
     ) -> dict[Itemset, int]:
-        """Count every itemset of *pool* over *transactions* with a hash tree."""
-        counts: dict[Itemset, int] = {candidate: 0 for candidate in pool}
+        """Count every itemset of *pool* over *transactions* with the engine."""
         if not pool:
-            return counts
-        tree = HashTree(pool)
-        for transaction in transactions:
-            for match in tree.subsets_in(transaction):
-                counts[match] += 1
-        return counts
+            return {}
+        return self.backend.count_candidates(transactions, pool)
 
     def _level_k(
         self, lattice: ItemsetLattice, size: int, previous_new_level: set[Itemset]

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..mining.backends import BACKEND_NAMES, DEFAULT_SHARDS, HorizontalBackend
+
 __all__ = ["FupOptions"]
 
 
@@ -38,6 +40,17 @@ class FupOptions:
     hash_table_size:
         Bucket count of the direct-hashing table (the paper's DHP runs use
         100 buckets).
+    backend:
+        Counting engine running the support scans (see
+        :data:`repro.mining.backends.BACKEND_NAMES`).  The database
+        reductions and the hash filter are woven into the horizontal
+        per-transaction scan loop; when a non-horizontal engine is selected
+        the scans run through the engine instead and those two interleaved
+        optimisations are skipped (they are lossless prunes, so the resulting
+        large itemsets and support counts are identical — only
+        instrumentation like candidate counts can differ).
+    shards:
+        Partition count used by the ``"partitioned"`` engine.
     """
 
     prune_candidates_by_increment: bool = True
@@ -45,10 +58,19 @@ class FupOptions:
     reduce_databases: bool = True
     use_hash_filter: bool = True
     hash_table_size: int = 100
+    backend: str = HorizontalBackend.name
+    shards: int = DEFAULT_SHARDS
 
     def __post_init__(self) -> None:
         if self.hash_table_size < 1:
             raise ValueError(f"hash_table_size must be positive, got {self.hash_table_size}")
+        if self.backend not in BACKEND_NAMES:
+            raise ValueError(
+                f"unknown counting backend {self.backend!r}; "
+                f"expected one of {', '.join(BACKEND_NAMES)}"
+            )
+        if self.shards < 1:
+            raise ValueError(f"shards must be positive, got {self.shards}")
 
     @classmethod
     def all_disabled(cls) -> "FupOptions":

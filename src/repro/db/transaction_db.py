@@ -22,7 +22,46 @@ from ..itemsets import Item, Itemset
 
 Transaction = tuple[Item, ...]
 
-__all__ = ["Transaction", "TransactionDatabase"]
+__all__ = ["Transaction", "TransactionDatabase", "build_vertical_index", "shard_bounds"]
+
+
+def build_vertical_index(transactions: Sequence[Transaction]) -> dict[Item, int]:
+    """Build the item → TID-bitmask index in one pass over *transactions*.
+
+    Bit ``t`` of an item's mask is set when transaction ``t`` contains the
+    item, so ``mask.bit_count()`` is the item's support count and
+    intersecting the masks of an itemset's members counts the itemset.  This
+    is the single definition of the vertical layout — both
+    :meth:`TransactionDatabase.vertical` and the vertical counting engine
+    build through it.
+    """
+    index: dict[Item, int] = {}
+    for tid, transaction in enumerate(transactions):
+        bit = 1 << tid
+        for item in transaction:
+            index[item] = index.get(item, 0) | bit
+    return index
+
+
+def shard_bounds(total: int, shards: int) -> list[tuple[int, int]]:
+    """Balanced contiguous ``[start, stop)`` bounds splitting *total* items.
+
+    At most *shards* non-empty bounds come back (fewer when ``total`` is
+    smaller); sizes differ by at most one and cover ``range(total)`` in
+    order.  Shared by :meth:`TransactionDatabase.partition` and the
+    partitioned counting engine so the split semantics cannot drift apart.
+    """
+    if shards < 1:
+        raise ValueError(f"shards must be positive, got {shards}")
+    size, remainder = divmod(total, shards)
+    bounds: list[tuple[int, int]] = []
+    start = 0
+    for index in range(shards):
+        stop = start + size + (1 if index < remainder else 0)
+        if stop > start:
+            bounds.append((start, stop))
+        start = stop
+    return bounds
 
 
 def _canonical_transaction(raw: Iterable[Item], tid: int | None = None) -> Transaction:
@@ -57,7 +96,7 @@ class TransactionDatabase:
         Optional label used in reports (for example ``"T10.I4.D100.d1"``).
     """
 
-    __slots__ = ("_transactions", "name")
+    __slots__ = ("_transactions", "_vertical", "name")
 
     def __init__(
         self,
@@ -67,6 +106,7 @@ class TransactionDatabase:
         self._transactions: list[Transaction] = [
             _canonical_transaction(raw, tid) for tid, raw in enumerate(transactions)
         ]
+        self._vertical: dict[Item, int] | None = None
         self.name = name
 
     # ------------------------------------------------------------------ #
@@ -112,6 +152,7 @@ class TransactionDatabase:
     def append(self, transaction: Iterable[Item]) -> None:
         """Append a single transaction."""
         self._transactions.append(_canonical_transaction(transaction, len(self)))
+        self._vertical = None
 
     def extend(self, transactions: Iterable[Iterable[Item]]) -> None:
         """Append every transaction of *transactions* (an increment ``db``)."""
@@ -120,6 +161,7 @@ class TransactionDatabase:
             _canonical_transaction(raw, base + offset)
             for offset, raw in enumerate(transactions)
         )
+        self._vertical = None
 
     def remove_batch(self, transactions: Iterable[Iterable[Item]]) -> int:
         """Remove one occurrence of each given transaction; return how many were removed.
@@ -142,6 +184,7 @@ class TransactionDatabase:
             else:
                 kept.append(transaction)
         self._transactions = kept
+        self._vertical = None
         return removed
 
     # ------------------------------------------------------------------ #
@@ -179,6 +222,38 @@ class TransactionDatabase:
         """
         needed = set(candidate)
         return sum(1 for transaction in self._transactions if needed.issubset(transaction))
+
+    def vertical(self) -> dict[Item, int]:
+        """Return the cached vertical (TID-bitset) representation.
+
+        The result maps each item to an ``int`` bitmask in which bit ``t`` is
+        set when transaction ``t`` contains the item, so
+        ``mask.bit_count()`` is the item's support count and intersecting the
+        masks of an itemset's members counts the itemset.  The index is built
+        lazily on first use and invalidated by every mutation
+        (:meth:`append`, :meth:`extend`, :meth:`remove_batch`); treat the
+        returned mapping as read-only.
+        """
+        if self._vertical is None:
+            self._vertical = build_vertical_index(self._transactions)
+        return self._vertical
+
+    def partition(self, shards: int, name: str = "") -> list["TransactionDatabase"]:
+        """Split the database into at most *shards* contiguous partitions.
+
+        The partitions are balanced (sizes differ by at most one), cover every
+        transaction exactly once in order, and are returned as independent
+        database views; empty partitions are dropped, so fewer than *shards*
+        databases come back when the database is smaller than the shard
+        count.  Support counting distributes over the partitions —
+        ``support(X, DB) = Σ support(X, shard_i)`` — which is the invariant
+        the partitioned counting engine builds on.
+        """
+        partitions: list[TransactionDatabase] = []
+        for index, (start, stop) in enumerate(shard_bounds(len(self._transactions), shards)):
+            label = name or (f"{self.name}[shard {index}]" if self.name else "")
+            partitions.append(self.slice(start, stop, name=label))
+        return partitions
 
     def slice(self, start: int, stop: int | None = None, name: str = "") -> "TransactionDatabase":
         """Return a new database holding transactions ``[start:stop)``."""

@@ -22,7 +22,8 @@ from ..core.options import FupOptions
 from ..db.transaction_db import TransactionDatabase
 from ..errors import ExperimentError
 from ..mining.apriori import AprioriMiner
-from ..mining.dhp import DhpMiner
+from ..mining.backends import MiningOptions
+from ..mining.dhp import DhpMiner, DhpOptions
 from ..mining.result import MiningResult
 from .metrics import ComparisonRecord, RunRecord, speedup
 
@@ -41,12 +42,19 @@ def run_miner(
     algorithm: str,
     database: TransactionDatabase,
     min_support: float,
+    mining: MiningOptions | None = None,
 ) -> MiningResult:
-    """Run one of the from-scratch miners (``"apriori"`` or ``"dhp"``)."""
+    """Run one of the from-scratch miners (``"apriori"`` or ``"dhp"``).
+
+    *mining* selects the counting engine (default: horizontal hash-tree).
+    """
     if algorithm == "apriori":
-        return AprioriMiner(min_support).mine(database)
+        return AprioriMiner(min_support, options=mining).mine(database)
     if algorithm == "dhp":
-        return DhpMiner(min_support).mine(database)
+        dhp_options = (
+            DhpOptions(backend=mining.backend, shards=mining.shards) if mining else None
+        )
+        return DhpMiner(min_support, options=dhp_options).mine(database)
     raise ExperimentError(f"unknown miner {algorithm!r}; expected 'apriori' or 'dhp'")
 
 
@@ -113,6 +121,7 @@ def compare_update_strategies(
     workload: str = "",
     options: FupOptions | None = None,
     initial: MiningResult | None = None,
+    mining: MiningOptions | None = None,
 ) -> UpdateComparison:
     """Run the paper's comparison template on one update instance.
 
@@ -126,17 +135,23 @@ def compare_update_strategies(
         Label used in the records.
     options:
         FUP feature switches.
+    mining:
+        Counting-engine configuration applied to every strategy (when
+        *options* is given it wins for the FUP leg).
     initial:
         The mining result of the original database, if already available;
         when omitted it is mined here with Apriori (its time is *not* part of
         the comparison — the paper treats the old large itemsets as given).
     """
     if initial is None:
-        initial = AprioriMiner(min_support).mine(original)
+        initial = AprioriMiner(min_support, options=mining).mine(original)
     updated = original.concatenate(increment)
+    if options is None and mining is not None:
+        options = FupOptions(backend=mining.backend, shards=mining.shards)
     fup_result = run_fup_update(original, initial, increment, min_support, options=options)
-    apriori_result = AprioriMiner(min_support).mine(updated)
-    dhp_result = DhpMiner(min_support).mine(updated)
+    apriori_result = AprioriMiner(min_support, options=mining).mine(updated)
+    dhp_options = DhpOptions(backend=mining.backend, shards=mining.shards) if mining else None
+    dhp_result = DhpMiner(min_support, options=dhp_options).mine(updated)
     return UpdateComparison(
         workload=workload or original.name or "workload",
         min_support=min_support,

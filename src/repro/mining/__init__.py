@@ -9,9 +9,18 @@ second sub-problem of association-rule mining — lives in :mod:`repro.mining.ru
 
 from .result import ItemsetLattice, MiningResult
 from .hash_tree import HashTree
+from .backends import (
+    BACKEND_NAMES,
+    CountingBackend,
+    HorizontalBackend,
+    MiningOptions,
+    PartitionedBackend,
+    VerticalBackend,
+    make_backend,
+)
 from .candidates import apriori_gen, generate_level_one_candidates, prune_by_subsets
 from .apriori import AprioriMiner, mine_apriori
-from .dhp import DhpMiner, mine_dhp
+from .dhp import DhpMiner, DhpOptions, mine_dhp
 from .counting import count_candidates, count_items
 from .rules import (
     AssociationRule,
@@ -32,9 +41,17 @@ __all__ = [
     "AprioriMiner",
     "mine_apriori",
     "DhpMiner",
+    "DhpOptions",
     "mine_dhp",
     "count_candidates",
     "count_items",
+    "BACKEND_NAMES",
+    "CountingBackend",
+    "HorizontalBackend",
+    "VerticalBackend",
+    "PartitionedBackend",
+    "MiningOptions",
+    "make_backend",
     "AssociationRule",
     "generate_rules",
     "rule_confidence",

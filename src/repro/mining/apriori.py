@@ -22,9 +22,14 @@ import time
 
 from ..db.transaction_db import TransactionDatabase
 from ..itemsets import Itemset
+from .backends import (
+    BACKEND_NAMES,
+    DEFAULT_SHARDS,
+    CountingBackend,
+    MiningOptions,
+    make_backend,
+)
 from .candidates import apriori_gen
-from .counting import count_items
-from .hash_tree import HashTree
 from .result import (
     ItemsetLattice,
     MiningResult,
@@ -48,15 +53,44 @@ class AprioriMiner:
     max_itemset_size:
         Optional cap on the itemset size explored (useful in tests and
         ablations); ``None`` means run until no large itemsets are found.
+    options:
+        Counting-engine configuration (:class:`MiningOptions`); the default
+        uses the horizontal hash-tree scan.  A ready
+        :class:`~repro.mining.backends.CountingBackend` instance or a
+        registry name is also accepted.
     """
 
     algorithm_name = "apriori"
 
-    def __init__(self, min_support: float, max_itemset_size: int | None = None) -> None:
+    def __init__(
+        self,
+        min_support: float,
+        max_itemset_size: int | None = None,
+        options: MiningOptions | CountingBackend | str | None = None,
+    ) -> None:
         self.min_support = validate_min_support(min_support)
         if max_itemset_size is not None and max_itemset_size < 1:
             raise ValueError(f"max_itemset_size must be positive, got {max_itemset_size}")
         self.max_itemset_size = max_itemset_size
+        if options is None or isinstance(options, MiningOptions):
+            self.options: MiningOptions | None = (
+                options if options is not None else MiningOptions()
+            )
+            self.backend = self.options.make_backend()
+        else:
+            # A backend name or ready engine: resolve it first, then describe
+            # it in `options` so the two attributes never disagree.  Custom
+            # engines outside the registry cannot be described by
+            # MiningOptions, so `options` is None for them.
+            self.backend = make_backend(options)
+            self.options = (
+                MiningOptions(
+                    backend=self.backend.name,
+                    shards=getattr(self.backend, "shards", DEFAULT_SHARDS),
+                )
+                if self.backend.name in BACKEND_NAMES
+                else None
+            )
 
     # ------------------------------------------------------------------ #
     def required_count(self, database_size: int) -> int:
@@ -74,7 +108,7 @@ class AprioriMiner:
         transactions_read = 0
 
         # --- level 1: count every item in one scan --------------------- #
-        item_counts = count_items(database)
+        item_counts = self.backend.count_items(database)
         scans += 1
         transactions_read += database_size
         candidates_per_level[1] = len(item_counts)
@@ -92,11 +126,7 @@ class AprioriMiner:
             if not candidates:
                 break
             candidates_per_level[size] = len(candidates)
-            tree = HashTree(candidates)
-            counts: dict[Itemset, int] = {candidate: 0 for candidate in candidates}
-            for transaction in database:
-                for match in tree.subsets_in(transaction):
-                    counts[match] += 1
+            counts: dict[Itemset, int] = self.backend.count_candidates(database, candidates)
             scans += 1
             transactions_read += database_size
 
@@ -125,6 +155,9 @@ def mine_apriori(
     database: TransactionDatabase,
     min_support: float,
     max_itemset_size: int | None = None,
+    options: MiningOptions | CountingBackend | str | None = None,
 ) -> MiningResult:
     """Convenience wrapper: mine *database* with Apriori at *min_support*."""
-    return AprioriMiner(min_support, max_itemset_size=max_itemset_size).mine(database)
+    return AprioriMiner(
+        min_support, max_itemset_size=max_itemset_size, options=options
+    ).mine(database)

@@ -1,0 +1,102 @@
+"""The partitioned (sharded, parallel) counting engine.
+
+The database is split into ``shards`` contiguous partitions; each partition
+is counted independently by an inner engine and the per-shard counts are
+summed.  Support counting is embarrassingly parallel over disjoint
+partitions — ``support(C, DB) = Σ_i support(C, shard_i)`` — which makes this
+engine the library's first sharding seam: the same split/merge shape scales
+out to multi-process or multi-machine execution by swapping the executor,
+without touching any algorithm code.
+
+Shards run on a :class:`concurrent.futures.ThreadPoolExecutor`.  In pure
+CPython the GIL serialises the Python-level inner scans, so this engine is
+about the *seam* (deterministic merge semantics, shard-boundary correctness,
+an executor swap away from real parallelism) rather than single-process
+speed; the benchmark suite records both so the trade-off stays visible.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from concurrent.futures import ThreadPoolExecutor
+from typing import Iterable, Sequence
+
+from ...db.transaction_db import Transaction, TransactionDatabase, shard_bounds
+from ...itemsets import Item, Itemset
+from .base import CountingBackend, TransactionSource
+from .horizontal import HorizontalBackend
+
+__all__ = ["PartitionedBackend", "split_into_shards"]
+
+#: Default number of partitions (and worker threads).
+DEFAULT_SHARDS = 4
+
+
+def split_into_shards(
+    transactions: Sequence[Transaction], shards: int
+) -> list[Sequence[Transaction]]:
+    """Split *transactions* into at most *shards* contiguous, balanced parts.
+
+    Empty parts are dropped, so fewer than *shards* parts come back when the
+    input is smaller than the shard count.  The split semantics are
+    :func:`repro.db.transaction_db.shard_bounds` — the same bounds
+    :meth:`TransactionDatabase.partition` uses.
+    """
+    return [
+        transactions[start:stop] for start, stop in shard_bounds(len(transactions), shards)
+    ]
+
+
+class PartitionedBackend(CountingBackend):
+    """Count each shard in parallel with an inner engine, then merge."""
+
+    name = "partitioned"
+    supports_transaction_pruning = False
+
+    def __init__(
+        self,
+        shards: int = DEFAULT_SHARDS,
+        inner: CountingBackend | None = None,
+    ) -> None:
+        if shards < 1:
+            raise ValueError(f"shards must be positive, got {shards}")
+        self.shards = shards
+        self.inner = inner if inner is not None else HorizontalBackend()
+
+    # ------------------------------------------------------------------ #
+    def _shards(self, transactions: TransactionSource) -> list[Sequence[Transaction]]:
+        if isinstance(transactions, TransactionDatabase):
+            return [shard.transactions() for shard in transactions.partition(self.shards)]
+        return split_into_shards(self.materialize(transactions), self.shards)
+
+    def count_items(self, transactions: TransactionSource) -> Counter[Item]:
+        parts = self._shards(transactions)
+        merged: Counter[Item] = Counter()
+        if not parts:
+            return merged
+        with ThreadPoolExecutor(max_workers=len(parts)) as executor:
+            for shard_counts in executor.map(self.inner.count_items, parts):
+                merged.update(shard_counts)
+        return merged
+
+    def count_candidates(
+        self,
+        transactions: TransactionSource,
+        candidates: Iterable[Itemset],
+    ) -> dict[Itemset, int]:
+        candidate_list = list(candidates)
+        counts: dict[Itemset, int] = {candidate: 0 for candidate in candidate_list}
+        if not counts:
+            return counts
+        parts = self._shards(transactions)
+        if not parts:
+            return counts
+        with ThreadPoolExecutor(max_workers=len(parts)) as executor:
+            shard_results = executor.map(
+                lambda part: self.inner.count_candidates(part, candidate_list), parts
+            )
+            for shard_counts in shard_results:
+                for candidate, count in shard_counts.items():
+                    if count:
+                        counts[candidate] += count
+        return counts

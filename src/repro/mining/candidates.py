@@ -47,7 +47,7 @@ def join_step(previous_level: Set[Itemset]) -> set[Itemset]:
             continue
         tails = sorted(candidate[-1] for candidate in group)
         for index, first in enumerate(tails):
-            for second in tails[index + 1:]:
+            for second in tails[index + 1 :]:
                 joined.add(prefix + (first, second))
     return joined
 
@@ -58,7 +58,7 @@ def prune_by_subsets(candidates: Iterable[Itemset], previous_level: Set[Itemset]
     for candidate in candidates:
         keep = True
         for index in range(len(candidate)):
-            subset = candidate[:index] + candidate[index + 1:]
+            subset = candidate[:index] + candidate[index + 1 :]
             if subset not in previous_level:
                 keep = False
                 break

@@ -4,50 +4,53 @@ Each function performs one scan over an iterable of transactions and returns
 absolute support counts.  The miners keep their own per-run instrumentation
 (scan counts, transactions read); these helpers only do the counting so that
 Apriori, DHP and FUP cannot drift apart in how a "scan" is defined.
+
+The actual scan machinery lives in the pluggable engines of
+:mod:`repro.mining.backends`; the module-level functions here are thin fronts
+over a backend (the classic horizontal hash-tree scan by default) kept for
+API stability and for callers that do not care which engine runs the scan.
 """
 
 from __future__ import annotations
 
 from collections import Counter
-from typing import Iterable, Mapping
+from typing import Iterable, Mapping, Sequence
 
+from ..db.transaction_db import TransactionDatabase
 from ..itemsets import Item, Itemset
+from .backends import CountingBackend, HorizontalBackend, TransactionSource, make_backend
 from .hash_tree import HashTree
 
 __all__ = ["count_items", "count_candidates", "count_candidates_with_tree"]
 
+#: Stateless default engine shared by the module-level helpers.
+_DEFAULT_BACKEND = HorizontalBackend()
 
-def count_items(transactions: Iterable[tuple[Item, ...]]) -> Counter[Item]:
+
+def count_items(
+    transactions: Iterable[tuple[Item, ...]],
+    backend: CountingBackend | str | None = None,
+) -> Counter[Item]:
     """Count per-item occurrences (supports of all 1-itemsets) in one scan."""
-    counts: Counter[Item] = Counter()
-    for transaction in transactions:
-        counts.update(transaction)
-    return counts
+    engine = _DEFAULT_BACKEND if backend is None else make_backend(backend)
+    return engine.count_items(_as_source(transactions))
 
 
 def count_candidates(
     transactions: Iterable[tuple[Item, ...]],
     candidates: Iterable[Itemset],
+    backend: CountingBackend | str | None = None,
 ) -> dict[Itemset, int]:
-    """Count the support of *candidates* over *transactions* using hash trees.
+    """Count the support of *candidates* over *transactions*.
 
-    The candidates may be of mixed sizes (one hash tree is built per size).
-    Returns a mapping that contains an entry for **every** candidate, including
-    those with zero support — callers frequently need the explicit zero.
+    The candidates may be of mixed sizes.  Returns a mapping that contains an
+    entry for **every** candidate, including those with zero support —
+    callers frequently need the explicit zero.  The optional *backend* picks
+    the counting engine (a :class:`~repro.mining.backends.CountingBackend`
+    instance or registry name); the default is the horizontal hash-tree scan.
     """
-    candidate_list = list(candidates)
-    counts: dict[Itemset, int] = {candidate: 0 for candidate in candidate_list}
-    if not candidate_list:
-        return counts
-    by_size: dict[int, list[Itemset]] = {}
-    for candidate in candidate_list:
-        by_size.setdefault(len(candidate), []).append(candidate)
-    trees = [HashTree(group) for group in by_size.values()]
-    for transaction in transactions:
-        for tree in trees:
-            for match in tree.subsets_in(transaction):
-                counts[match] += 1
-    return counts
+    engine = _DEFAULT_BACKEND if backend is None else make_backend(backend)
+    return engine.count_candidates(_as_source(transactions), candidates)
 
 
 def count_candidates_with_tree(
@@ -60,11 +63,25 @@ def count_candidates_with_tree(
     Used when the caller wants to interleave counting with other per-transaction
     work (for example DHP's bucket hashing or FUP's transaction trimming) and
     therefore drives the scan loop itself — this variant simply documents the
-    shared idiom and keeps it in one place for the simple cases.
+    shared idiom and keeps it in one place for the simple cases.  It is
+    inherently horizontal: interleaving requires visiting transactions one at
+    a time, which is exactly what non-horizontal engines avoid.
     """
     for transaction in transactions:
         for match in tree.subsets_in(transaction):
             counts[match] += 1
+
+
+def _as_source(transactions: Iterable[tuple[Item, ...]]) -> TransactionSource:
+    """Backends index their input; materialise one-shot iterators once here.
+
+    Databases and sequences pass through untouched — in particular a
+    :class:`TransactionDatabase` must reach the engine as itself so that
+    index-building engines can reuse its cached vertical representation.
+    """
+    if isinstance(transactions, (TransactionDatabase, Sequence)):
+        return transactions
+    return list(transactions)
 
 
 def supports_as_fractions(

@@ -167,7 +167,7 @@ class ItemsetLattice:
             if len(candidate) == 1:
                 continue
             for index in range(len(candidate)):
-                subset = candidate[:index] + candidate[index + 1:]
+                subset = candidate[:index] + candidate[index + 1 :]
                 if subset not in self._supports:
                     offenders.append(candidate)
                     break

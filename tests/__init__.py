@@ -1,0 +1,1 @@
+"""Test-suite package root (makes ``tests.property`` relative imports work)."""

@@ -1,0 +1,1 @@
+"""Property-based tests (a package so ``from .strategies import ...`` works)."""

@@ -14,9 +14,23 @@ from __future__ import annotations
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro import AprioriMiner, DhpMiner, Fup2Updater, FupOptions, FupUpdater, TransactionDatabase
+from repro import (
+    BACKEND_NAMES,
+    AprioriMiner,
+    DhpMiner,
+    Fup2Updater,
+    FupOptions,
+    FupUpdater,
+    MiningOptions,
+    TransactionDatabase,
+    make_backend,
+)
 
 from .strategies import build_database, increment_lists, supports, transaction_lists
+
+#: Counting-engine names, as a strategy for the backend-equivalence properties.
+backends = st.sampled_from(BACKEND_NAMES)
+shard_counts = st.integers(min_value=1, max_value=5)
 
 RELAXED = settings(
     max_examples=60,
@@ -88,3 +102,43 @@ def test_fup_support_counts_are_true_counts(rows, increment, min_support):
     fup = FupUpdater(min_support).update(original, initial, increment_db)
     for candidate, count in fup.lattice.supports().items():
         assert count == updated.count_itemset(candidate)
+
+
+@RELAXED
+@given(rows=transaction_lists, backend=backends, shards=shard_counts)
+def test_backends_count_candidates_identically(rows, backend, shards):
+    """Every engine returns byte-identical counts to the horizontal scan."""
+    database = build_database(rows)
+    items = sorted(database.items())
+    candidates = [(item,) for item in items]
+    candidates += [(a, b) for a in items[:6] for b in items[:6] if a < b]
+    candidates += [tuple(items[:3])] if len(items) >= 3 else []
+    reference = make_backend("horizontal").count_candidates(database, candidates)
+    engine = make_backend(backend, shards=shards)
+    assert engine.count_candidates(database, candidates) == reference
+    assert engine.count_items(database) == make_backend("horizontal").count_items(database)
+
+
+@RELAXED
+@given(
+    rows=transaction_lists,
+    increment=increment_lists,
+    min_support=supports,
+    backend=backends,
+    shards=shard_counts,
+)
+def test_miners_and_updaters_backend_invariant(rows, increment, min_support, backend, shards):
+    """Mining and updating produce identical supports on every engine."""
+    original = build_database(rows)
+    increment_db = build_database(increment) if increment else TransactionDatabase()
+    reference_mine = AprioriMiner(min_support).mine(original)
+    mined = AprioriMiner(
+        min_support, options=MiningOptions(backend=backend, shards=shards)
+    ).mine(original)
+    assert mined.lattice.supports() == reference_mine.lattice.supports()
+
+    reference_update = FupUpdater(min_support).update(original, reference_mine, increment_db)
+    updated = FupUpdater(
+        min_support, options=FupOptions(backend=backend, shards=shards)
+    ).update(original, reference_mine, increment_db)
+    assert updated.lattice.supports() == reference_update.lattice.supports()
