@@ -41,6 +41,7 @@ from .db import (
     TransactionDatabase,
     UpdateBatch,
     UpdateLog,
+    VerticalIndex,
     compute_stats,
     load_database,
     save_database,
@@ -106,6 +107,7 @@ __all__ = [
     # db
     "Transaction",
     "TransactionDatabase",
+    "VerticalIndex",
     "UpdateBatch",
     "UpdateLog",
     "DatabaseStats",

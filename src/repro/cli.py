@@ -17,6 +17,12 @@ shell, each as a subcommand:
 ``compare``
     Run the paper's three-way comparison (FUP vs. re-running Apriori and DHP)
     on a database + increment pair and print the Figure-2/3 style numbers.
+``maintain``
+    Drive a multi-batch maintenance session: mine the database, split the
+    increment (and, optionally, a deletion file) into ``--batches`` update
+    batches, apply them one by one through the :class:`RuleMaintainer` and
+    print the per-batch cost and state churn — the same scenario the
+    maintenance-session benchmark measures, against any workload.
 
 All files use the plain-text transaction format (one transaction per line,
 items as space-separated integers), so the CLI interoperates with the common
@@ -30,14 +36,18 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from pathlib import Path
 from typing import Sequence
 
 from . import __version__
 from .core.fup import FupUpdater
+from .core.maintenance import RuleMaintainer
 from .core.options import FupOptions
 from .datagen.synthetic import SyntheticConfig, SyntheticDataGenerator
 from .db.store import load_database, save_database
+from .db.transaction_db import shard_bounds
+from .db.update import UpdateBatch
 from .errors import ReproError
 from .harness.reporting import format_table
 from .harness.runner import compare_update_strategies
@@ -154,6 +164,73 @@ def _cmd_update(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_maintain(args: argparse.Namespace) -> int:
+    original = load_database(args.database)
+    increment = load_database(args.increment)
+    deletions = load_database(args.deletions) if args.deletions else None
+
+    maintainer = RuleMaintainer(
+        args.min_support,
+        args.min_confidence,
+        miner=args.miner,
+        fup_options=FupOptions(backend=args.backend, shards=args.shards),
+    )
+    began = time.perf_counter()
+    maintainer.initialise(original)
+    initial_seconds = time.perf_counter() - began
+
+    insert_bounds = shard_bounds(len(increment), args.batches)
+    delete_bounds = shard_bounds(len(deletions), args.batches) if deletions else []
+    rows: list[dict[str, object]] = []
+    total_seconds = 0.0
+    for index in range(max(len(insert_bounds), len(delete_bounds))):
+        batch = UpdateBatch.from_iterables(
+            insertions=(
+                increment.transactions()[slice(*insert_bounds[index])]
+                if index < len(insert_bounds)
+                else ()
+            ),
+            deletions=(
+                deletions.transactions()[slice(*delete_bounds[index])]
+                if deletions is not None and index < len(delete_bounds)
+                else ()
+            ),
+            label=f"batch-{index}",
+        )
+        began = time.perf_counter()
+        report = maintainer.apply(batch)
+        seconds = time.perf_counter() - began
+        total_seconds += seconds
+        rows.append(
+            {
+                "batch": report.batch_label,
+                "algorithm": report.algorithm,
+                "seconds": round(seconds, 4),
+                "size": report.database_size,
+                "itemsets +/-": f"+{len(report.itemsets_added)}/-{len(report.itemsets_removed)}",
+                "rules +/-": f"+{len(report.rules_added)}/-{len(report.rules_removed)}",
+            }
+        )
+    print(
+        format_table(
+            rows,
+            title=(
+                f"maintenance session: {len(rows)} batches over {args.database} "
+                f"(initial {args.miner} mine: {initial_seconds:.3f}s)"
+            ),
+        )
+    )
+    print(
+        f"applied {maintainer.update_log.total_insertions} insertions and "
+        f"{maintainer.update_log.total_deletions} deletions in {total_seconds:.3f}s; "
+        f"{len(maintainer.large_itemsets)} large itemsets, {len(maintainer.rules)} rules"
+    )
+    if args.out_state:
+        save_state(maintainer.result, args.out_state)
+        print(f"wrote final itemset state to {args.out_state}")
+    return 0
+
+
 def _cmd_rules(args: argparse.Namespace) -> int:
     lattice, _ = load_state(args.state)
     rules = generate_rules(lattice, args.min_confidence)
@@ -264,6 +341,21 @@ def build_parser() -> argparse.ArgumentParser:
     update.add_argument("--out-database", help="write the concatenated database here")
     add_backend_flags(update)
     update.set_defaults(handler=_cmd_update)
+
+    maintain = commands.add_parser(
+        "maintain",
+        help="drive a multi-batch maintenance session (mine, then apply updates in batches)",
+    )
+    maintain.add_argument("database", help="original database file")
+    maintain.add_argument("increment", help="insertions file, split into --batches batches")
+    maintain.add_argument("--deletions", help="deletions file, split into --batches batches")
+    maintain.add_argument("--min-support", type=float, required=True)
+    maintain.add_argument("--min-confidence", type=float, default=0.5)
+    maintain.add_argument("--batches", type=positive_int, default=1, help="update batches to apply")
+    maintain.add_argument("--miner", choices=["apriori", "dhp"], default="apriori")
+    maintain.add_argument("--out-state", help="write the final itemset state here")
+    add_backend_flags(maintain)
+    maintain.set_defaults(handler=_cmd_maintain)
 
     rules = commands.add_parser("rules", help="derive strong rules from a saved state")
     rules.add_argument("state", help="itemset state file")

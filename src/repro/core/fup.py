@@ -190,7 +190,9 @@ class _FupRun:
         # scan; engines without such a loop run every counting pass
         # themselves and those two (lossless) prunes are skipped, keeping the
         # databases intact so index-caching engines can reuse their
-        # per-database representation across iterations.
+        # per-database representation across iterations — and, because the
+        # database's vertical index is delta-maintained through mutations,
+        # across every batch of a maintenance session.
         self.backend = backend if backend is not None else make_backend(
             options.backend, shards=options.shards
         )

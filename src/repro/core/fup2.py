@@ -165,8 +165,12 @@ class _Fup2Run:
         self.old = old
         self.original = original
         self.backend = backend if backend is not None else make_backend()
-        self.insertions = list(insertions)
-        self.deletions = list(deletions)
+        # The delta batches stay database objects: every level's counting
+        # pass hands the same object to the engine, so an index-caching
+        # engine (vertical) builds each batch's index once and reuses it
+        # across all levels of this update.
+        self.insertions = insertions
+        self.deletions = deletions
         self.original_size = len(original)
         self.new_size = self.original_size - len(self.deletions) + len(self.insertions)
         self.required_old = required_support_count(min_support, self.original_size)
@@ -200,15 +204,15 @@ class _Fup2Run:
 
     # ------------------------------------------------------------------ #
     def _delta_item_counts(self) -> tuple[Counter[Item], Counter[Item]]:
-        """Count every item in db+ and db− (one scan of each delta batch)."""
-        inserted: Counter[Item] = Counter()
-        for transaction in self.insertions:
-            inserted.update(transaction)
-        deleted: Counter[Item] = Counter()
-        for transaction in self.deletions:
-            deleted.update(transaction)
-        self.increment_scans += 1 if self.insertions else 0
-        self.increment_scans += 1 if self.deletions else 0
+        """Count every item in db+ and db− (one scan of each delta batch).
+
+        Counting through the engine primes an index-caching engine's
+        per-batch index for the later per-level candidate passes.
+        """
+        inserted = self.backend.count_items(self.insertions) if len(self.insertions) else Counter()
+        deleted = self.backend.count_items(self.deletions) if len(self.deletions) else Counter()
+        self.increment_scans += 1 if len(self.insertions) else 0
+        self.increment_scans += 1 if len(self.deletions) else 0
         self.transactions_read += len(self.insertions) + len(self.deletions)
         return inserted, deleted
 

@@ -21,15 +21,17 @@ says users care about.
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import Iterable, Literal
 
 from ..db.transaction_db import TransactionDatabase
 from ..db.update import UpdateBatch, UpdateLog
-from ..errors import EmptyDatabaseError, InvalidThresholdError
+from ..errors import EmptyDatabaseError, InvalidThresholdError, StaleStateError
 from ..itemsets import Item, Itemset
 from ..mining.apriori import AprioriMiner
-from ..mining.dhp import DhpMiner
+from ..mining.backends import MiningOptions
+from ..mining.dhp import DhpMiner, DhpOptions
 from ..mining.result import MiningResult, validate_min_support
 from ..mining.rules import AssociationRule, generate_rules
 from .fup import FupUpdater
@@ -94,7 +96,10 @@ class RuleMaintainer:
         Which algorithm mines the initial state (and performs any full
         re-mine): ``"apriori"`` or ``"dhp"``.
     fup_options:
-        Feature switches forwarded to the FUP updater.
+        Feature switches forwarded to the FUP updater; its ``backend`` /
+        ``shards`` selection also drives the FUP2 updater and any full
+        re-mine, so a single counting engine serves the whole maintenance
+        session (and its per-database index is reused across batches).
     remine_increment_factor:
         If an insert-only batch is larger than this multiple of the currently
         maintained database, fall back to a full re-mine instead of FUP.
@@ -178,9 +183,15 @@ class RuleMaintainer:
         return self._result
 
     def _full_mine(self, database: TransactionDatabase) -> MiningResult:
+        backend = self.fup_options.backend
+        shards = self.fup_options.shards
         if self.miner_name == "dhp":
-            return DhpMiner(self.min_support).mine(database)
-        return AprioriMiner(self.min_support).mine(database)
+            return DhpMiner(
+                self.min_support, options=DhpOptions(backend=backend, shards=shards)
+            ).mine(database)
+        return AprioriMiner(
+            self.min_support, options=MiningOptions(backend=backend, shards=shards)
+        ).mine(database)
 
     # ------------------------------------------------------------------ #
     # Applying updates
@@ -200,7 +211,24 @@ class RuleMaintainer:
             new_result = previous
             algorithm = "noop"
         elif batch.deletions:
-            new_result = Fup2Updater(self.min_support).update(
+            # FUP2 subtracts the deletion batch's counts from the maintained
+            # supports, assuming every listed transaction actually exists;
+            # deleting a phantom row would silently corrupt the supports (and
+            # desynchronise the recorded database size), so refuse up front.
+            missing = Counter(batch.deletions) - Counter(database.transactions())
+            if missing:
+                raise StaleStateError(
+                    f"deletion batch {batch.label or '?'!r} lists "
+                    f"{sum(missing.values())} transaction(s) not present in the "
+                    f"maintained database (e.g. {next(iter(missing))!r}); "
+                    f"deletions must name existing transactions"
+                )
+            new_result = Fup2Updater(
+                self.min_support,
+                options=MiningOptions(
+                    backend=self.fup_options.backend, shards=self.fup_options.shards
+                ),
+            ).update(
                 database,
                 previous,
                 batch.insertions_database(),

@@ -11,6 +11,7 @@ This package provides the storage layer every miner in the library runs on:
 """
 
 from .transaction_db import Transaction, TransactionDatabase
+from .vertical_index import VerticalIndex
 from .update import UpdateBatch, UpdateLog
 from .stats import DatabaseStats, compute_stats
 from .store import (
@@ -25,6 +26,7 @@ from .store import (
 __all__ = [
     "Transaction",
     "TransactionDatabase",
+    "VerticalIndex",
     "UpdateBatch",
     "UpdateLog",
     "DatabaseStats",

@@ -19,10 +19,17 @@ from typing import Iterable, Iterator, Sequence
 
 from ..errors import InvalidTransactionError
 from ..itemsets import Item, Itemset
+from .vertical_index import VerticalIndex
 
 Transaction = tuple[Item, ...]
 
-__all__ = ["Transaction", "TransactionDatabase", "build_vertical_index", "shard_bounds"]
+__all__ = [
+    "Transaction",
+    "TransactionDatabase",
+    "VerticalIndex",
+    "build_vertical_index",
+    "shard_bounds",
+]
 
 
 def build_vertical_index(transactions: Sequence[Transaction]) -> dict[Item, int]:
@@ -31,9 +38,10 @@ def build_vertical_index(transactions: Sequence[Transaction]) -> dict[Item, int]
     Bit ``t`` of an item's mask is set when transaction ``t`` contains the
     item, so ``mask.bit_count()`` is the item's support count and
     intersecting the masks of an itemset's members counts the itemset.  This
-    is the single definition of the vertical layout — both
-    :meth:`TransactionDatabase.vertical` and the vertical counting engine
-    build through it.
+    is the single definition of the vertical layout — the from-scratch
+    reference that :class:`~repro.db.vertical_index.VerticalIndex` (the
+    incrementally-maintained form) is tested against, and the builder the
+    vertical counting engine uses for ad-hoc transaction lists.
     """
     index: dict[Item, int] = {}
     for tid, transaction in enumerate(transactions):
@@ -96,7 +104,7 @@ class TransactionDatabase:
         Optional label used in reports (for example ``"T10.I4.D100.d1"``).
     """
 
-    __slots__ = ("_transactions", "_vertical", "name")
+    __slots__ = ("_transactions", "_vertical", "_partitions", "name")
 
     def __init__(
         self,
@@ -106,7 +114,8 @@ class TransactionDatabase:
         self._transactions: list[Transaction] = [
             _canonical_transaction(raw, tid) for tid, raw in enumerate(transactions)
         ]
-        self._vertical: dict[Item, int] | None = None
+        self._vertical: VerticalIndex | None = None
+        self._partitions: dict[int, list["TransactionDatabase"]] = {}
         self.name = name
 
     # ------------------------------------------------------------------ #
@@ -141,9 +150,16 @@ class TransactionDatabase:
         return cls(transactions, name=name)
 
     def copy(self, name: str | None = None) -> "TransactionDatabase":
-        """Return an independent copy of this database."""
+        """Return an independent copy of this database.
+
+        A built vertical index is cloned along (cheap: the mask table is
+        copied, the immutable masks are shared), so copies of an indexed
+        database never pay a rebuild.
+        """
         clone = TransactionDatabase(name=self.name if name is None else name)
         clone._transactions = list(self._transactions)
+        if self._vertical is not None:
+            clone._vertical = self._vertical.copy()
         return clone
 
     # ------------------------------------------------------------------ #
@@ -151,17 +167,23 @@ class TransactionDatabase:
     # ------------------------------------------------------------------ #
     def append(self, transaction: Iterable[Item]) -> None:
         """Append a single transaction."""
-        self._transactions.append(_canonical_transaction(transaction, len(self)))
-        self._vertical = None
+        canonical = _canonical_transaction(transaction, len(self))
+        self._transactions.append(canonical)
+        if self._vertical is not None:
+            self._vertical.append(canonical)
+        self._partitions.clear()
 
     def extend(self, transactions: Iterable[Iterable[Item]]) -> None:
         """Append every transaction of *transactions* (an increment ``db``)."""
         base = len(self)
-        self._transactions.extend(
+        increment = [
             _canonical_transaction(raw, base + offset)
             for offset, raw in enumerate(transactions)
-        )
-        self._vertical = None
+        ]
+        self._transactions.extend(increment)
+        if self._vertical is not None:
+            self._vertical.extend(increment)
+        self._partitions.clear()
 
     def remove_batch(self, transactions: Iterable[Iterable[Item]]) -> int:
         """Remove one occurrence of each given transaction; return how many were removed.
@@ -176,16 +198,18 @@ class TransactionDatabase:
         if not to_remove:
             return 0
         kept: list[Transaction] = []
-        removed = 0
-        for transaction in self._transactions:
+        removed_tids: list[int] = []
+        for tid, transaction in enumerate(self._transactions):
             if to_remove.get(transaction, 0) > 0:
                 to_remove[transaction] -= 1
-                removed += 1
+                removed_tids.append(tid)
             else:
                 kept.append(transaction)
         self._transactions = kept
-        self._vertical = None
-        return removed
+        if self._vertical is not None:
+            self._vertical.delete_tids(removed_tids)
+        self._partitions.clear()
+        return len(removed_tids)
 
     # ------------------------------------------------------------------ #
     # Scan / query interface used by the miners
@@ -223,20 +247,27 @@ class TransactionDatabase:
         needed = set(candidate)
         return sum(1 for transaction in self._transactions if needed.issubset(transaction))
 
-    def vertical(self) -> dict[Item, int]:
+    def vertical(self) -> VerticalIndex:
         """Return the cached vertical (TID-bitset) representation.
 
         The result maps each item to an ``int`` bitmask in which bit ``t`` is
         set when transaction ``t`` contains the item, so
         ``mask.bit_count()`` is the item's support count and intersecting the
         masks of an itemset's members counts the itemset.  The index is built
-        lazily on first use and invalidated by every mutation
-        (:meth:`append`, :meth:`extend`, :meth:`remove_batch`); treat the
-        returned mapping as read-only.
+        lazily on first use and from then on **maintained by delta** through
+        every mutation (:meth:`append`, :meth:`extend`, :meth:`remove_batch`)
+        instead of being rebuilt — an update costs work proportional to the
+        update, never to the database.  Treat the returned mapping as a
+        read-only live view of this database.
         """
         if self._vertical is None:
-            self._vertical = build_vertical_index(self._transactions)
+            self._vertical = VerticalIndex.build(self._transactions)
         return self._vertical
+
+    @property
+    def has_vertical_index(self) -> bool:
+        """True when the vertical index is currently built (and maintained)."""
+        return self._vertical is not None
 
     def partition(self, shards: int, name: str = "") -> list["TransactionDatabase"]:
         """Split the database into at most *shards* contiguous partitions.
@@ -248,7 +279,21 @@ class TransactionDatabase:
         count.  Support counting distributes over the partitions —
         ``support(X, DB) = Σ support(X, shard_i)`` — which is the invariant
         the partitioned counting engine builds on.
+
+        Default-named partitions are cached per shard count and served again
+        on the next call (mutations drop the cache — partitions rebalance),
+        so repeated counting passes over the same database do not re-split
+        it; per-shard state such as a shard's vertical index therefore also
+        survives across passes.
         """
+        if not name:
+            cached = self._partitions.get(shards)
+            if cached is None:
+                cached = self._partitions[shards] = self._build_partitions(shards, "")
+            return list(cached)
+        return self._build_partitions(shards, name)
+
+    def _build_partitions(self, shards: int, name: str) -> list["TransactionDatabase"]:
         partitions: list[TransactionDatabase] = []
         for index, (start, stop) in enumerate(shard_bounds(len(self._transactions), shards)):
             label = name or (f"{self.name}[shard {index}]" if self.name else "")
@@ -256,15 +301,30 @@ class TransactionDatabase:
         return partitions
 
     def slice(self, start: int, stop: int | None = None, name: str = "") -> "TransactionDatabase":
-        """Return a new database holding transactions ``[start:stop)``."""
+        """Return a new database holding transactions ``[start:stop)``.
+
+        When this database's vertical index is built, the slice's index is
+        derived from the parent masks (one shift-and-mask per item) instead
+        of left for a from-scratch rebuild.
+        """
         clone = TransactionDatabase(name=name)
         clone._transactions = self._transactions[start:stop]
+        if self._vertical is not None:
+            clone._vertical = self._vertical.slice(start, stop)
         return clone
 
     def concatenate(
         self, other: "TransactionDatabase", name: str = ""
     ) -> "TransactionDatabase":
-        """Return a new database ``self ∪ other`` (the updated database ``DB ∪ db``)."""
+        """Return a new database ``self ∪ other`` (the updated database ``DB ∪ db``).
+
+        When this database's vertical index is built, the result's index is
+        derived by shifting *other*'s masks past this database's size —
+        *other* (typically the small increment) is indexed if it was not
+        already, but this (typically large) database is never re-scanned.
+        """
         clone = TransactionDatabase(name=name or self.name)
         clone._transactions = self._transactions + other._transactions
+        if self._vertical is not None:
+            clone._vertical = self._vertical.concatenate(other.vertical())
         return clone

@@ -237,17 +237,27 @@ class ExperimentRunner:
         increment: TransactionDatabase,
         workload: str = "",
         options: FupOptions | None = None,
+        mining: MiningOptions | None = None,
     ) -> None:
         self.original = original
         self.increment = increment
         self.workload = workload or original.name or "workload"
         self.options = options
+        self.mining = mining
         self._initial_cache: dict[float, MiningResult] = {}
 
     def initial_result(self, min_support: float) -> MiningResult:
-        """Mining result of the original database at *min_support* (cached)."""
+        """Mining result of the original database at *min_support* (cached).
+
+        Runs on the configured counting engine; with an index-caching engine
+        the original database's vertical index is built here once and then
+        reused by every comparison of the sweep (the database object is
+        shared, and its index survives — it is maintained, not rebuilt).
+        """
         if min_support not in self._initial_cache:
-            self._initial_cache[min_support] = AprioriMiner(min_support).mine(self.original)
+            self._initial_cache[min_support] = AprioriMiner(
+                min_support, options=self.mining
+            ).mine(self.original)
         return self._initial_cache[min_support]
 
     def compare(self, min_support: float) -> UpdateComparison:
@@ -259,6 +269,7 @@ class ExperimentRunner:
             workload=self.workload,
             options=self.options,
             initial=self.initial_result(min_support),
+            mining=self.mining,
         )
 
     def sweep(self, supports: list[float]) -> list[UpdateComparison]:

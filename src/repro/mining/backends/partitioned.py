@@ -8,6 +8,13 @@ engine the library's first sharding seam: the same split/merge shape scales
 out to multi-process or multi-machine execution by swapping the executor,
 without touching any algorithm code.
 
+Shards of a :class:`~repro.db.transaction_db.TransactionDatabase` come from
+``db.partition()``, which caches the shard views per shard count, so
+repeated counting passes (every level of a mining run, every batch of a
+maintenance session) reuse the same shard objects instead of re-splitting
+the database on every call — and with them any per-shard state the inner
+engine keeps, such as a shard's vertical index.
+
 Shards run on a :class:`concurrent.futures.ThreadPoolExecutor`.  In pure
 CPython the GIL serialises the Python-level inner scans, so this engine is
 about the *seam* (deterministic merge semantics, shard-boundary correctness,
@@ -64,10 +71,14 @@ class PartitionedBackend(CountingBackend):
         self.inner = inner if inner is not None else HorizontalBackend()
 
     # ------------------------------------------------------------------ #
-    def _shards(self, transactions: TransactionSource) -> list[Sequence[Transaction]]:
+    def _shards(self, transactions: TransactionSource) -> list[TransactionSource]:
         if isinstance(transactions, TransactionDatabase):
-            return [shard.transactions() for shard in transactions.partition(self.shards)]
-        return split_into_shards(self.materialize(transactions), self.shards)
+            # The shard *databases* (not their raw transaction lists) go to
+            # the inner engine: the database caches these views per shard
+            # count, so per-shard engine state — a vertical inner engine's
+            # TID-bitset index above all — survives across counting calls.
+            return list(transactions.partition(self.shards))
+        return list(split_into_shards(self.materialize(transactions), self.shards))
 
     def count_items(self, transactions: TransactionSource) -> Counter[Item]:
         parts = self._shards(transactions)

@@ -8,12 +8,15 @@ as Python ``int`` bitmasks — bit ``t`` is set when transaction ``t`` contains
 the item — so an intersection is a single C-speed ``&`` and a support count is
 one ``int.bit_count()``, regardless of how many candidates share a scan.
 
-The index is built in one pass over the transactions.  When the source is a
-:class:`~repro.db.transaction_db.TransactionDatabase` the database's cached
-vertical representation is used, so the build cost is paid once per database
-and amortised over every level of every mining run; ad-hoc transaction lists
-(the updaters' trimmed working copies) get a throwaway index per call, which
-is still a net win whenever the candidate pool is non-trivial.
+When the source is a :class:`~repro.db.transaction_db.TransactionDatabase`
+the database's cached :class:`~repro.db.vertical_index.VerticalIndex` is
+used.  That index is built once and then *maintained by delta* through every
+database mutation, so its cost is amortised not just over every level of
+every mining run but over a whole multi-batch maintenance session — the
+engine never pays a rebuild that the update stream didn't force.  Ad-hoc
+transaction lists (the updaters' trimmed working copies) get a throwaway
+index per call, which is still a net win whenever the candidate pool is
+non-trivial.
 """
 
 from __future__ import annotations

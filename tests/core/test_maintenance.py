@@ -5,13 +5,16 @@ from __future__ import annotations
 import pytest
 
 from repro import (
+    BACKEND_NAMES,
     AprioriMiner,
+    FupOptions,
     RuleMaintainer,
     TransactionDatabase,
     UpdateBatch,
     generate_rules,
 )
-from repro.errors import EmptyDatabaseError, InvalidThresholdError
+from repro.db.transaction_db import build_vertical_index
+from repro.errors import EmptyDatabaseError, InvalidThresholdError, StaleStateError
 
 
 @pytest.fixture
@@ -125,6 +128,21 @@ class TestDeletions:
         remined = AprioriMiner(0.3).mine(small_database.slice(1))
         assert maintainer.result.lattice.supports() == remined.lattice.supports()
 
+    def test_deleting_a_phantom_transaction_is_refused(self, maintainer):
+        before = maintainer.result.lattice.supports()
+        size = len(maintainer.database)
+        with pytest.raises(StaleStateError):
+            maintainer.remove_transactions([[98, 99]], label="phantom")
+        # The refused batch must leave the maintained state untouched.
+        assert maintainer.result.lattice.supports() == before
+        assert len(maintainer.database) == size
+        assert len(maintainer.update_log) == 0
+
+    def test_deleting_more_copies_than_stored_is_refused(self, maintainer, small_database):
+        duplicates = [list(small_database[0])] * (len(small_database) + 1)
+        with pytest.raises(StaleStateError):
+            maintainer.remove_transactions(duplicates)
+
     def test_mixed_batch(self, maintainer, small_database):
         batch = UpdateBatch.from_iterables(
             insertions=[[1, 4], [1, 4], [2, 4]],
@@ -170,3 +188,47 @@ class TestBookkeeping:
         rules = maintainer.rules
         rules.clear()
         assert maintainer.rules  # internal list unaffected
+
+
+class TestBackendEquivalence:
+    """A mixed insert/delete session ends identically on every engine."""
+
+    def _run_session(self, database, backend: str) -> RuleMaintainer:
+        maintainer = RuleMaintainer(
+            0.1, 0.5, fup_options=FupOptions(backend=backend, shards=3)
+        )
+        maintainer.initialise(database.slice(0, 120))
+        maintainer.add_transactions(list(database.slice(120, 160)), label="insert-1")
+        maintainer.apply(
+            UpdateBatch.from_iterables(
+                insertions=list(database.slice(160, 200)),
+                deletions=list(database.slice(0, 20)),
+                label="mixed",
+            )
+        )
+        maintainer.remove_transactions(list(database.slice(20, 30)), label="delete")
+        maintainer.add_transactions(list(database.slice(200, 240)), label="insert-2")
+        return maintainer
+
+    @pytest.mark.parametrize("backend", BACKEND_NAMES)
+    def test_session_matches_horizontal_and_remine(self, backend, random_database_factory):
+        database = random_database_factory(transactions=240, items=14, seed=5)
+        maintainer = self._run_session(database, backend)
+        reference = self._run_session(database, "horizontal")
+        assert (
+            maintainer.result.lattice.supports() == reference.result.lattice.supports()
+        )
+        assert maintainer.rules == reference.rules
+        remined = AprioriMiner(0.1).mine(maintainer.database)
+        assert maintainer.result.lattice.supports() == remined.lattice.supports()
+
+    def test_vertical_session_maintains_one_index_across_batches(
+        self, random_database_factory
+    ):
+        database = random_database_factory(transactions=240, items=14, seed=5)
+        maintainer = self._run_session(database, "vertical")
+        maintained = maintainer.database
+        assert maintained.has_vertical_index  # built once by the first update
+        assert dict(maintained.vertical()) == build_vertical_index(
+            maintained.transactions()
+        )

@@ -1,0 +1,210 @@
+"""Unit tests for the incrementally-maintained vertical index.
+
+The contract under test: every delta operation leaves the index bit-for-bit
+equal to :func:`repro.db.transaction_db.build_vertical_index` run from
+scratch over the same transactions.  The Hypothesis interleavings in
+``tests/property/test_vertical_index_properties.py`` hammer the same
+invariant with random operation sequences; these tests pin down each
+operation and edge case individually.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import TransactionDatabase, VerticalIndex
+from repro.db.transaction_db import build_vertical_index
+
+ROWS = [(1, 2, 3), (1, 2), (2, 4), (), (1, 3), (2, 3, 4), (5,)]
+
+
+def scratch(transactions) -> dict[int, int]:
+    return build_vertical_index(list(transactions))
+
+
+class TestBuildAndQueries:
+    def test_build_matches_reference_builder(self):
+        index = VerticalIndex.build(ROWS)
+        assert dict(index) == scratch(ROWS)
+        assert index.size == len(ROWS)
+
+    def test_mapping_protocol(self):
+        index = VerticalIndex.build([(1, 2), (2,), (1,)])
+        assert index == {1: 0b101, 2: 0b011}
+        assert index[1] == 0b101
+        assert index.get(9) == 0
+        assert 2 in index and 9 not in index
+        assert sorted(index) == [1, 2]
+        assert len(index) == 2
+
+    def test_support_intersects_masks(self):
+        index = VerticalIndex.build(ROWS)
+        assert index.support((1, 2)) == 2
+        assert index.support((2, 3, 4)) == 1
+        assert index.support((9,)) == 0
+        assert index.support((1, 9)) == 0
+        assert index.support(()) == len(ROWS)  # empty itemset: in every transaction
+
+    def test_item_counts_are_popcounts(self):
+        index = VerticalIndex.build(ROWS)
+        counts = index.item_counts()
+        assert counts[2] == 4
+        assert counts[5] == 1
+
+    def test_empty_index(self):
+        index = VerticalIndex()
+        assert index.size == 0
+        assert dict(index) == {}
+        assert index.support((1,)) == 0
+
+    def test_rejects_negative_size(self):
+        with pytest.raises(ValueError):
+            VerticalIndex(size=-1)
+
+
+class TestDeltaMaintenance:
+    def test_append(self):
+        index = VerticalIndex.build(ROWS[:3])
+        index.append((2, 5))
+        assert dict(index) == scratch(ROWS[:3] + [(2, 5)])
+        assert index.size == 4
+
+    def test_extend(self):
+        index = VerticalIndex.build(ROWS[:2])
+        index.extend(ROWS[2:])
+        assert dict(index) == scratch(ROWS)
+
+    def test_extend_from_empty(self):
+        index = VerticalIndex()
+        index.extend(ROWS)
+        assert dict(index) == scratch(ROWS)
+
+    @pytest.mark.parametrize(
+        "tids",
+        [
+            [0],  # first
+            [len(ROWS) - 1],  # last
+            [0, 1, 2],  # contiguous prefix (the sliding-window case)
+            [2, 4],  # scattered
+            [1, 3, 5],  # alternating
+            list(range(len(ROWS))),  # everything
+            [],  # nothing
+        ],
+    )
+    def test_delete_tids_matches_scratch_rebuild(self, tids):
+        index = VerticalIndex.build(ROWS)
+        index.delete_tids(tids)
+        survivors = [row for tid, row in enumerate(ROWS) if tid not in set(tids)]
+        assert dict(index) == scratch(survivors)
+        assert index.size == len(survivors)
+
+    def test_delete_tids_drops_emptied_items(self):
+        index = VerticalIndex.build([(1,), (2,)])
+        index.delete_tids([1])
+        assert 2 not in index  # no all-zero masks left behind
+
+    def test_delete_tids_rejects_unsorted(self):
+        index = VerticalIndex.build(ROWS)
+        with pytest.raises(ValueError):
+            index.delete_tids([3, 1])
+        with pytest.raises(ValueError):
+            index.delete_tids([2, 2])
+
+    def test_delete_tids_rejects_out_of_range(self):
+        index = VerticalIndex.build(ROWS)
+        with pytest.raises(ValueError):
+            index.delete_tids([len(ROWS)])
+
+
+class TestDerivation:
+    def test_copy_is_independent(self):
+        index = VerticalIndex.build(ROWS)
+        clone = index.copy()
+        clone.append((8,))
+        assert dict(index) == scratch(ROWS)
+        assert dict(clone) == scratch(ROWS + [(8,)])
+
+    def test_concatenate_shifts_other(self):
+        left = VerticalIndex.build(ROWS[:3])
+        right = VerticalIndex.build(ROWS[3:])
+        assert dict(left.concatenate(right)) == scratch(ROWS)
+
+    def test_concatenate_with_empty(self):
+        index = VerticalIndex.build(ROWS)
+        assert dict(index.concatenate(VerticalIndex())) == scratch(ROWS)
+        assert dict(VerticalIndex().concatenate(index)) == scratch(ROWS)
+
+    @pytest.mark.parametrize("start,stop", [(0, 3), (2, 6), (3, None), (0, 0), (5, 2)])
+    def test_slice_matches_list_slicing(self, start, stop):
+        index = VerticalIndex.build(ROWS)
+        derived = index.slice(start, stop)
+        assert dict(derived) == scratch(ROWS[start:stop])
+        assert derived.size == len(ROWS[start:stop])
+
+
+class TestDatabaseIntegration:
+    """The database keeps its index current instead of rebuilding it."""
+
+    def test_mutations_maintain_the_same_index_object(self):
+        database = TransactionDatabase(ROWS)
+        index = database.vertical()
+        database.append([7, 8])
+        database.extend([[8, 9], [1, 7]])
+        database.remove_batch([[1, 2], [8, 9]])
+        assert database.vertical() is index
+        assert dict(index) == scratch(database.transactions())
+
+    def test_mutations_before_first_use_stay_lazy(self):
+        database = TransactionDatabase(ROWS)
+        database.append([7])
+        assert not database.has_vertical_index
+        assert dict(database.vertical()) == scratch(database.transactions())
+
+    def test_copy_inherits_the_index(self):
+        database = TransactionDatabase(ROWS)
+        database.vertical()
+        clone = database.copy()
+        assert clone.has_vertical_index
+        clone.extend([[6, 7]])
+        assert dict(clone.vertical()) == scratch(clone.transactions())
+        assert dict(database.vertical()) == scratch(ROWS)
+
+    def test_slice_derives_from_parent_masks(self):
+        database = TransactionDatabase(ROWS)
+        database.vertical()
+        head = database.slice(0, 4)
+        assert head.has_vertical_index
+        assert dict(head.vertical()) == scratch(ROWS[:4])
+
+    def test_partition_derives_and_caches_shards(self):
+        database = TransactionDatabase(ROWS)
+        database.vertical()
+        shards = database.partition(3)
+        assert all(shard.has_vertical_index for shard in shards)
+        again = database.partition(3)
+        assert [id(shard) for shard in shards] == [id(shard) for shard in again]
+        database.append([1])
+        refreshed = database.partition(3)
+        assert [id(s) for s in refreshed] != [id(s) for s in shards]
+        assert [t for shard in refreshed for t in shard] == list(database)
+
+    def test_named_partitions_bypass_the_cache(self):
+        database = TransactionDatabase(ROWS)
+        first = database.partition(2, name="x")
+        second = database.partition(2, name="x")
+        assert [id(s) for s in first] != [id(s) for s in second]
+
+    def test_concatenate_derives_when_left_index_is_built(self):
+        left = TransactionDatabase(ROWS[:4])
+        right = TransactionDatabase(ROWS[4:])
+        left.vertical()
+        combined = left.concatenate(right)
+        assert combined.has_vertical_index
+        assert dict(combined.vertical()) == scratch(ROWS)
+
+    def test_concatenate_stays_lazy_without_a_left_index(self):
+        left = TransactionDatabase(ROWS[:4])
+        right = TransactionDatabase(ROWS[4:])
+        combined = left.concatenate(right)
+        assert not combined.has_vertical_index
+        assert dict(combined.vertical()) == scratch(ROWS)

@@ -159,20 +159,21 @@ def test_build_vertical_index_bit_semantics():
     assert index == {1: 0b101, 2: 0b011}
 
 
-def test_database_vertical_is_cached_and_invalidated(database):
+def test_database_vertical_is_cached_and_delta_maintained(database):
     first = database.vertical()
     assert database.vertical() is first  # cached
 
     database.append([1, 7])
-    second = database.vertical()
-    assert second is not first
-    assert second[7].bit_count() == 1
+    maintained = database.vertical()
+    assert maintained is first  # maintained in place, never rebuilt
+    assert maintained[7].bit_count() == 1
 
     database.extend([[7], [7]])
     assert database.vertical()[7].bit_count() == 3
 
     database.remove_batch([[1, 7]])
     assert database.vertical()[7].bit_count() == 2
+    assert dict(database.vertical()) == build_vertical_index(database.transactions())
 
 
 def test_database_partition_balanced_and_distributive(database):

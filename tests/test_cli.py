@@ -190,6 +190,73 @@ class TestRulesCommand:
         assert "strong rules" in capsys.readouterr().out
 
 
+class TestMaintainCommand:
+    def test_batched_session_matches_remining(self, tmp_path, workload_files, capsys):
+        out_state = tmp_path / "final.json"
+        code = main(
+            [
+                "maintain",
+                str(workload_files["database_path"]),
+                str(workload_files["increment_path"]),
+                "--min-support", "0.1",
+                "--min-confidence", "0.5",
+                "--batches", "4",
+                "--backend", "vertical",
+                "--out-state", str(out_state),
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "maintenance session: 4 batches" in output
+        assert "batch-3" in output
+        lattice, _ = load_state(out_state)
+        updated = workload_files["original"].concatenate(workload_files["increment"])
+        expected = AprioriMiner(0.1).mine(updated)
+        assert lattice.supports() == expected.lattice.supports()
+
+    def test_session_with_deletion_batches(self, tmp_path, workload_files, capsys):
+        # Delete the first 20 original transactions over the session, in
+        # addition to the inserts — the mixed batches run through FUP2.
+        deletions_path = tmp_path / "deletions.txt"
+        save_database(workload_files["original"].slice(0, 20), deletions_path)
+        code = main(
+            [
+                "maintain",
+                str(workload_files["database_path"]),
+                str(workload_files["increment_path"]),
+                "--deletions", str(deletions_path),
+                "--min-support", "0.1",
+                "--batches", "3",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "fup2" in output
+        assert "20 deletions" in output
+
+    def test_phantom_deletions_fail_cleanly(self, tmp_path, workload_files, capsys):
+        deletions_path = tmp_path / "deletions.txt"
+        deletions_path.write_text("9991 9992 9993\n")  # not in the database
+        code = main(
+            [
+                "maintain",
+                str(workload_files["database_path"]),
+                str(workload_files["increment_path"]),
+                "--deletions", str(deletions_path),
+                "--min-support", "0.1",
+                "--batches", "2",
+            ]
+        )
+        assert code == 2
+        assert "not present in the maintained database" in capsys.readouterr().err
+
+    def test_batches_must_be_positive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["maintain", "db.txt", "inc.txt", "--min-support", "0.1", "--batches", "0"]
+            )
+
+
 class TestCompareCommand:
     def test_compare_reports_speedups(self, workload_files, capsys):
         code = main(
