@@ -1,0 +1,150 @@
+"""Deletion-batch validation is O(d), not O(|DB|).
+
+The maintenance pipeline used to validate every deletion batch by rebuilding
+``Counter(database.transactions())`` — a full hash of every stored
+transaction, per batch, just to prove the handful of deleted rows exist.
+That is exactly the kind of size-proportional re-derivation the paper's FUP
+argument forbids: a k-batch deletion session cost k·O(|DB|) before it did any
+mining work.
+
+The fix validates against the database's **delta-maintained transaction
+multiset** (built once, updated per mutation) — truly O(d) — and removes
+small batches through an indexed path whose residual per-victim scan is
+C-level tuple comparison instead of a Python-level pass, so per-batch cost
+is dominated by the mining update rather than the database size.  This
+benchmark pins both halves of that claim on a session of single-row
+deletion batches:
+
+* the same session on a database 4× larger must not cost anywhere near 4× as
+  much per batch (independence of |DB|), and
+* the validation step itself must be far cheaper than the full-database
+  ``Counter`` rebuild it replaced (measured side by side on the large
+  database).
+
+When ``REPRO_BENCH_ARTIFACT`` is set the measurements land in
+``BENCH_maintenance.json`` next to the other maintenance-session numbers.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter
+
+import pytest
+
+from repro import RuleMaintainer, UpdateBatch
+
+from .conftest import BENCH_SCALE, build_workload, print_report, timing_asserts_enabled
+from .test_maintenance_session import _update_artifact
+
+#: Single-row deletion batches per measured session.
+BATCHES = 10
+MAINT_SUPPORT = 0.02
+MAINT_CONFIDENCE = 0.5
+#: Size ratio between the two databases; per-batch time must stay far below it.
+SIZE_RATIO = 4
+#: Maximum allowed per-batch slowdown on the 4×-larger database.
+MAX_GROWTH = 2.5
+#: Minimum advantage of the O(d) validation over the old Counter rebuild.
+MIN_VALIDATION_SPEEDUP = 5.0
+
+
+def _deletion_session(workload) -> dict:
+    """Initialise a maintainer and time BATCHES single-row deletion batches."""
+    maintainer = RuleMaintainer(MAINT_SUPPORT, MAINT_CONFIDENCE)
+    maintainer.initialise(workload.original)
+    database = maintainer.database
+
+    # Warm-up batch: builds the transaction multiset (the one-off cost the
+    # session amortises, exactly like the vertical index) before the timers.
+    maintainer.apply(
+        UpdateBatch.from_iterables(
+            deletions=[list(database.transactions()[0])], label="warm-up"
+        )
+    )
+
+    batch_seconds: list[float] = []
+    for number in range(BATCHES):
+        rows = database.transactions()
+        victim = rows[(number * len(rows)) // (BATCHES + 1)]
+        batch = UpdateBatch.from_iterables(deletions=[list(victim)], label=f"del-{number}")
+        start = time.perf_counter()
+        maintainer.apply(batch)
+        batch_seconds.append(time.perf_counter() - start)
+
+    # The replaced pre-check, measured in isolation on the same database: a
+    # full-database Counter rebuild per batch vs the maintained multiset.
+    start = time.perf_counter()
+    for _ in range(BATCHES):
+        Counter(database.transactions())
+    rebuild_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    for number in range(BATCHES):
+        rows = database.transactions()
+        database.missing_transactions([list(rows[number % len(rows)])])
+    multiset_seconds = time.perf_counter() - start
+
+    return {
+        "transactions": len(workload.original),
+        "per_batch_s": sum(batch_seconds) / len(batch_seconds),
+        "batch_seconds": batch_seconds,
+        "rebuild_validation_s": rebuild_seconds,
+        "multiset_validation_s": multiset_seconds,
+    }
+
+
+@pytest.mark.benchmark(group="maintenance")
+def test_deletion_batches_cost_o_of_d(benchmark):
+    small_workload = build_workload("T10.I4.D100.d10", scale=BENCH_SCALE / SIZE_RATIO, seed=73)
+    large_workload = build_workload("T10.I4.D100.d10", seed=73)
+
+    def run_both() -> dict:
+        return {
+            "small": _deletion_session(small_workload),
+            "large": _deletion_session(large_workload),
+        }
+
+    measured = benchmark.pedantic(run_both, rounds=1)
+    small, large = measured["small"], measured["large"]
+    growth = large["per_batch_s"] / max(small["per_batch_s"], 1e-9)
+    validation_speedup = large["rebuild_validation_s"] / max(
+        large["multiset_validation_s"], 1e-9
+    )
+
+    rows = [
+        {
+            "database": label,
+            "transactions": session["transactions"],
+            "per_batch_ms": round(session["per_batch_s"] * 1e3, 4),
+            "rebuild_check_ms": round(session["rebuild_validation_s"] * 1e3, 4),
+            "multiset_check_ms": round(session["multiset_validation_s"] * 1e3, 4),
+        }
+        for label, session in (("small", small), ("large", large))
+    ]
+    _update_artifact(
+        "deletion_validation",
+        {
+            "batches": BATCHES,
+            "size_ratio": SIZE_RATIO,
+            "per_batch_growth": round(growth, 3),
+            "validation_speedup_vs_rebuild": round(validation_speedup, 3),
+            "sessions": rows,
+        },
+    )
+    print_report(
+        f"single-row deletion batches ({BATCHES} per session, "
+        f"growth {growth:.2f}x across a {SIZE_RATIO}x database)",
+        rows,
+    )
+
+    assert len(large["batch_seconds"]) == BATCHES
+    if timing_asserts_enabled():
+        assert growth <= MAX_GROWTH, (
+            f"per-batch deletion cost grew {growth:.2f}x on a {SIZE_RATIO}x larger "
+            f"database (allowed {MAX_GROWTH}x) — deletion validation is scaling "
+            f"with |DB| again"
+        )
+        assert validation_speedup >= MIN_VALIDATION_SPEEDUP, (
+            f"multiset validation only {validation_speedup:.1f}x faster than the "
+            f"full Counter rebuild it replaced (need {MIN_VALIDATION_SPEEDUP}x)"
+        )

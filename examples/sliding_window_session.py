@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Durable sliding-window maintenance with a mid-stream crash.
+
+A production rule service keeps the rules of the *last N days* current: every
+night the new day's transactions arrive and the oldest day's fall out of the
+window.  This example drives that workload through a durable
+:class:`~repro.core.session.MaintenanceSession` — the maintained state lives
+in a session directory, every batch is journaled before it is applied, and a
+process crash at any point recovers by strict replay of the journal tail over
+the last snapshot.
+
+Halfway through the stream the example simulates a crash: it abandons the
+session object without closing or checkpointing, reopens the directory as a
+fresh "process" and keeps going.  At the end it verifies that the recovered
+session's supports are bit-for-bit identical to a from-scratch mine of the
+final window — nothing was lost and nothing was double-applied.
+
+Run it with::
+
+    python examples/sliding_window_session.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from pathlib import Path
+
+from repro import (
+    AprioriMiner,
+    MaintenanceSession,
+    SyntheticConfig,
+    SyntheticDataGenerator,
+    UpdateBatch,
+)
+from repro.harness.reporting import format_table
+
+MIN_SUPPORT = 0.02
+MIN_CONFIDENCE = 0.5
+DAYS = 12
+CRASH_AFTER_DAY = 6
+
+
+def main() -> None:
+    config = SyntheticConfig(
+        database_size=3_000,
+        increment_size=3_000,
+        mean_transaction_size=8,
+        mean_pattern_size=3,
+        pattern_count=250,
+        item_count=250,
+        seed=1996,
+    )
+    window, stream = SyntheticDataGenerator(config).generate()
+    daily = max(1, len(stream) // DAYS)
+
+    directory = Path(tempfile.mkdtemp(prefix="repro-session-")) / "window"
+    began = time.perf_counter()
+    session = MaintenanceSession.create(
+        directory,
+        window,
+        min_support=MIN_SUPPORT,
+        min_confidence=MIN_CONFIDENCE,
+        checkpoint_interval=4,
+    )
+    print(
+        f"session initialised in {directory} ({len(window)} transactions, "
+        f"{len(session.result.lattice)} itemsets) in {time.perf_counter() - began:.2f}s"
+    )
+
+    rows = []
+    for day in range(DAYS):
+        if day == CRASH_AFTER_DAY:
+            # Simulate a crash and recover the way a restarted process would.
+            # close() is write-free — no checkpoint, no journal truncation —
+            # so from the disk's point of view this is exactly a kill; it just
+            # releases the fds/flock deterministically instead of leaving
+            # that to garbage collection.
+            session.close()
+            began = time.perf_counter()
+            session = MaintenanceSession.open(directory)
+            print(
+                f"-- crash! reopened session at batch {session.applied_seq} "
+                f"(checkpoint {session.checkpoint_seq}, replayed "
+                f"{session.applied_seq - session.checkpoint_seq} journaled batches) "
+                f"in {time.perf_counter() - began:.2f}s"
+            )
+
+        arriving = stream.transactions()[day * daily : (day + 1) * daily]
+        leaving = session.database.transactions()[: len(arriving)]
+        batch = UpdateBatch.from_iterables(
+            insertions=arriving, deletions=leaving, label=f"day-{day}"
+        )
+        began = time.perf_counter()
+        report = session.apply(batch)
+        rows.append(
+            {
+                "day": report.batch_label,
+                "seconds": round(time.perf_counter() - began, 4),
+                "window": report.database_size,
+                "itemsets +/-": f"+{len(report.itemsets_added)}/-{len(report.itemsets_removed)}",
+                "rules +/-": f"+{len(report.rules_added)}/-{len(report.rules_removed)}",
+                "checkpoint": session.checkpoint_seq,
+            }
+        )
+
+    print(format_table(rows, title=f"sliding window of {len(session.database)} transactions"))
+
+    remined = AprioriMiner(MIN_SUPPORT).mine(session.database)
+    matches = session.result.lattice.supports() == remined.lattice.supports()
+    print(
+        f"recovered session vs from-scratch mine of the final window: "
+        f"{'identical' if matches else 'DIVERGED'} "
+        f"({len(session.result.lattice)} itemsets, {len(session.rules)} rules)"
+    )
+    session.close()
+    if not matches:
+        raise SystemExit(1)
+
+
+if __name__ == "__main__":
+    main()

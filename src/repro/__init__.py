@@ -71,7 +71,9 @@ from .core import (
     FupOptions,
     FupUpdater,
     MaintenanceReport,
+    MaintenanceSession,
     RuleMaintainer,
+    SessionStatus,
     update_with_fup,
     update_with_fup2,
 )
@@ -140,6 +142,8 @@ __all__ = [
     "FupOptions",
     "RuleMaintainer",
     "MaintenanceReport",
+    "MaintenanceSession",
+    "SessionStatus",
     "update_with_fup",
     "update_with_fup2",
     # datagen

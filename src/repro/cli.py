@@ -23,6 +23,15 @@ shell, each as a subcommand:
     batches, apply them one by one through the :class:`RuleMaintainer` and
     print the per-batch cost and state churn — the same scenario the
     maintenance-session benchmark measures, against any workload.
+``session init | apply | status | checkpoint``
+    The durable flavour of ``maintain``: a
+    :class:`~repro.core.session.MaintenanceSession` persisted to a session
+    directory.  ``init`` mines a database into a fresh session; ``apply``
+    reopens the session (recovering from any crash by strict journal
+    replay), applies insertion/deletion files in batches and exits —
+    process death between invocations loses nothing; ``status`` reports the
+    on-disk state without replaying; ``checkpoint`` compacts the journal
+    into a fresh snapshot.
 
 All files use the plain-text transaction format (one transaction per line,
 items as space-separated integers), so the CLI interoperates with the common
@@ -34,7 +43,6 @@ Run ``python -m repro.cli --help`` for the full usage.
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 import time
 from pathlib import Path
@@ -44,6 +52,12 @@ from . import __version__
 from .core.fup import FupUpdater
 from .core.maintenance import RuleMaintainer
 from .core.options import FupOptions
+from .core.session import (
+    DEFAULT_CHECKPOINT_INTERVAL,
+    MaintenanceSession,
+    load_state,
+    save_state,
+)
 from .datagen.synthetic import SyntheticConfig, SyntheticDataGenerator
 from .db.store import load_database, save_database
 from .db.transaction_db import shard_bounds
@@ -54,40 +68,39 @@ from .harness.runner import compare_update_strategies
 from .mining.apriori import AprioriMiner
 from .mining.backends import BACKEND_NAMES, DEFAULT_SHARDS, MiningOptions
 from .mining.dhp import DhpMiner, DhpOptions
-from .mining.result import ItemsetLattice, MiningResult
 from .mining.rules import generate_rules
 
 __all__ = ["main", "build_parser"]
 
 
-# --------------------------------------------------------------------- #
-# Itemset-state (JSON) persistence
-# --------------------------------------------------------------------- #
-def save_state(result: MiningResult, path: str | Path) -> None:
-    """Write a mining result's lattice to a JSON state file."""
-    payload = {
-        "format": "repro-itemset-state",
-        "version": 1,
-        "algorithm": result.algorithm,
-        "min_support": result.min_support,
-        "database_size": result.database_size,
-        "itemsets": [
-            {"items": list(candidate), "count": count}
-            for candidate, count in sorted(result.lattice.supports().items())
-        ],
-    }
-    Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="ascii")
+# save_state / load_state live in repro.core.session; re-exported here
+# because the state files are a CLI-facing format.
 
 
-def load_state(path: str | Path) -> tuple[ItemsetLattice, float]:
-    """Read a JSON state file back into a lattice plus its minimum support."""
-    payload = json.loads(Path(path).read_text(encoding="ascii"))
-    if payload.get("format") != "repro-itemset-state":
-        raise ReproError(f"{path} is not a repro itemset state file")
-    lattice = ItemsetLattice(database_size=int(payload["database_size"]))
-    for entry in payload["itemsets"]:
-        lattice.add(tuple(entry["items"]), int(entry["count"]))
-    return lattice, float(payload["min_support"])
+def _batched_updates(insertions, deletions, batches, label):
+    """Split insertion/deletion databases into update batches.
+
+    Each side is sliced into *batches* balanced contiguous chunks (via
+    :func:`shard_bounds`); *label* maps the batch index to its label.  Shared
+    by ``maintain`` and ``session apply`` so their splitting semantics cannot
+    drift apart.
+    """
+    insert_bounds = shard_bounds(len(insertions), batches) if insertions else []
+    delete_bounds = shard_bounds(len(deletions), batches) if deletions else []
+    for index in range(max(len(insert_bounds), len(delete_bounds))):
+        yield UpdateBatch.from_iterables(
+            insertions=(
+                insertions.transactions()[slice(*insert_bounds[index])]
+                if index < len(insert_bounds)
+                else ()
+            ),
+            deletions=(
+                deletions.transactions()[slice(*delete_bounds[index])]
+                if index < len(delete_bounds)
+                else ()
+            ),
+            label=label(index),
+        )
 
 
 # --------------------------------------------------------------------- #
@@ -179,24 +192,11 @@ def _cmd_maintain(args: argparse.Namespace) -> int:
     maintainer.initialise(original)
     initial_seconds = time.perf_counter() - began
 
-    insert_bounds = shard_bounds(len(increment), args.batches)
-    delete_bounds = shard_bounds(len(deletions), args.batches) if deletions else []
     rows: list[dict[str, object]] = []
     total_seconds = 0.0
-    for index in range(max(len(insert_bounds), len(delete_bounds))):
-        batch = UpdateBatch.from_iterables(
-            insertions=(
-                increment.transactions()[slice(*insert_bounds[index])]
-                if index < len(insert_bounds)
-                else ()
-            ),
-            deletions=(
-                deletions.transactions()[slice(*delete_bounds[index])]
-                if deletions is not None and index < len(delete_bounds)
-                else ()
-            ),
-            label=f"batch-{index}",
-        )
+    for batch in _batched_updates(
+        increment, deletions, args.batches, label=lambda index: f"batch-{index}"
+    ):
         began = time.perf_counter()
         report = maintainer.apply(batch)
         seconds = time.perf_counter() - began
@@ -228,6 +228,93 @@ def _cmd_maintain(args: argparse.Namespace) -> int:
     if args.out_state:
         save_state(maintainer.result, args.out_state)
         print(f"wrote final itemset state to {args.out_state}")
+    return 0
+
+
+def _cmd_session_init(args: argparse.Namespace) -> int:
+    database = load_database(args.database)
+    with MaintenanceSession.create(
+        args.session_dir,
+        database,
+        min_support=args.min_support,
+        min_confidence=args.min_confidence,
+        miner=args.miner,
+        fup_options=FupOptions(backend=args.backend, shards=args.shards),
+        checkpoint_interval=args.checkpoint_interval,
+    ) as session:
+        status = session.status()
+    print(
+        f"initialised session in {args.session_dir}: {status.database_size} "
+        f"transactions, {status.itemsets} large itemsets, {status.rules} rules "
+        f"(checkpoint every {status.checkpoint_interval} batches)"
+    )
+    return 0
+
+
+def _cmd_session_apply(args: argparse.Namespace) -> int:
+    insertions = load_database(args.insertions) if args.insertions else None
+    deletions = load_database(args.deletions) if args.deletions else None
+    if insertions is None and deletions is None:
+        print("error: session apply needs --insertions and/or --deletions", file=sys.stderr)
+        return 2
+    with MaintenanceSession.open(args.session_dir) as session:
+        recovered = session.pending_batches
+        start_seq = session.applied_seq
+        rows: list[dict[str, object]] = []
+        total_seconds = 0.0
+        for batch in _batched_updates(
+            insertions,
+            deletions,
+            args.batches,
+            label=lambda index: args.label or f"batch-{start_seq + index + 1}",
+        ):
+            began = time.perf_counter()
+            report = session.apply(batch)
+            seconds = time.perf_counter() - began
+            total_seconds += seconds
+            rows.append(
+                {
+                    "seq": session.applied_seq,
+                    "algorithm": report.algorithm,
+                    "seconds": round(seconds, 4),
+                    "size": report.database_size,
+                    "itemsets +/-": f"+{len(report.itemsets_added)}/-{len(report.itemsets_removed)}",
+                    "rules +/-": f"+{len(report.rules_added)}/-{len(report.rules_removed)}",
+                }
+            )
+        status = session.status()
+    print(
+        format_table(
+            rows,
+            title=(
+                f"session {args.session_dir}: applied {len(rows)} batch(es) "
+                f"in {total_seconds:.3f}s (journal replayed {recovered} on open)"
+            ),
+        )
+    )
+    print(
+        f"now at batch {status.applied_seq} (checkpoint {status.checkpoint_seq}, "
+        f"{status.pending_batches} journaled); {status.database_size} transactions, "
+        f"{status.itemsets} itemsets, {status.rules} rules"
+    )
+    return 0
+
+
+def _cmd_session_status(args: argparse.Namespace) -> int:
+    status = MaintenanceSession.peek(args.session_dir)
+    for key, value in status.as_dict().items():
+        print(f"{key}: {value}")
+    return 0
+
+
+def _cmd_session_checkpoint(args: argparse.Namespace) -> int:
+    with MaintenanceSession.open(args.session_dir) as session:
+        pending = session.pending_batches
+        seq = session.checkpoint()
+    print(
+        f"checkpointed {args.session_dir} at batch {seq} "
+        f"({pending} journaled batch(es) compacted into the snapshot)"
+    )
     return 0
 
 
@@ -356,6 +443,53 @@ def build_parser() -> argparse.ArgumentParser:
     maintain.add_argument("--out-state", help="write the final itemset state here")
     add_backend_flags(maintain)
     maintain.set_defaults(handler=_cmd_maintain)
+
+    session = commands.add_parser(
+        "session",
+        help="durable maintenance sessions (crash-safe, resumable across processes)",
+    )
+    session_commands = session.add_subparsers(dest="session_command", required=True)
+
+    session_init = session_commands.add_parser(
+        "init", help="mine a database into a fresh session directory"
+    )
+    session_init.add_argument("session_dir", help="session directory (created if missing)")
+    session_init.add_argument("database", help="transaction file to mine")
+    session_init.add_argument("--min-support", type=float, required=True)
+    session_init.add_argument("--min-confidence", type=float, default=0.5)
+    session_init.add_argument("--miner", choices=["apriori", "dhp"], default="apriori")
+    session_init.add_argument(
+        "--checkpoint-interval",
+        type=positive_int,
+        default=DEFAULT_CHECKPOINT_INTERVAL,
+        help="compact the journal into a fresh snapshot every N batches",
+    )
+    add_backend_flags(session_init)
+    session_init.set_defaults(handler=_cmd_session_init)
+
+    session_apply = session_commands.add_parser(
+        "apply", help="apply insertion/deletion files to a session in batches"
+    )
+    session_apply.add_argument("session_dir", help="existing session directory")
+    session_apply.add_argument("--insertions", help="insertions file, split into --batches")
+    session_apply.add_argument("--deletions", help="deletions file, split into --batches")
+    session_apply.add_argument(
+        "--batches", type=positive_int, default=1, help="update batches to apply"
+    )
+    session_apply.add_argument("--label", help="label recorded on the journaled batches")
+    session_apply.set_defaults(handler=_cmd_session_apply)
+
+    session_status = session_commands.add_parser(
+        "status", help="report a session's on-disk state (no journal replay)"
+    )
+    session_status.add_argument("session_dir", help="existing session directory")
+    session_status.set_defaults(handler=_cmd_session_status)
+
+    session_checkpoint = session_commands.add_parser(
+        "checkpoint", help="compact the journal into a fresh snapshot"
+    )
+    session_checkpoint.add_argument("session_dir", help="existing session directory")
+    session_checkpoint.set_defaults(handler=_cmd_session_checkpoint)
 
     rules = commands.add_parser("rules", help="derive strong rules from a saved state")
     rules.add_argument("state", help="itemset state file")

@@ -6,6 +6,9 @@
   deletions and modifications, the extension Section 5 alludes to.
 * :class:`~repro.core.maintenance.RuleMaintainer` — the high-level API that
   owns a database plus its mined state and applies successive update batches.
+* :class:`~repro.core.session.MaintenanceSession` — a durable, resumable
+  maintenance session: a :class:`RuleMaintainer` persisted to a session
+  directory with crash recovery by strict journal replay.
 * :class:`~repro.core.options.FupOptions` — feature switches used by the
   ablation benchmarks.
 """
@@ -14,6 +17,7 @@ from .options import FupOptions
 from .fup import FupUpdater, update_with_fup
 from .fup2 import Fup2Updater, update_with_fup2
 from .maintenance import MaintenanceReport, RuleMaintainer
+from .session import MaintenanceSession, SessionStatus, load_state, save_state
 
 __all__ = [
     "FupOptions",
@@ -23,4 +27,8 @@ __all__ = [
     "update_with_fup2",
     "MaintenanceReport",
     "RuleMaintainer",
+    "MaintenanceSession",
+    "SessionStatus",
+    "save_state",
+    "load_state",
 ]

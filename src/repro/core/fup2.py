@@ -238,9 +238,16 @@ class _Fup2Run:
         else:
             # The database shrank enough that items absent from db+ could have
             # become large; the original database must be consulted for the
-            # full item universe, so no pre-pruning is possible.
+            # full item universe, so no pre-pruning is possible.  The universe
+            # comes from the database's delta-maintained cache — only a cold
+            # cache costs (and accounts) a real full pass.
+            universe_was_cold = not self.original.has_item_universe
+            universe = self.original.items()
+            if universe_was_cold:
+                self.database_scans += 1
+                self.transactions_read += self.original_size
             candidate_items = {
-                item for item in self.original.items() | set(inserted) if (item,) not in old_level
+                item for item in universe | set(inserted) if (item,) not in old_level
             }
         self.candidates_per_level[1] = len(candidate_items)
         if not candidate_items:

@@ -21,7 +21,6 @@ says users care about.
 
 from __future__ import annotations
 
-from collections import Counter
 from dataclasses import dataclass, field
 from typing import Iterable, Literal
 
@@ -32,7 +31,7 @@ from ..itemsets import Item, Itemset
 from ..mining.apriori import AprioriMiner
 from ..mining.backends import MiningOptions
 from ..mining.dhp import DhpMiner, DhpOptions
-from ..mining.result import MiningResult, validate_min_support
+from ..mining.result import ItemsetLattice, MiningResult, validate_min_support
 from ..mining.rules import AssociationRule, generate_rules
 from .fup import FupUpdater
 from .fup2 import Fup2Updater
@@ -182,6 +181,39 @@ class RuleMaintainer:
         self._rules = generate_rules(self._result.lattice, self.min_confidence)
         return self._result
 
+    def restore(
+        self,
+        database: TransactionDatabase,
+        lattice: ItemsetLattice,
+        algorithm: str = "restored",
+    ) -> MiningResult:
+        """Adopt previously-mined state instead of mining it (the session hook).
+
+        *database* is taken over as the maintained database (no copy — the
+        caller hands over ownership, typically a database just loaded from a
+        snapshot) and *lattice* as the current large-itemset state; rules are
+        regenerated from the lattice, which is deterministic, so a restored
+        maintainer is bit-for-bit equivalent to the one that saved the state.
+
+        Raises
+        ------
+        StaleStateError
+            If the lattice's recorded database size disagrees with *database*.
+        """
+        if lattice.database_size != len(database):
+            raise StaleStateError(
+                f"itemset state was measured against {lattice.database_size} "
+                f"transactions but the snapshot database holds {len(database)}"
+            )
+        self._database = database
+        self._result = MiningResult(
+            lattice=lattice,
+            min_support=self.min_support,
+            algorithm=algorithm,
+        )
+        self._rules = generate_rules(lattice, self.min_confidence)
+        return self._result
+
     def _full_mine(self, database: TransactionDatabase) -> MiningResult:
         backend = self.fup_options.backend
         shards = self.fup_options.shards
@@ -196,6 +228,30 @@ class RuleMaintainer:
     # ------------------------------------------------------------------ #
     # Applying updates
     # ------------------------------------------------------------------ #
+    def validate_batch(self, batch: UpdateBatch) -> None:
+        """Refuse *batch* up front if it cannot be applied to the current state.
+
+        FUP2 subtracts the deletion batch's counts from the maintained
+        supports, assuming every listed transaction actually exists; deleting
+        a phantom row would silently corrupt the supports (and desynchronise
+        the recorded database size).  The check runs in O(d) against the
+        database's delta-maintained transaction multiset — never a
+        full-database rebuild — so a k-batch deletion session costs O(Σ dᵢ),
+        not k·O(|DB|).  The durable session runs this *before* journaling a
+        batch, so a crash can never leave an unapplyable record in the
+        journal.
+        """
+        if not batch.deletions:
+            return
+        missing = self.database.missing_transactions(batch.deletions)
+        if missing:
+            raise StaleStateError(
+                f"deletion batch {batch.label or '?'!r} lists "
+                f"{sum(missing.values())} transaction(s) not present in the "
+                f"maintained database (e.g. {next(iter(missing))!r}); "
+                f"deletions must name existing transactions"
+            )
+
     def apply(self, batch: UpdateBatch) -> MaintenanceReport:
         """Apply one update batch and return a report of what changed.
 
@@ -211,18 +267,7 @@ class RuleMaintainer:
             new_result = previous
             algorithm = "noop"
         elif batch.deletions:
-            # FUP2 subtracts the deletion batch's counts from the maintained
-            # supports, assuming every listed transaction actually exists;
-            # deleting a phantom row would silently corrupt the supports (and
-            # desynchronise the recorded database size), so refuse up front.
-            missing = Counter(batch.deletions) - Counter(database.transactions())
-            if missing:
-                raise StaleStateError(
-                    f"deletion batch {batch.label or '?'!r} lists "
-                    f"{sum(missing.values())} transaction(s) not present in the "
-                    f"maintained database (e.g. {next(iter(missing))!r}); "
-                    f"deletions must name existing transactions"
-                )
+            self.validate_batch(batch)
             new_result = Fup2Updater(
                 self.min_support,
                 options=MiningOptions(
@@ -248,9 +293,11 @@ class RuleMaintainer:
                 algorithm = new_result.algorithm
 
         # Mutate the maintained database only after the updater succeeded, so a
-        # failed update leaves the maintainer consistent.
+        # failed update leaves the maintainer consistent.  The strict removal
+        # re-validates and removes in one pass (raising with the database
+        # untouched if it somehow disagrees with the pre-check above).
         if batch.deletions:
-            database.remove_batch(batch.deletions)
+            database.remove_batch(batch.deletions, strict=True)
         if batch.insertions:
             database.extend(batch.insertions)
         self._result = new_result

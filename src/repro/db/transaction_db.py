@@ -17,7 +17,7 @@ from __future__ import annotations
 from collections import Counter
 from typing import Iterable, Iterator, Sequence
 
-from ..errors import InvalidTransactionError
+from ..errors import InvalidTransactionError, StaleStateError
 from ..itemsets import Item, Itemset
 from .vertical_index import VerticalIndex
 
@@ -72,6 +72,23 @@ def shard_bounds(total: int, shards: int) -> list[tuple[int, int]]:
     return bounds
 
 
+#: Deletion batches at most this large take the indexed removal path
+#: (per-victim C-speed ``list.index`` search) instead of the full
+#: Python-level pass over every stored transaction.
+_SMALL_DELETE_BATCH = 16
+
+
+def _phantom_message(missing: Counter[Transaction]) -> str:
+    """Error text naming the transactions a strict removal could not find."""
+    total = sum(missing.values())
+    examples = ", ".join(repr(t) for t in list(missing)[:3])
+    suffix = ", ..." if len(missing) > 3 else ""
+    return (
+        f"strict removal: {total} transaction(s) not present in the database "
+        f"({examples}{suffix}); deletions must name existing transactions"
+    )
+
+
 def _canonical_transaction(raw: Iterable[Item], tid: int | None = None) -> Transaction:
     """Validate and canonicalise one transaction (sorted, duplicates removed)."""
     try:
@@ -104,7 +121,14 @@ class TransactionDatabase:
         Optional label used in reports (for example ``"T10.I4.D100.d1"``).
     """
 
-    __slots__ = ("_transactions", "_vertical", "_partitions", "name")
+    __slots__ = (
+        "_transactions",
+        "_vertical",
+        "_partitions",
+        "_item_counts",
+        "_multiset",
+        "name",
+    )
 
     def __init__(
         self,
@@ -116,6 +140,8 @@ class TransactionDatabase:
         ]
         self._vertical: VerticalIndex | None = None
         self._partitions: dict[int, list["TransactionDatabase"]] = {}
+        self._item_counts: Counter[Item] | None = None
+        self._multiset: Counter[Transaction] | None = None
         self.name = name
 
     # ------------------------------------------------------------------ #
@@ -154,23 +180,61 @@ class TransactionDatabase:
 
         A built vertical index is cloned along (cheap: the mask table is
         copied, the immutable masks are shared), so copies of an indexed
-        database never pay a rebuild.
+        database never pay a rebuild.  The item-universe and
+        transaction-multiset caches are cloned the same way.
         """
         clone = TransactionDatabase(name=self.name if name is None else name)
         clone._transactions = list(self._transactions)
         if self._vertical is not None:
             clone._vertical = self._vertical.copy()
+        if self._item_counts is not None:
+            clone._item_counts = Counter(self._item_counts)
+        if self._multiset is not None:
+            clone._multiset = Counter(self._multiset)
         return clone
 
     # ------------------------------------------------------------------ #
     # Mutation (used by the incremental maintenance workflow)
     # ------------------------------------------------------------------ #
+    def _note_added(self, transactions: Sequence[Transaction]) -> None:
+        """Delta-maintain the item-universe and multiset caches after an insert."""
+        if self._item_counts is not None:
+            counts = self._item_counts
+            for transaction in transactions:
+                for item in transaction:
+                    counts[item] += 1
+        if self._multiset is not None:
+            multiset = self._multiset
+            for transaction in transactions:
+                multiset[transaction] += 1
+
+    def _note_removed(self, transactions: Sequence[Transaction]) -> None:
+        """Delta-maintain the item-universe and multiset caches after a removal."""
+        if self._item_counts is not None:
+            counts = self._item_counts
+            for transaction in transactions:
+                for item in transaction:
+                    remaining = counts[item] - 1
+                    if remaining:
+                        counts[item] = remaining
+                    else:
+                        del counts[item]
+        if self._multiset is not None:
+            multiset = self._multiset
+            for transaction in transactions:
+                remaining = multiset[transaction] - 1
+                if remaining:
+                    multiset[transaction] = remaining
+                else:
+                    del multiset[transaction]
+
     def append(self, transaction: Iterable[Item]) -> None:
         """Append a single transaction."""
         canonical = _canonical_transaction(transaction, len(self))
         self._transactions.append(canonical)
         if self._vertical is not None:
             self._vertical.append(canonical)
+        self._note_added((canonical,))
         self._partitions.clear()
 
     def extend(self, transactions: Iterable[Iterable[Item]]) -> None:
@@ -183,33 +247,102 @@ class TransactionDatabase:
         self._transactions.extend(increment)
         if self._vertical is not None:
             self._vertical.extend(increment)
+        self._note_added(increment)
         self._partitions.clear()
 
-    def remove_batch(self, transactions: Iterable[Iterable[Item]]) -> int:
+    def remove_batch(
+        self, transactions: Iterable[Iterable[Item]], strict: bool = False
+    ) -> int:
         """Remove one occurrence of each given transaction; return how many were removed.
 
         Deletion is multiset-style: if the batch lists a transaction twice and
-        the database holds it three times, two copies are removed.  Unknown
-        transactions are ignored (the count reflects only actual removals).
+        the database holds it three times, two copies are removed.
+
+        With ``strict=False`` (the default) unknown transactions are ignored
+        and the count reflects only actual removals.  With ``strict=True`` the
+        batch is validated and removed in one pass: if any listed transaction
+        is missing a :class:`~repro.errors.StaleStateError` naming the missing
+        transaction(s) is raised and the database is left untouched —
+        replaying an update log against the wrong base fails loudly instead of
+        silently desyncing.
+
+        Small batches take an indexed path (per-victim C-speed search plus an
+        in-place ``del``) so a single-row deletion never pays a Python-level
+        pass over every stored transaction.
         """
-        to_remove = Counter(
-            _canonical_transaction(raw) for raw in transactions
-        )
-        if not to_remove:
+        batch = [_canonical_transaction(raw) for raw in transactions]
+        if not batch:
             return 0
+        if len(batch) <= _SMALL_DELETE_BATCH:
+            removed_tids, removed_rows = self._locate_batch_indexed(batch, strict)
+            if removed_tids:
+                # Delete from a fresh list (C-speed copy + memmoves) so a view
+                # handed out by transactions() stays a stable snapshot, as the
+                # full-pass path has always guaranteed.
+                store = list(self._transactions)
+                for tid in reversed(removed_tids):
+                    del store[tid]
+                self._transactions = store
+        else:
+            removed_tids, removed_rows = self._remove_batch_scan(batch, strict)
+        if not removed_tids:
+            return 0
+        if self._vertical is not None:
+            self._vertical.delete_tids(removed_tids)
+        self._note_removed(removed_rows)
+        self._partitions.clear()
+        return len(removed_tids)
+
+    def _locate_batch_indexed(
+        self, batch: list[Transaction], strict: bool
+    ) -> tuple[list[int], list[Transaction]]:
+        """Find the victim TIDs of a small batch without a full Python pass.
+
+        Each victim is located with ``list.index`` (a C-speed scan); repeated
+        batch entries for the same transaction resume the search after the
+        previous match, giving the same multiset semantics as the full pass.
+        Nothing is mutated here, so a strict failure rolls back for free.
+        """
+        store = self._transactions
+        next_start: dict[Transaction, int] = {}
+        removed_tids: list[int] = []
+        removed_rows: list[Transaction] = []
+        missing: Counter[Transaction] = Counter()
+        for transaction in batch:
+            try:
+                tid = store.index(transaction, next_start.get(transaction, 0))
+            except ValueError:
+                missing[transaction] += 1
+                continue
+            next_start[transaction] = tid + 1
+            removed_tids.append(tid)
+            removed_rows.append(transaction)
+        if missing and strict:
+            raise StaleStateError(_phantom_message(missing))
+        removed_tids.sort()
+        return removed_tids, removed_rows
+
+    def _remove_batch_scan(
+        self, batch: list[Transaction], strict: bool
+    ) -> tuple[list[int], list[Transaction]]:
+        """Full-pass removal for large batches (validated before committing)."""
+        to_remove = Counter(batch)
         kept: list[Transaction] = []
         removed_tids: list[int] = []
+        removed_rows: list[Transaction] = []
         for tid, transaction in enumerate(self._transactions):
             if to_remove.get(transaction, 0) > 0:
                 to_remove[transaction] -= 1
                 removed_tids.append(tid)
+                removed_rows.append(transaction)
             else:
                 kept.append(transaction)
+        if strict:
+            leftover = +to_remove
+            if leftover:
+                raise StaleStateError(_phantom_message(leftover))
         self._transactions = kept
-        if self._vertical is not None:
-            self._vertical.delete_tids(removed_tids)
-        self._partitions.clear()
-        return len(removed_tids)
+        return removed_tids, removed_rows
 
     # ------------------------------------------------------------------ #
     # Scan / query interface used by the miners
@@ -223,19 +356,87 @@ class TransactionDatabase:
         """Return a read-only view (the underlying list) of the transactions."""
         return self._transactions
 
+    def _ensure_item_counts(self) -> Counter[Item]:
+        if self._item_counts is None:
+            if self._vertical is not None:
+                # The vertical index already holds the answer: one popcount
+                # per item, no pass over the transactions.
+                self._item_counts = self._vertical.item_counts()
+            else:
+                counts: Counter[Item] = Counter()
+                for transaction in self._transactions:
+                    counts.update(transaction)
+                self._item_counts = counts
+        return self._item_counts
+
+    @property
+    def has_item_universe(self) -> bool:
+        """True when :meth:`items` / :meth:`item_counts` will not cost a scan.
+
+        That is the case once the item-universe cache is built — from then on
+        it is maintained by delta through every mutation, like the vertical
+        index — and also while the vertical index itself is live, since the
+        cache derives from its masks without touching the transactions.
+        Callers that account database scans (FUP2's shrink fallback) use this
+        to know whether their query performs a real pass.
+        """
+        return self._item_counts is not None or self._vertical is not None
+
     def items(self) -> set[Item]:
-        """Return the set of distinct items appearing anywhere in the database."""
-        present: set[Item] = set()
-        for transaction in self._transactions:
-            present.update(transaction)
-        return present
+        """Return the set of distinct items appearing anywhere in the database.
+
+        Served from the delta-maintained item-universe cache (built on first
+        use), so only the first call after construction scans the database.
+        """
+        return set(self._ensure_item_counts())
 
     def item_counts(self) -> Counter[Item]:
-        """Return per-item occurrence counts (support counts of 1-itemsets)."""
-        counts: Counter[Item] = Counter()
-        for transaction in self._transactions:
-            counts.update(transaction)
-        return counts
+        """Return per-item occurrence counts (support counts of 1-itemsets).
+
+        Served from the same delta-maintained cache as :meth:`items`; the
+        returned counter is a copy and safe to mutate.
+        """
+        return Counter(self._ensure_item_counts())
+
+    def _ensure_multiset(self) -> Counter[Transaction]:
+        if self._multiset is None:
+            self._multiset = Counter(self._transactions)
+        return self._multiset
+
+    @property
+    def has_transaction_multiset(self) -> bool:
+        """True when the transaction-multiset cache is built (and maintained)."""
+        return self._multiset is not None
+
+    def transaction_multiset(self) -> Counter[Transaction]:
+        """The transaction → occurrence-count multiset, as a live read-only view.
+
+        Built on first use with one pass, then maintained by delta through
+        every mutation; O(d) membership checks against it are what keep the
+        maintenance pipeline's phantom-deletion validation independent of the
+        database size.  Treat the returned counter as read-only.
+        """
+        return self._ensure_multiset()
+
+    def missing_transactions(
+        self, transactions: Iterable[Iterable[Item]]
+    ) -> Counter[Transaction]:
+        """Multiset of listed transactions *not* present in the database.
+
+        Respects multiplicity: listing a transaction three times when the
+        database stores two copies reports one missing occurrence.  Costs
+        O(batch) after the transaction-multiset cache is built (the first
+        call pays the one-off build).
+        """
+        multiset = self._ensure_multiset()
+        seen: Counter[Transaction] = Counter()
+        missing: Counter[Transaction] = Counter()
+        for raw in transactions:
+            transaction = _canonical_transaction(raw)
+            seen[transaction] += 1
+            if seen[transaction] > multiset.get(transaction, 0):
+                missing[transaction] += 1
+        return missing
 
     def count_itemset(self, candidate: Itemset) -> int:
         """Count transactions containing *candidate* with a full scan.

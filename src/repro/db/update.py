@@ -71,6 +71,23 @@ class UpdateBatch:
         """True when the batch changes nothing."""
         return not self.insertions and not self.deletions
 
+    def as_dict(self) -> dict[str, object]:
+        """JSON-serialisable form (the update-log journal's record format)."""
+        return {
+            "label": self.label,
+            "insertions": [list(transaction) for transaction in self.insertions],
+            "deletions": [list(transaction) for transaction in self.deletions],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, object]) -> "UpdateBatch":
+        """Rebuild a batch from :meth:`as_dict` output (re-validating items)."""
+        return cls.from_iterables(
+            insertions=payload.get("insertions", ()),  # type: ignore[arg-type]
+            deletions=payload.get("deletions", ()),  # type: ignore[arg-type]
+            label=str(payload.get("label", "")),
+        )
+
     def insertions_database(self, name: str = "increment") -> TransactionDatabase:
         """Return the insertions as a :class:`TransactionDatabase` (the ``db`` of the paper)."""
         return TransactionDatabase(self.insertions, name=name)
@@ -93,6 +110,16 @@ class UpdateLog:
         """Append *batch* to the log."""
         self.batches.append(batch)
 
+    def clear(self) -> None:
+        """Forget every recorded batch.
+
+        The durable session calls this when it compacts its on-disk journal
+        into a snapshot: the in-memory log mirrors the journal tail, and
+        without the truncation a long-lived session would retain every batch
+        ever applied.
+        """
+        self.batches.clear()
+
     def __len__(self) -> int:
         return len(self.batches)
 
@@ -109,8 +136,26 @@ class UpdateLog:
         """Total number of transactions deleted across all recorded batches."""
         return sum(len(batch.deletions) for batch in self.batches)
 
-    def replay(self, database: TransactionDatabase) -> TransactionDatabase:
+    def as_dicts(self) -> list[dict[str, object]]:
+        """The whole log as JSON-serialisable batch records, in order."""
+        return [batch.as_dict() for batch in self.batches]
+
+    @classmethod
+    def from_dicts(cls, payloads: Iterable[dict[str, object]]) -> "UpdateLog":
+        """Rebuild a log from :meth:`as_dicts` output."""
+        return cls(batches=[UpdateBatch.from_dict(payload) for payload in payloads])
+
+    def replay(self, database: TransactionDatabase, strict: bool = True) -> TransactionDatabase:
         """Apply every recorded batch, in order, to a copy of *database*.
+
+        Replay is **strict** by default: every recorded deletion must name a
+        transaction actually present at that point of the replay, and a
+        mismatch raises :class:`~repro.errors.StaleStateError` identifying the
+        missing transaction(s).  A log replayed against the wrong base
+        database therefore fails loudly instead of silently "deleting"
+        phantom rows and desyncing from the maintained database (which
+        refuses such batches outright).  Pass ``strict=False`` to get the old
+        best-effort behaviour in which unknown deletions are skipped.
 
         The copy inherits *database*'s vertical index (when built) and every
         replayed batch maintains it by delta, so replaying k batches costs
@@ -119,7 +164,7 @@ class UpdateLog:
         result = database.copy()
         for batch in self.batches:
             if batch.deletions:
-                result.remove_batch(batch.deletions)
+                result.remove_batch(batch.deletions, strict=strict)
             if batch.insertions:
                 result.extend(batch.insertions)
         return result

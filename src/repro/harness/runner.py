@@ -15,11 +15,16 @@ the timings and candidate counts of all three strategies;
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable
 
 from ..core.fup import FupUpdater
 from ..core.options import FupOptions
+from ..core.session import DEFAULT_CHECKPOINT_INTERVAL, MANIFEST_NAME, MaintenanceSession
 from ..db.transaction_db import TransactionDatabase
+from ..db.update import UpdateBatch
 from ..errors import ExperimentError
 from ..mining.apriori import AprioriMiner
 from ..mining.backends import MiningOptions
@@ -35,6 +40,8 @@ __all__ = [
     "OverheadRecord",
     "measure_fup_overhead",
     "ExperimentRunner",
+    "SessionBatchRecord",
+    "run_durable_session",
 ]
 
 
@@ -221,6 +228,92 @@ def measure_fup_overhead(
         fup_update_seconds=fup_result.elapsed_seconds,
         mine_updated_seconds=remined.elapsed_seconds,
     )
+
+
+@dataclass(frozen=True)
+class SessionBatchRecord:
+    """Per-batch outcome of a durable-session run (one table row)."""
+
+    seq: int
+    label: str
+    algorithm: str
+    seconds: float
+    database_size: int
+    itemsets: int
+    rules: int
+
+    def as_dict(self) -> dict[str, object]:
+        """Flat dictionary form used by the report renderer."""
+        return {
+            "seq": self.seq,
+            "label": self.label,
+            "algorithm": self.algorithm,
+            "seconds": round(self.seconds, 6),
+            "database_size": self.database_size,
+            "itemsets": self.itemsets,
+            "rules": self.rules,
+        }
+
+
+def run_durable_session(
+    directory: str | Path,
+    batches: Iterable[UpdateBatch],
+    *,
+    database: TransactionDatabase | None = None,
+    min_support: float | None = None,
+    min_confidence: float = 0.5,
+    miner: str = "apriori",
+    options: FupOptions | None = None,
+    checkpoint_interval: int = DEFAULT_CHECKPOINT_INTERVAL,
+) -> list[SessionBatchRecord]:
+    """Create-or-resume a durable session at *directory* and apply *batches*.
+
+    When *directory* holds no session yet, *database* and *min_support* must
+    be given and are mined into a fresh session; when it does, the session is
+    reopened (recovering any interrupted run by strict journal replay) and
+    those arguments are ignored.  This is the harness entry point the
+    streaming examples and the CI smoke job drive: each call is one process
+    lifetime, so calling it repeatedly against the same directory exercises
+    exactly the crash/resume path a production deployment relies on.
+    """
+    directory = Path(directory)
+    if (directory / MANIFEST_NAME).exists():
+        # A corrupted session raises its real diagnosis here instead of being
+        # masked by a doomed create attempt.
+        session = MaintenanceSession.open(directory)
+    else:
+        if database is None or min_support is None:
+            raise ExperimentError(
+                f"{directory} holds no session; pass database= and min_support= "
+                f"to create one"
+            )
+        session = MaintenanceSession.create(
+            directory,
+            database,
+            min_support=min_support,
+            min_confidence=min_confidence,
+            miner=miner,  # type: ignore[arg-type]
+            fup_options=options,
+            checkpoint_interval=checkpoint_interval,
+        )
+    records: list[SessionBatchRecord] = []
+    with session:
+        for batch in batches:
+            began = time.perf_counter()
+            report = session.apply(batch)
+            seconds = time.perf_counter() - began
+            records.append(
+                SessionBatchRecord(
+                    seq=session.applied_seq,
+                    label=report.batch_label,
+                    algorithm=report.algorithm,
+                    seconds=seconds,
+                    database_size=report.database_size,
+                    itemsets=len(session.result.lattice),
+                    rules=len(session.rules),
+                )
+            )
+    return records
 
 
 class ExperimentRunner:

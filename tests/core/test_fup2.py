@@ -90,6 +90,44 @@ class TestDeleteOnly:
         assert result.database_size == 0
 
 
+class TestShrinkFallbackInstrumentation:
+    """The shrink fallback's item-universe pass must be visible and cached."""
+
+    def _shrink_update(self, database, support):
+        """Delete most of the database so ``new_candidate_floor`` drops below 1."""
+        initial = AprioriMiner(support).mine(database)
+        keep, deleted = tail_split(database, len(database) - 3)
+        return (
+            Fup2Updater(support).update(database, initial, TransactionDatabase(), deleted),
+            keep,
+        )
+
+    def test_fallback_scan_is_accounted(self, random_database_factory):
+        database = random_database_factory(transactions=60, items=10, seed=11)
+        result, keep = self._shrink_update(database, 0.3)
+        # The item-universe enumeration is a real pass over the original
+        # database and must show up in the run's scan accounting.
+        assert result.database_scans >= 1
+        assert result.transactions_read >= len(database)
+        remined = AprioriMiner(0.3).mine(keep)
+        assert result.lattice.supports() == remined.lattice.supports()
+
+    def test_fallback_uses_the_item_universe_cache(self, random_database_factory):
+        database = random_database_factory(transactions=60, items=10, seed=12)
+        database.items()  # primed: the fallback must not account a new scan
+        initial = AprioriMiner(0.3).mine(database)
+        keep, deleted = tail_split(database, len(database) - 3)
+        warm = Fup2Updater(0.3).update(database, initial, TransactionDatabase(), deleted)
+        cold_database = random_database_factory(transactions=60, items=10, seed=12)
+        cold_initial = AprioriMiner(0.3).mine(cold_database)
+        _, cold_deleted = tail_split(cold_database, len(cold_database) - 3)
+        cold = Fup2Updater(0.3).update(
+            cold_database, cold_initial, TransactionDatabase(), cold_deleted
+        )
+        assert warm.lattice.supports() == cold.lattice.supports()
+        assert warm.database_scans < cold.database_scans
+
+
 class TestMixedBatches:
     @pytest.mark.parametrize("seed", range(3))
     def test_simultaneous_insert_and_delete(self, random_database_factory, seed):

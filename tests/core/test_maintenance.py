@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from collections import Counter
+
 import pytest
 
 from repro import (
@@ -142,6 +144,39 @@ class TestDeletions:
         duplicates = [list(small_database[0])] * (len(small_database) + 1)
         with pytest.raises(StaleStateError):
             maintainer.remove_transactions(duplicates)
+
+    def test_phantom_check_uses_the_maintained_multiset(self, maintainer, small_database):
+        # The O(d) pre-check builds the transaction multiset once; every later
+        # deletion batch validates against the delta-maintained copy instead
+        # of rebuilding anything O(|DB|).
+        maintainer.remove_transactions([list(small_database[0])])
+        database = maintainer.database
+        assert database.has_transaction_multiset
+        maintainer.add_transactions([[1, 2, 9]])
+        maintainer.remove_transactions([[1, 2, 9]])
+        assert database.transaction_multiset() == Counter(database.transactions())
+
+    def test_refused_phantom_leaves_multiset_consistent(self, maintainer):
+        with pytest.raises(StaleStateError):
+            maintainer.remove_transactions([[98, 99]])
+        database = maintainer.database
+        assert database.transaction_multiset() == Counter(database.transactions())
+
+
+class TestRestore:
+    def test_restore_reproduces_saved_state(self, maintainer, small_database):
+        restored = RuleMaintainer(0.3, 0.6)
+        restored.restore(small_database.copy(), maintainer.result.lattice.copy())
+        assert restored.result.lattice.supports() == maintainer.result.lattice.supports()
+        assert [str(r) for r in restored.rules] == [str(r) for r in maintainer.rules]
+        # ... and the restored maintainer keeps maintaining.
+        report = restored.add_transactions([[1, 2]], label="after-restore")
+        assert report.database_size == len(small_database) + 1
+
+    def test_restore_rejects_mismatched_database(self, maintainer, small_database):
+        restored = RuleMaintainer(0.3, 0.6)
+        with pytest.raises(StaleStateError):
+            restored.restore(small_database.slice(0, 4), maintainer.result.lattice.copy())
 
     def test_mixed_batch(self, maintainer, small_database):
         batch = UpdateBatch.from_iterables(

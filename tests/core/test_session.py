@@ -1,0 +1,358 @@
+"""Unit tests for the durable maintenance session."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import (
+    AprioriMiner,
+    MaintenanceSession,
+    TransactionDatabase,
+    UpdateBatch,
+)
+from repro.core.session import JOURNAL_NAME, MANIFEST_NAME
+from repro.errors import StaleStateError, StorageError
+from repro.harness.runner import run_durable_session
+
+
+@pytest.fixture
+def session_dir(tmp_path):
+    return tmp_path / "session"
+
+
+@pytest.fixture
+def session(session_dir, small_database):
+    created = MaintenanceSession.create(
+        session_dir,
+        small_database,
+        min_support=0.3,
+        min_confidence=0.5,
+        checkpoint_interval=3,
+    )
+    yield created
+    created.close()
+
+
+def _journal_lines(session_dir):
+    return (session_dir / JOURNAL_NAME).read_text().splitlines()
+
+
+def _crash(session):
+    """Simulate the process dying: fds close, the flock drops, nothing else.
+
+    ``close()`` is write-free (durability is established per journal append,
+    never at close time), so from the disk's point of view a closed session
+    is indistinguishable from a killed one — no checkpoint, no journal
+    truncation, no flush happens here.
+    """
+    session.close()
+
+
+class TestCreate:
+    def test_initial_layout(self, session, session_dir):
+        assert (session_dir / MANIFEST_NAME).exists()
+        assert (session_dir / "snapshot-0.bin").exists()
+        assert (session_dir / "state-0.json").exists()
+        assert (session_dir / JOURNAL_NAME).read_text() == ""
+
+    def test_initial_state_matches_direct_mine(self, session, small_database):
+        direct = AprioriMiner(0.3).mine(small_database)
+        assert session.result.lattice.supports() == direct.lattice.supports()
+
+    def test_refuses_existing_session(self, session, session_dir, small_database):
+        with pytest.raises(StorageError):
+            MaintenanceSession.create(
+                session_dir, small_database, min_support=0.3, min_confidence=0.5
+            )
+
+    def test_rejects_bad_checkpoint_interval(self, tmp_path, small_database):
+        with pytest.raises(ValueError):
+            MaintenanceSession.create(
+                tmp_path / "s",
+                small_database,
+                min_support=0.3,
+                min_confidence=0.5,
+                checkpoint_interval=0,
+            )
+
+
+class TestApply:
+    def test_apply_journals_before_state(self, session, session_dir):
+        session.apply(UpdateBatch.from_iterables(insertions=[[1, 2]], label="b1"))
+        lines = _journal_lines(session_dir)
+        assert len(lines) == 1
+        record = json.loads(lines[0])
+        assert record["seq"] == 1
+        assert record["insertions"] == [[1, 2]]
+        assert record["label"] == "b1"
+
+    def test_refused_batch_is_scrubbed_from_journal(self, session, session_dir):
+        with pytest.raises(StaleStateError):
+            session.apply(UpdateBatch.from_iterables(deletions=[[98, 99]]))
+        assert _journal_lines(session_dir) == []
+        assert session.applied_seq == 0
+
+    def test_auto_checkpoint_compacts_journal(self, session, session_dir):
+        for index in range(3):
+            session.apply(UpdateBatch.from_iterables(insertions=[[1, index + 10]]))
+        assert session.checkpoint_seq == 3
+        assert _journal_lines(session_dir) == []
+        assert (session_dir / "snapshot-3.bin").exists()
+        assert not (session_dir / "snapshot-0.bin").exists()
+
+    def test_apply_after_close_is_refused(self, session):
+        session.close()
+        with pytest.raises(StorageError):
+            session.apply(UpdateBatch.from_iterables(insertions=[[1]]))
+
+    def test_convenience_wrappers(self, session, small_database):
+        session.add_transactions([[1, 2]], label="add")
+        session.remove_transactions([list(small_database[0])], label="del")
+        assert session.applied_seq == 2
+
+
+class TestRecovery:
+    def test_reopen_without_close_recovers_everything(self, session, session_dir, small_database):
+        session.apply(UpdateBatch.from_iterables(insertions=[[2, 3], [1, 4]]))
+        session.apply(UpdateBatch.from_iterables(deletions=[list(small_database[0])]))
+        # Simulated crash before any checkpoint — reopen from disk.
+        _crash(session)
+        recovered = MaintenanceSession.open(session_dir)
+        assert recovered.applied_seq == 2
+        assert list(recovered.database) == list(session.database)
+        assert recovered.result.lattice.supports() == session.result.lattice.supports()
+        assert [str(r) for r in recovered.rules] == [str(r) for r in session.rules]
+        recovered.close()
+
+    def test_journaled_but_unapplied_batch_is_replayed(self, session, session_dir):
+        # Crash between the journal append and the in-memory apply: write the
+        # record by hand, then recover.  The batch must be applied exactly once.
+        _crash(session)
+        with (session_dir / JOURNAL_NAME).open("a") as handle:
+            handle.write(json.dumps({"seq": 1, "label": "wal", "insertions": [[1, 5]], "deletions": []}) + "\n")
+        recovered = MaintenanceSession.open(session_dir)
+        assert recovered.applied_seq == 1
+        assert recovered.database.transactions()[-1] == (1, 5)
+        remined = AprioriMiner(0.3).mine(recovered.database)
+        assert recovered.result.lattice.supports() == remined.lattice.supports()
+        recovered.close()
+
+    def test_torn_journal_tail_is_discarded(self, session, session_dir):
+        session.apply(UpdateBatch.from_iterables(insertions=[[2, 4]]))
+        _crash(session)
+        with (session_dir / JOURNAL_NAME).open("a") as handle:
+            handle.write('{"seq": 2, "label": "torn", "insertio')
+        recovered = MaintenanceSession.open(session_dir)
+        assert recovered.applied_seq == 1
+        # The torn bytes are gone, so the next apply lands cleanly.
+        recovered.apply(UpdateBatch.from_iterables(insertions=[[3, 4]]))
+        assert recovered.applied_seq == 2
+        for line in _journal_lines(session_dir):
+            json.loads(line)
+        recovered.close()
+
+    def test_corrupted_middle_record_is_refused(self, session, session_dir):
+        _crash(session)
+        with (session_dir / JOURNAL_NAME).open("a") as handle:
+            handle.write("not json\n")
+            handle.write(json.dumps({"seq": 2, "insertions": [[1]], "deletions": []}) + "\n")
+        with pytest.raises(StorageError):
+            MaintenanceSession.open(session_dir)
+
+    def test_non_contiguous_journal_is_refused(self, session, session_dir):
+        _crash(session)
+        with (session_dir / JOURNAL_NAME).open("a") as handle:
+            handle.write(json.dumps({"seq": 5, "insertions": [[1]], "deletions": []}) + "\n")
+        with pytest.raises(StorageError):
+            MaintenanceSession.open(session_dir)
+
+    def test_journal_against_wrong_snapshot_fails_loudly(self, session, session_dir):
+        # A deletion that the snapshot database cannot satisfy must raise,
+        # not silently "delete" a phantom row.
+        _crash(session)
+        with (session_dir / JOURNAL_NAME).open("a") as handle:
+            handle.write(json.dumps({"seq": 1, "deletions": [[77, 88]], "insertions": []}) + "\n")
+        with pytest.raises(StaleStateError):
+            MaintenanceSession.open(session_dir)
+
+    def test_concurrent_open_is_refused_while_session_is_live(self, session, session_dir):
+        # Two live writers would interleave journal seqs and sweep each
+        # other's snapshots; the directory lock refuses the second open.
+        with pytest.raises(StorageError, match="already in use"):
+            MaintenanceSession.open(session_dir)
+        # Releasing the lock (crash or close) makes the session reopenable.
+        _crash(session)
+        MaintenanceSession.open(session_dir).close()
+
+    def test_open_missing_directory(self, tmp_path):
+        with pytest.raises(StorageError):
+            MaintenanceSession.open(tmp_path / "nope")
+
+    def test_open_sweeps_checkpoint_debris(self, session, session_dir):
+        # A checkpoint that crashed mid-write leaves .tmp partials and an
+        # unreferenced snapshot pair; recovery must clean them up.
+        _crash(session)
+        (session_dir / "snapshot-9.bin.tmp").write_bytes(b"partial")
+        (session_dir / "snapshot-9.bin").write_bytes(b"orphan")
+        (session_dir / "state-9.json").write_text("{}")
+        recovered = MaintenanceSession.open(session_dir)
+        recovered.close()
+        names = sorted(p.name for p in session_dir.iterdir())
+        assert names == [
+            "journal.jsonl",
+            "session.json",
+            "session.lock",
+            "snapshot-0.bin",
+            "state-0.json",
+        ]
+
+    def test_open_rejects_foreign_manifest(self, tmp_path):
+        directory = tmp_path / "bad"
+        directory.mkdir()
+        (directory / MANIFEST_NAME).write_text('{"format": "something-else"}')
+        with pytest.raises(StorageError):
+            MaintenanceSession.open(directory)
+
+    def test_recovery_equivalent_to_uninterrupted_run(self, tmp_path, small_database):
+        batches = [
+            UpdateBatch.from_iterables(insertions=[[1, 4], [2, 3, 4]], label="a"),
+            UpdateBatch.from_iterables(deletions=[list(small_database[1])], label="b"),
+            UpdateBatch.from_iterables(insertions=[[1, 2, 4]], deletions=[[2, 4]], label="c"),
+            UpdateBatch.from_iterables(insertions=[[3, 4]], label="d"),
+        ]
+        smooth = MaintenanceSession.create(
+            tmp_path / "smooth", small_database, min_support=0.3, min_confidence=0.5
+        )
+        for batch in batches:
+            smooth.apply(batch)
+
+        bumpy = MaintenanceSession.create(
+            tmp_path / "bumpy",
+            small_database,
+            min_support=0.3,
+            min_confidence=0.5,
+            checkpoint_interval=2,
+        )
+        for batch in batches[:2]:
+            bumpy.apply(batch)
+        _crash(bumpy)
+        resumed = MaintenanceSession.open(tmp_path / "bumpy")
+        for batch in batches[2:]:
+            resumed.apply(batch)
+
+        assert list(resumed.database) == list(smooth.database)
+        assert resumed.result.lattice.supports() == smooth.result.lattice.supports()
+        assert [str(r) for r in resumed.rules] == [str(r) for r in smooth.rules]
+        smooth.close()
+        resumed.close()
+
+
+class TestCheckpointAndStatus:
+    def test_manual_checkpoint(self, session, session_dir):
+        session.apply(UpdateBatch.from_iterables(insertions=[[1, 5]]))
+        assert session.pending_batches == 1
+        seq = session.checkpoint()
+        assert seq == 1
+        assert session.pending_batches == 0
+        assert (session_dir / "snapshot-1.bin").exists()
+        assert _journal_lines(session_dir) == []
+
+    def test_checkpoint_with_nothing_pending_is_a_noop(self, session, session_dir):
+        before = (session_dir / MANIFEST_NAME).read_text()
+        assert session.checkpoint() == 0
+        assert (session_dir / MANIFEST_NAME).read_text() == before
+
+    def test_status_and_peek_agree(self, session, session_dir):
+        session.apply(UpdateBatch.from_iterables(insertions=[[4, 5]]))
+        live = session.status()
+        peeked = MaintenanceSession.peek(session_dir)
+        assert live.applied_seq == peeked.applied_seq == 1
+        assert live.checkpoint_seq == peeked.checkpoint_seq == 0
+        assert live.pending_batches == peeked.pending_batches == 1
+        # peek describes the checkpoint, not the journaled tail
+        assert peeked.database_size == 9
+        assert live.database_size == 10
+
+    def test_peek_does_not_touch_files(self, session, session_dir):
+        session.apply(UpdateBatch.from_iterables(insertions=[[4, 5]]))
+        journal_before = (session_dir / JOURNAL_NAME).read_bytes()
+        MaintenanceSession.peek(session_dir)
+        assert (session_dir / JOURNAL_NAME).read_bytes() == journal_before
+
+    def test_peek_reports_mid_journal_corruption(self, session, session_dir):
+        # status must not show a healthy count for a journal open() refuses.
+        session.apply(UpdateBatch.from_iterables(insertions=[[4, 5]]))
+        _crash(session)
+        with (session_dir / JOURNAL_NAME).open("a") as handle:
+            handle.write("garbage\n")
+            handle.write(json.dumps({"seq": 2, "insertions": [[1]], "deletions": []}) + "\n")
+        with pytest.raises(StorageError):
+            MaintenanceSession.peek(session_dir)
+
+    def test_peek_tolerates_torn_final_line(self, session, session_dir):
+        session.apply(UpdateBatch.from_iterables(insertions=[[4, 5]]))
+        with (session_dir / JOURNAL_NAME).open("a") as handle:
+            handle.write('{"seq": 2, "torn')
+        assert MaintenanceSession.peek(session_dir).pending_batches == 1
+
+    def test_recovery_preserves_the_database_name(self, tmp_path):
+        directory = tmp_path / "named"
+        database = TransactionDatabase([[1, 2], [1, 2], [2, 3]], name="retail")
+        created = MaintenanceSession.create(
+            directory, database, min_support=0.5, min_confidence=0.5
+        )
+        _crash(created)
+        reopened = MaintenanceSession.open(directory)
+        assert reopened.database.name == "retail"
+        _crash(reopened)
+
+    def test_recovery_keeps_an_unnamed_database_unnamed(self, tmp_path):
+        # load_database's filename-stem fallback must not rename the
+        # database to "snapshot-0" on recovery.
+        directory = tmp_path / "unnamed"
+        created = MaintenanceSession.create(
+            directory,
+            TransactionDatabase([[1, 2], [1, 2], [2, 3]]),
+            min_support=0.5,
+            min_confidence=0.5,
+        )
+        _crash(created)
+        reopened = MaintenanceSession.open(directory)
+        assert reopened.database.name == ""
+        _crash(reopened)
+
+
+class TestHarnessRunner:
+    def test_run_durable_session_creates_and_resumes(self, tmp_path, small_database):
+        directory = tmp_path / "durable"
+        first = run_durable_session(
+            directory,
+            [UpdateBatch.from_iterables(insertions=[[1, 4]], label="one")],
+            database=small_database,
+            min_support=0.3,
+        )
+        assert [record.seq for record in first] == [1]
+        second = run_durable_session(
+            directory,
+            [UpdateBatch.from_iterables(insertions=[[2, 4]], label="two")],
+        )
+        assert [record.seq for record in second] == [2]
+        assert second[0].database_size == 11
+        assert set(second[0].as_dict()) >= {"seq", "label", "algorithm", "seconds"}
+
+    def test_run_durable_session_requires_seed_for_new_directory(self, tmp_path):
+        from repro.errors import ExperimentError
+
+        with pytest.raises(ExperimentError):
+            run_durable_session(tmp_path / "missing", [])
+
+    def test_run_durable_session_surfaces_corruption(self, tmp_path, small_database):
+        directory = tmp_path / "corrupt"
+        directory.mkdir()
+        (directory / MANIFEST_NAME).write_text("{not json")
+        # A damaged session must raise its real diagnosis, not fall into the
+        # create path and report "already holds a session".
+        with pytest.raises(StorageError, match="not valid JSON"):
+            run_durable_session(directory, [], database=small_database, min_support=0.3)

@@ -2,10 +2,13 @@
 
 from __future__ import annotations
 
+import struct
+
 import pytest
 
 from repro import TransactionDatabase, load_database, save_database
 from repro.db.store import (
+    _HEADER,
     read_transactions_binary,
     read_transactions_text,
     write_transactions_binary,
@@ -52,6 +55,18 @@ class TestTextFormat:
         path.write_text("3 1 3 2\n")
         assert list(read_transactions_text(path)) == [(1, 2, 3)]
 
+    def test_read_rejects_float_tokens(self, tmp_path):
+        path = tmp_path / "floats.txt"
+        path.write_text("1 2\n3 4.5\n")
+        with pytest.raises(StorageError, match="non-integer"):
+            list(read_transactions_text(path))
+
+    def test_error_names_the_offending_line(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("1\n2\nx y\n")
+        with pytest.raises(StorageError, match=":3:"):
+            list(read_transactions_text(path))
+
 
 class TestBinaryFormat:
     def test_round_trip(self, tmp_path, sample_database):
@@ -78,6 +93,27 @@ class TestBinaryFormat:
     def test_read_missing_file(self, tmp_path):
         with pytest.raises(StorageError):
             list(read_transactions_binary(tmp_path / "missing.bin"))
+
+    def test_rejects_truncated_header(self, tmp_path):
+        path = tmp_path / "stub.bin"
+        path.write_bytes(_HEADER[:4])
+        with pytest.raises(StorageError):
+            list(read_transactions_binary(path))
+
+    def test_rejects_truncated_record_length(self, tmp_path, sample_database):
+        path = tmp_path / "db.bin"
+        write_transactions_binary(path, sample_database.transactions())
+        # Cut inside a record's length field (2 bytes into the first record).
+        path.write_bytes(path.read_bytes()[: len(_HEADER) + 2])
+        with pytest.raises(StorageError):
+            list(read_transactions_binary(path))
+
+    def test_rejects_record_longer_than_file(self, tmp_path):
+        path = tmp_path / "lying.bin"
+        # A record claiming 100 items backed by a single one.
+        path.write_bytes(_HEADER + struct.pack("<I", 100) + struct.pack("<I", 7))
+        with pytest.raises(StorageError):
+            list(read_transactions_binary(path))
 
 
 class TestHighLevelHelpers:

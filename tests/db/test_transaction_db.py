@@ -2,10 +2,13 @@
 
 from __future__ import annotations
 
+from collections import Counter
+
 import pytest
 
 from repro import TransactionDatabase
-from repro.errors import InvalidTransactionError
+from repro.db.transaction_db import _SMALL_DELETE_BATCH
+from repro.errors import InvalidTransactionError, StaleStateError
 
 
 class TestConstruction:
@@ -108,6 +111,131 @@ class TestMutation:
 
     def test_copy_can_rename(self, small_database):
         assert small_database.copy(name="renamed").name == "renamed"
+
+
+class TestStrictRemoval:
+    def test_strict_removes_existing(self):
+        database = TransactionDatabase([[1, 2], [3], [1, 2]])
+        assert database.remove_batch([[2, 1], [3]], strict=True) == 2
+        assert list(database) == [(1, 2)]
+
+    def test_strict_raises_naming_the_phantom(self):
+        database = TransactionDatabase([[1, 2], [3]])
+        with pytest.raises(StaleStateError, match=r"\(7, 8\)"):
+            database.remove_batch([[1, 2], [7, 8]], strict=True)
+
+    def test_strict_failure_leaves_database_untouched(self):
+        database = TransactionDatabase([[1, 2], [3]])
+        database.vertical()
+        before = list(database)
+        vertical_before = dict(database.vertical())
+        with pytest.raises(StaleStateError):
+            database.remove_batch([[1, 2], [9]], strict=True)
+        assert list(database) == before
+        assert dict(database.vertical()) == vertical_before
+
+    def test_strict_counts_multiplicity(self):
+        # Two stored copies, three requested: the third is a phantom.
+        database = TransactionDatabase([[1], [1], [2]])
+        with pytest.raises(StaleStateError, match="1 transaction"):
+            database.remove_batch([[1], [1], [1]], strict=True)
+        assert len(database) == 3
+
+    def test_strict_large_batch_takes_the_scan_path(self):
+        rows = [[i, i + 1] for i in range(_SMALL_DELETE_BATCH + 10)]
+        database = TransactionDatabase(rows)
+        batch = [list(row) for row in rows] + [[500, 501]]
+        with pytest.raises(StaleStateError, match=r"\(500, 501\)"):
+            database.remove_batch(batch, strict=True)
+        assert len(database) == len(rows)
+        assert database.remove_batch(batch[:-1], strict=True) == len(rows)
+        assert len(database) == 0
+
+    def test_held_transactions_view_stays_a_snapshot(self):
+        # Both removal paths must leave a previously handed-out
+        # transactions() view untouched.
+        database = TransactionDatabase([[i] for i in range(40)])
+        view = database.transactions()
+        database.remove_batch([[0]])  # fast path
+        assert len(view) == 40
+        view = database.transactions()
+        database.remove_batch([[i] for i in range(1, _SMALL_DELETE_BATCH + 3)])  # scan path
+        assert len(view) == 39
+
+    def test_fast_and_scan_paths_agree(self):
+        rows = [[1, 2], [3], [1, 2], [4, 5], [3]] * 8
+        batch = [[1, 2], [3], [1, 2], [9]]
+        small = TransactionDatabase(rows)
+        large = TransactionDatabase(rows)
+        # Same batch through both paths: padded duplicates push the second
+        # call over the fast-path threshold without changing the multiset.
+        small.remove_batch(batch)
+        large.remove_batch(batch + [[9]] * _SMALL_DELETE_BATCH)
+        assert list(small) == list(large)
+
+
+class TestItemUniverseCache:
+    def test_items_served_from_cache_after_mutations(self, small_database):
+        assert not small_database.has_item_universe
+        assert small_database.items() == {1, 2, 3, 4}
+        assert small_database.has_item_universe
+        small_database.append([7])
+        small_database.extend([[8, 9]])
+        assert small_database.items() == {1, 2, 3, 4, 7, 8, 9}
+
+    def test_removal_drops_items_that_disappear(self):
+        database = TransactionDatabase([[1, 2], [2, 3]])
+        assert database.items() == {1, 2, 3}
+        database.remove_batch([[1, 2]])
+        assert database.items() == {2, 3}
+        database.remove_batch([[2, 3]])
+        assert database.items() == set()
+
+    def test_item_counts_match_scratch_after_session(self):
+        database = TransactionDatabase([[1, 2], [2], [2, 3]])
+        database.item_counts()  # prime the cache
+        database.extend([[1, 3], [2]])
+        database.remove_batch([[2], [2, 3]])
+        scratch = Counter()
+        for row in database.transactions():
+            scratch.update(row)
+        assert database.item_counts() == scratch
+
+    def test_item_counts_returns_a_safe_copy(self):
+        database = TransactionDatabase([[1]])
+        counts = database.item_counts()
+        counts[1] = 99
+        assert database.item_counts()[1] == 1
+
+    def test_copy_carries_the_cache(self, small_database):
+        small_database.items()
+        clone = small_database.copy()
+        assert clone.has_item_universe
+        clone.append([7])
+        assert clone.items() == {1, 2, 3, 4, 7}
+        assert small_database.items() == {1, 2, 3, 4}
+
+
+class TestTransactionMultiset:
+    def test_multiset_counts_duplicates(self):
+        database = TransactionDatabase([[1], [1], [2, 3]])
+        assert database.transaction_multiset() == Counter({(1,): 2, (2, 3): 1})
+
+    def test_multiset_is_delta_maintained(self):
+        database = TransactionDatabase([[1], [2]])
+        database.transaction_multiset()
+        database.append([1])
+        database.remove_batch([[2]])
+        assert database.transaction_multiset() == Counter({(1,): 2})
+        assert database.has_transaction_multiset
+
+    def test_missing_transactions_respects_multiplicity(self):
+        database = TransactionDatabase([[1], [1], [2]])
+        missing = database.missing_transactions([[1], [1], [1], [9]])
+        assert missing == Counter({(1,): 1, (9,): 1})
+
+    def test_missing_transactions_empty_when_all_present(self, small_database):
+        assert small_database.missing_transactions([list(small_database[0])]) == Counter()
 
 
 class TestQueries:

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro import TransactionDatabase, UpdateBatch, UpdateLog
-from repro.errors import InvalidTransactionError
+from repro.errors import InvalidTransactionError, StaleStateError
 
 
 class TestUpdateBatch:
@@ -93,3 +93,55 @@ class TestUpdateLog:
         log.record(UpdateBatch.from_iterables(deletions=[[1]]))
         log.replay(base)
         assert len(base) == 1
+
+    def test_replay_against_wrong_base_fails_loudly(self):
+        # The log deletes a transaction the base never held: strict replay
+        # (the default) must raise instead of silently desyncing.
+        log = UpdateLog()
+        log.record(UpdateBatch.from_iterables(deletions=[[7, 8]]))
+        with pytest.raises(StaleStateError, match=r"\(7, 8\)"):
+            log.replay(TransactionDatabase([[1, 2]]))
+
+    def test_replay_strictness_covers_mid_log_desync(self):
+        # The phantom only becomes phantom after an earlier batch removed it.
+        base = TransactionDatabase([[1, 2], [3]])
+        log = UpdateLog()
+        log.record(UpdateBatch.from_iterables(deletions=[[1, 2]]))
+        log.record(UpdateBatch.from_iterables(deletions=[[1, 2]]))
+        with pytest.raises(StaleStateError):
+            log.replay(base)
+        assert len(base) == 2
+
+    def test_non_strict_replay_keeps_the_old_best_effort_semantics(self):
+        log = UpdateLog()
+        log.record(UpdateBatch.from_iterables(insertions=[[4]], deletions=[[7, 8]]))
+        replayed = log.replay(TransactionDatabase([[1, 2]]), strict=False)
+        assert list(replayed) == [(1, 2), (4,)]
+
+
+class TestSerialization:
+    def test_batch_round_trip(self):
+        batch = UpdateBatch.from_iterables(
+            insertions=[[2, 1], [3]], deletions=[[4]], label="day-9"
+        )
+        payload = batch.as_dict()
+        assert payload == {
+            "label": "day-9",
+            "insertions": [[1, 2], [3]],
+            "deletions": [[4]],
+        }
+        assert UpdateBatch.from_dict(payload) == batch
+
+    def test_from_dict_validates_items(self):
+        with pytest.raises(InvalidTransactionError):
+            UpdateBatch.from_dict({"insertions": [[-3]], "deletions": []})
+
+    def test_from_dict_tolerates_missing_keys(self):
+        assert UpdateBatch.from_dict({}).is_empty
+
+    def test_log_round_trip(self):
+        log = UpdateLog()
+        log.record(UpdateBatch.from_iterables(insertions=[[1]], label="a"))
+        log.record(UpdateBatch.from_iterables(deletions=[[1]], label="b"))
+        rebuilt = UpdateLog.from_dicts(log.as_dicts())
+        assert rebuilt.batches == log.batches

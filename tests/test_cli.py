@@ -6,7 +6,13 @@ import json
 
 import pytest
 
-from repro import AprioriMiner, TransactionDatabase, load_database, save_database
+from repro import (
+    AprioriMiner,
+    MaintenanceSession,
+    TransactionDatabase,
+    load_database,
+    save_database,
+)
 from repro.cli import build_parser, load_state, main, save_state
 from repro.errors import ReproError
 
@@ -255,6 +261,121 @@ class TestMaintainCommand:
             build_parser().parse_args(
                 ["maintain", "db.txt", "inc.txt", "--min-support", "0.1", "--batches", "0"]
             )
+
+
+class TestSessionCommand:
+    def test_full_round_trip(self, tmp_path, workload_files, capsys):
+        """init → apply (two process lifetimes) → status → checkpoint → status."""
+        session_dir = tmp_path / "session"
+        code = main(
+            [
+                "session", "init", str(session_dir),
+                str(workload_files["database_path"]),
+                "--min-support", "0.1",
+                "--checkpoint-interval", "10",
+            ]
+        )
+        assert code == 0
+        assert "initialised session" in capsys.readouterr().out
+
+        # Two separate apply invocations: the process "dies" in between and
+        # the second one recovers purely from the session directory.
+        code = main(
+            [
+                "session", "apply", str(session_dir),
+                "--insertions", str(workload_files["increment_path"]),
+                "--batches", "2",
+            ]
+        )
+        assert code == 0
+        assert "applied 2 batch(es)" in capsys.readouterr().out
+
+        deletions_path = tmp_path / "deletions.txt"
+        save_database(workload_files["original"].slice(0, 10), deletions_path)
+        code = main(
+            ["session", "apply", str(session_dir), "--deletions", str(deletions_path)]
+        )
+        assert code == 0
+        capsys.readouterr()
+
+        code = main(["session", "status", str(session_dir)])
+        assert code == 0
+        status_output = capsys.readouterr().out
+        assert "applied_seq: 3" in status_output
+        assert "pending_batches: 3" in status_output
+
+        code = main(["session", "checkpoint", str(session_dir)])
+        assert code == 0
+        assert "checkpointed" in capsys.readouterr().out
+
+        code = main(["session", "status", str(session_dir)])
+        assert code == 0
+        status_output = capsys.readouterr().out
+        assert "checkpoint_seq: 3" in status_output
+        assert "pending_batches: 0" in status_output
+
+        # The maintained state equals a from-scratch mine of the final database.
+        final = MaintenanceSession.open(session_dir)
+        expected_database = (
+            workload_files["original"].slice(10).concatenate(workload_files["increment"])
+        )
+        assert sorted(final.database) == sorted(expected_database)
+        remined = AprioriMiner(0.1).mine(final.database)
+        assert final.result.lattice.supports() == remined.lattice.supports()
+        final.close()
+
+    def test_apply_without_files_is_an_error(self, tmp_path, workload_files, capsys):
+        session_dir = tmp_path / "session"
+        main(
+            [
+                "session", "init", str(session_dir),
+                str(workload_files["database_path"]),
+                "--min-support", "0.1",
+            ]
+        )
+        capsys.readouterr()
+        code = main(["session", "apply", str(session_dir)])
+        assert code == 2
+        assert "needs --insertions" in capsys.readouterr().err
+
+    def test_status_of_missing_session_fails_cleanly(self, tmp_path, capsys):
+        code = main(["session", "status", str(tmp_path / "nope")])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_init_refuses_existing_session(self, tmp_path, workload_files, capsys):
+        session_dir = tmp_path / "session"
+        args = [
+            "session", "init", str(session_dir),
+            str(workload_files["database_path"]),
+            "--min-support", "0.1",
+        ]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args) == 2
+        assert "already holds" in capsys.readouterr().err
+
+    def test_phantom_deletions_fail_cleanly(self, tmp_path, workload_files, capsys):
+        session_dir = tmp_path / "session"
+        main(
+            [
+                "session", "init", str(session_dir),
+                str(workload_files["database_path"]),
+                "--min-support", "0.1",
+            ]
+        )
+        deletions_path = tmp_path / "phantom.txt"
+        deletions_path.write_text("9991 9992 9993\n")
+        capsys.readouterr()
+        code = main(
+            ["session", "apply", str(session_dir), "--deletions", str(deletions_path)]
+        )
+        assert code == 2
+        assert "not present in the maintained database" in capsys.readouterr().err
+        # The refused batch left no journal record: status shows zero pending.
+        capsys.readouterr()
+        assert main(["session", "status", str(session_dir)]) == 0
+        assert "pending_batches: 0" in capsys.readouterr().out
 
 
 class TestCompareCommand:
