@@ -1,0 +1,212 @@
+"""Thread vs process executor on the partitioned counting engine.
+
+The partitioned engine's docstring promised for three PRs that the thread
+path was "an executor swap away from real parallelism"; this benchmark holds
+the swap to that promise.  Both executors race the same ≥4-shard
+candidate-counting workload — the C_2 pool of the Figure-2 database, the
+counting-dominated phase every algorithm's runtime funnels through — with
+the same horizontal inner engine, so the only variable is who runs the
+shards: GIL-bound threads or dedicated worker processes.
+
+Methodology: one warm-up pass per engine is excluded from the timing.  For
+processes that pass spawns the worker lanes and ships each shard across the
+boundary once (the per-worker fingerprint cache keeps it there); steady
+state — every later level of a mining run, every batch of a maintenance
+session — is what the measurement is about.  Merging is order-deterministic,
+and both executors' counts are asserted identical before any timing is
+trusted.
+
+The ≥2× speed-up assertion activates only where it is physically possible:
+at the default benchmark scale or above AND with at least 4 usable CPU
+cores (a single-core container cannot parallelise anything — the committed
+baseline records the core count next to the numbers for exactly that
+reason).
+
+When ``REPRO_BENCH_ARTIFACT`` is set the measurements land in
+``BENCH_executors.json`` (value ``1``: the repo root; any other value: that
+directory, canonical file name), which CI uploads next to the other
+baselines.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.mining.backends import PartitionedBackend, make_backend
+from repro.mining.candidates import apriori_gen
+from repro.mining.result import required_support_count
+
+from .conftest import BENCH_SCALE, print_report, timing_asserts_enabled
+
+#: Support level of the counting race (the Figure-2 C_2 pool).
+COUNT_SUPPORT = 0.01
+#: Shard count — the acceptance bar is a >=4-shard workload.
+SHARDS = 4
+#: Required steady-state advantage of processes over threads, where possible.
+MIN_PROCESS_SPEEDUP = 2.0
+#: Cores needed before the assertion is physically meaningful.
+MIN_CPUS_FOR_ASSERT = 4
+
+
+def _usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return os.cpu_count() or 1
+
+
+def _artifact_path() -> Path | None:
+    """Where ``BENCH_executors.json`` lands, or None to skip writing it."""
+    value = os.environ.get("REPRO_BENCH_ARTIFACT", "")
+    if not value:
+        return None
+    if value == "1":
+        return Path(__file__).resolve().parents[1] / "BENCH_executors.json"
+    path = Path(value)
+    if path.name != "BENCH_executors.json":
+        return path.with_name("BENCH_executors.json")
+    return path
+
+
+def _level2_candidates(database) -> list[tuple[int, ...]]:
+    threshold = required_support_count(COUNT_SUPPORT, len(database))
+    level_one = {
+        (item,) for item, count in database.item_counts().items() if count >= threshold
+    }
+    return sorted(apriori_gen(level_one))
+
+
+def _best_of(repeats: int, run) -> float:
+    """Best-of-N wall time (minimum filters scheduler noise; long runs once)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        run()
+        best = min(best, time.perf_counter() - start)
+        if best > 1.0:
+            break
+    return best
+
+
+@pytest.mark.benchmark(group="executors")
+def test_process_pool_beats_threads_on_counting(benchmark, figure2_workload):
+    """Race serial / threads / processes on the C_2 counting phase."""
+    database = figure2_workload.original
+    candidates = _level2_candidates(database)
+    assert candidates, "the workload must produce a non-trivial C_2 pool"
+
+    serial = make_backend("horizontal")
+    threaded = PartitionedBackend(shards=SHARDS, executor="threads")
+    processes = PartitionedBackend(shards=SHARDS, executor="processes")
+
+    def run_comparison() -> dict[str, float]:
+        reference = serial.count_candidates(database, candidates)
+        # Warm-up: spawns the process lanes and ships each shard once; the
+        # threads warm-up primes the database's cached partition views so
+        # both executors count identical pre-split shards.
+        assert threaded.count_candidates(database, candidates) == reference
+        assert processes.count_candidates(database, candidates) == reference
+        return {
+            "serial": _best_of(3, lambda: serial.count_candidates(database, candidates)),
+            "threads": _best_of(3, lambda: threaded.count_candidates(database, candidates)),
+            "processes": _best_of(
+                3, lambda: processes.count_candidates(database, candidates)
+            ),
+        }
+
+    try:
+        counting = benchmark.pedantic(run_comparison, rounds=1)
+    finally:
+        processes.close()
+
+    cpus = _usable_cpus()
+    speedup_vs_threads = counting["threads"] / max(counting["processes"], 1e-9)
+    speedup_vs_serial = counting["serial"] / max(counting["processes"], 1e-9)
+
+    artifact = _artifact_path()
+    if artifact is not None:
+        payload = {
+            "benchmark": "executor_scaling",
+            "workload": figure2_workload.name,
+            "scale": BENCH_SCALE,
+            "transactions": len(database),
+            "min_support": COUNT_SUPPORT,
+            "candidates_level2": len(candidates),
+            "shards": SHARDS,
+            "cpus": cpus,
+            "counting_seconds": {
+                name: round(value, 6) for name, value in counting.items()
+            },
+            "process_speedup_vs_threads": round(speedup_vs_threads, 3),
+            "process_speedup_vs_serial": round(speedup_vs_serial, 3),
+            "assertion_active": bool(
+                timing_asserts_enabled() and cpus >= MIN_CPUS_FOR_ASSERT
+            ),
+        }
+        artifact.write_text(json.dumps(payload, indent=2) + "\n", encoding="ascii")
+
+    print_report(
+        f"partitioned executors on {figure2_workload.name} "
+        f"(|C2| = {len(candidates)}, D = {len(database)}, "
+        f"shards = {SHARDS}, cpus = {cpus})",
+        [
+            {"executor": name, "count_C2_s": round(counting[name], 5)}
+            for name in ("serial", "threads", "processes")
+        ],
+    )
+
+    if timing_asserts_enabled() and cpus >= MIN_CPUS_FOR_ASSERT:
+        assert speedup_vs_threads >= MIN_PROCESS_SPEEDUP, (
+            f"process executor only {speedup_vs_threads:.2f}x faster than threads "
+            f"on {SHARDS} shards with {cpus} cores (need {MIN_PROCESS_SPEEDUP}x)"
+        )
+
+
+@pytest.mark.benchmark(group="executors")
+def test_shard_shipping_is_amortised(benchmark, figure2_workload):
+    """Steady-state process counting must not re-pay the shard transfer.
+
+    The first pass ships every shard to its worker; later passes send only
+    fingerprints and candidates.  If steady state were re-shipping shards,
+    its per-pass time would approach the cold pass — so the benchmark pins
+    warm passes to a fraction of the cold one (loose bound: the cold pass
+    also pays lane spawn, which is the point — that cost must not recur).
+    """
+    database = figure2_workload.original
+    candidates = _level2_candidates(database)[: max(1, len(database) // 2)]
+
+    processes = PartitionedBackend(shards=SHARDS, executor="processes")
+    try:
+        start = time.perf_counter()
+        first = processes.count_candidates(database, candidates)
+        cold_seconds = time.perf_counter() - start
+
+        benchmark.pedantic(
+            lambda: processes.count_candidates(database, candidates), rounds=1
+        )
+        warm_seconds = _best_of(3, lambda: processes.count_candidates(database, candidates))
+
+        assert processes.count_candidates(database, candidates) == first
+    finally:
+        processes.close()
+
+    print_report(
+        f"shard-shipping amortisation on {figure2_workload.name}",
+        [
+            {
+                "pass": "cold (spawn + ship shards)",
+                "seconds": round(cold_seconds, 5),
+            },
+            {"pass": "warm (fingerprints only)", "seconds": round(warm_seconds, 5)},
+        ],
+    )
+    if timing_asserts_enabled():
+        assert warm_seconds <= cold_seconds * 1.5, (
+            f"warm pass ({warm_seconds:.4f}s) did not stay near or below the cold "
+            f"pass ({cold_seconds:.4f}s): shard shipping is not being amortised"
+        )

@@ -7,9 +7,12 @@ The package provides:
 * the **FUP** incremental update algorithm (:class:`repro.core.FupUpdater`)
   and its deletion-capable generalisation (:class:`repro.core.Fup2Updater`),
 * the **Apriori** and **DHP** baseline miners the paper compares against,
-* association-rule generation, a transaction-database substrate, the
-  Quest-style synthetic data generator the paper's evaluation uses, and the
-  experiment harness that regenerates every figure of the evaluation section.
+* association-rule generation, a transaction-database substrate with
+  delta-maintained indexes, pluggable counting engines (including a
+  process-parallel partitioned engine), the Quest-style synthetic data
+  generator the paper's evaluation uses, and the experiment harness — with
+  the declarative ``repro reproduce`` matrix — that regenerates every figure
+  of the evaluation section.
 
 Quickstart::
 
@@ -48,6 +51,7 @@ from .db import (
 )
 from .mining import (
     BACKEND_NAMES,
+    EXECUTOR_NAMES,
     AprioriMiner,
     AssociationRule,
     CountingBackend,
@@ -130,6 +134,7 @@ __all__ = [
     "mine_dhp",
     # counting backends
     "BACKEND_NAMES",
+    "EXECUTOR_NAMES",
     "CountingBackend",
     "HorizontalBackend",
     "VerticalBackend",

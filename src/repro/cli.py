@@ -23,6 +23,15 @@ shell, each as a subcommand:
     batches, apply them one by one through the :class:`RuleMaintainer` and
     print the per-batch cost and state churn — the same scenario the
     maintenance-session benchmark measures, against any workload.
+``reproduce``
+    Run the declarative paper-reproduction experiment matrix (FUP/FUP2 vs.
+    re-running Apriori/DHP across increment sizes × support thresholds ×
+    counting engines/executors), print the speedup tables and charts, write
+    ``BENCH_reproduction.json``, and maintain the generated block of
+    ``docs/reproduction.md`` (``--update-docs`` / ``--check-docs``).
+``docs``
+    Render the CLI reference (``docs/cli.md``) from this very argparse tree,
+    or ``--check`` the committed file for drift (the CI docs job does).
 ``session init | apply | status | checkpoint``
     The durable flavour of ``maintain``: a
     :class:`~repro.core.session.MaintenanceSession` persisted to a session
@@ -66,7 +75,7 @@ from .errors import ReproError
 from .harness.reporting import format_table
 from .harness.runner import compare_update_strategies
 from .mining.apriori import AprioriMiner
-from .mining.backends import BACKEND_NAMES, DEFAULT_SHARDS, MiningOptions
+from .mining.backends import BACKEND_NAMES, DEFAULT_SHARDS, EXECUTOR_NAMES, MiningOptions
 from .mining.dhp import DhpMiner, DhpOptions
 from .mining.rules import generate_rules
 
@@ -125,18 +134,31 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _make_miner(name: str, min_support: float, backend: str, shards: int):
-    if name == "dhp":
-        return DhpMiner(min_support, options=DhpOptions(backend=backend, shards=shards))
-    return AprioriMiner(
-        min_support, options=MiningOptions(backend=backend, shards=shards)
+def _mining_options(args: argparse.Namespace) -> MiningOptions:
+    """The engine selection of the shared --backend/--shards/--executor flags."""
+    return MiningOptions(
+        backend=args.backend,
+        shards=args.shards,
+        executor=args.executor,
+        workers=args.workers,
     )
+
+
+def _fup_options(args: argparse.Namespace) -> FupOptions:
+    """The same engine selection as FUP feature switches."""
+    return FupOptions.from_mining(_mining_options(args))
+
+
+def _make_miner(name: str, min_support: float, mining: MiningOptions):
+    if name == "dhp":
+        return DhpMiner(min_support, options=DhpOptions.from_mining(mining))
+    return AprioriMiner(min_support, options=mining)
 
 
 def _cmd_mine(args: argparse.Namespace) -> int:
     database = load_database(args.database)
     result = _make_miner(
-        args.algorithm, args.min_support, args.backend, args.shards
+        args.algorithm, args.min_support, _mining_options(args)
     ).mine(database)
     print(
         f"{result.algorithm}: {len(result.lattice)} large itemsets "
@@ -158,7 +180,7 @@ def _cmd_update(args: argparse.Namespace) -> int:
     original = load_database(args.database)
     increment = load_database(args.increment)
     lattice, min_support = load_state(args.state)
-    options = FupOptions(backend=args.backend, shards=args.shards)
+    options = _fup_options(args)
     result = FupUpdater(min_support, options=options).update(original, lattice, increment)
 
     before = set(lattice.itemsets())
@@ -186,7 +208,7 @@ def _cmd_maintain(args: argparse.Namespace) -> int:
         args.min_support,
         args.min_confidence,
         miner=args.miner,
-        fup_options=FupOptions(backend=args.backend, shards=args.shards),
+        fup_options=_fup_options(args),
     )
     began = time.perf_counter()
     maintainer.initialise(original)
@@ -239,7 +261,7 @@ def _cmd_session_init(args: argparse.Namespace) -> int:
         min_support=args.min_support,
         min_confidence=args.min_confidence,
         miner=args.miner,
-        fup_options=FupOptions(backend=args.backend, shards=args.shards),
+        fup_options=_fup_options(args),
         checkpoint_interval=args.checkpoint_interval,
     ) as session:
         status = session.status()
@@ -318,6 +340,219 @@ def _cmd_session_checkpoint(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_reproduce(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
+    from .harness.experiments import (
+        EngineSpec,
+        ExperimentMatrix,
+        embed_generated_block,
+        generated_block_drift,
+        run_matrix,
+    )
+
+    matrix = ExperimentMatrix.quick() if args.quick else ExperimentMatrix()
+    overrides: dict[str, object] = {}
+    if args.workload:
+        overrides["workload"] = args.workload
+    if args.scale is not None:
+        overrides["scale"] = args.scale
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    try:
+        if args.supports:
+            overrides["supports"] = tuple(float(s) for s in args.supports.split(","))
+        if args.increments:
+            overrides["increment_fractions"] = tuple(
+                float(f) for f in args.increments.split(",")
+            )
+    except ValueError as exc:
+        raise ReproError(
+            f"--supports/--increments must be comma-separated numbers: {exc}"
+        ) from None
+    if args.engines:
+        overrides["engines"] = tuple(
+            EngineSpec.parse(spec) for spec in args.engines.split(",")
+        )
+    if overrides:
+        matrix = replace(matrix, **overrides, label="custom")
+
+    report = run_matrix(matrix, progress=lambda message: print(f"  {message}"))
+    print()
+    print(report.timing_tables())
+    print()
+    print(report.timing_chart())
+    print()
+    print(report.work_tables())
+
+    if args.out:
+        report.write_json(args.out)
+        print(f"\nwrote machine-readable results to {args.out}")
+    if args.update_docs:
+        path = Path(args.update_docs)
+        path.write_text(
+            embed_generated_block(
+                _read_docs_file(path), report.deterministic_markdown()
+            ),
+            encoding="utf-8",
+        )
+        print(f"updated the generated block of {path}")
+    if args.check_docs:
+        path = Path(args.check_docs)
+        drift = generated_block_drift(
+            _read_docs_file(path), report.deterministic_markdown()
+        )
+        if drift:
+            flags = matrix.cli_arguments()
+            fix_command = f"repro reproduce {flags} --update-docs {path}".replace(
+                "  ", " "
+            )
+            print(
+                f"error: {path} drifted from the regenerated tables — run "
+                f"`{fix_command}`\n{drift}",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"{path} is in sync with the regenerated tables")
+    return 0
+
+
+# --------------------------------------------------------------------- #
+# CLI reference rendering (the `repro docs` helper behind docs/cli.md)
+# --------------------------------------------------------------------- #
+def _table_cell(text: str) -> str:
+    """Escape one markdown-table cell (| would split the row)."""
+    return text.replace("|", "\\|")
+
+
+def _flag_signature(action: argparse.Action) -> str:
+    """Deterministic display form of one option (no terminal-width wrapping)."""
+    if action.choices is not None:
+        value = "{" + ",".join(str(choice) for choice in action.choices) + "}"
+    elif action.metavar is not None:
+        value = str(action.metavar)
+    else:
+        value = action.dest.upper()
+    if action.option_strings:
+        flags = ", ".join(action.option_strings)
+        if action.nargs == 0:
+            return f"`{flags}`"
+        return f"`{flags} {value}`"
+    return f"`{action.dest}`"
+
+
+def _render_parser_section(
+    lines: list[str], parser: argparse.ArgumentParser, command: str, help_text: str
+) -> None:
+    """Append one command's reference section (recursing into subcommands)."""
+    subparser_actions = [
+        action
+        for action in parser._actions
+        if isinstance(action, argparse._SubParsersAction)
+    ]
+    positionals = [
+        action
+        for action in parser._actions
+        if not action.option_strings
+        and not isinstance(action, argparse._SubParsersAction)
+    ]
+    options = [action for action in parser._actions if action.option_strings]
+
+    lines.append(f"## `{command}`")
+    lines.append("")
+    description = help_text or (parser.description or "")
+    if description:
+        lines.append(description.strip())
+        lines.append("")
+    if positionals:
+        lines.append("| positional | description |")
+        lines.append("|---|---|")
+        for action in positionals:
+            lines.append(f"| {_flag_signature(action)} | {_table_cell(action.help or '')} |")
+        lines.append("")
+    if options:
+        lines.append("| option | default | description |")
+        lines.append("|---|---|---|")
+        for action in options:
+            if action.dest == "help":
+                continue
+            default = ""
+            if (
+                action.default is not None
+                and action.default is not argparse.SUPPRESS
+                and action.nargs != 0
+            ):
+                default = f"`{action.default}`"
+            lines.append(
+                f"| {_flag_signature(action)} | {default} | {_table_cell(action.help or '')} |"
+            )
+        lines.append("")
+    for subparser_action in subparser_actions:
+        helps = {
+            choice.dest: choice.help or ""
+            for choice in subparser_action._choices_actions
+        }
+        for name, subparser in subparser_action.choices.items():
+            _render_parser_section(lines, subparser, f"{command} {name}", helps.get(name, ""))
+
+
+def render_cli_markdown() -> str:
+    """Render ``docs/cli.md`` from the live argparse tree.
+
+    Deliberately avoids ``format_help()`` — argparse wraps its output to the
+    terminal width, which would make the generated file depend on the
+    environment.  Everything here derives from the parser's action metadata,
+    so the same parser always renders the same bytes (which is what lets CI
+    fail on drift).
+    """
+    parser = build_parser()
+    lines = [
+        "# CLI reference",
+        "",
+        "_Generated by `repro docs --out docs/cli.md` from the argparse tree in",
+        "`src/repro/cli.py`.  Do **not** edit by hand — CI regenerates this file",
+        "and fails when it drifts from the parser._",
+        "",
+        "Run any command with `--help` for the same information in the terminal.",
+        "",
+    ]
+    _render_parser_section(lines, parser, "repro", "")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def _read_docs_file(path: Path) -> str:
+    """Read a docs file for an update/check, failing as a clean CLI error."""
+    try:
+        return path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise ReproError(f"cannot read docs file {path}: {exc}") from exc
+
+
+def _cmd_docs(args: argparse.Namespace) -> int:
+    from .harness.experiments import first_divergence
+
+    rendered = render_cli_markdown()
+    if args.check:
+        path = Path(args.check)
+        committed = _read_docs_file(path)
+        if committed != rendered:
+            divergence = first_divergence(committed, rendered)
+            print(
+                f"error: {path} drifted from the argparse tree — run "
+                f"`python -m repro.cli docs --out {path}`\n{divergence}",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"{path} is in sync with the argparse tree")
+        return 0
+    if args.out:
+        Path(args.out).write_text(rendered, encoding="utf-8")
+        print(f"wrote CLI reference to {args.out}")
+        return 0
+    print(rendered, end="")
+    return 0
+
+
 def _cmd_rules(args: argparse.Namespace) -> int:
     lattice, _ = load_state(args.state)
     rules = generate_rules(lattice, args.min_confidence)
@@ -335,7 +570,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         increment,
         args.min_support,
         workload=Path(args.database).stem,
-        mining=MiningOptions(backend=args.backend, shards=args.shards),
+        mining=_mining_options(args),
     )
     rows = [
         {
@@ -396,6 +631,20 @@ def build_parser() -> argparse.ArgumentParser:
             type=positive_int,
             default=DEFAULT_SHARDS,
             help="partition count for the partitioned backend",
+        )
+        subparser.add_argument(
+            "--executor",
+            choices=list(EXECUTOR_NAMES),
+            default="threads",
+            help="shard executor for the partitioned backend: GIL-bound threads "
+            "or real process parallelism",
+        )
+        subparser.add_argument(
+            "--workers",
+            type=positive_int,
+            default=None,
+            help="cap on the partitioned backend's concurrent lanes "
+            "(default: one per shard)",
         )
 
     generate = commands.add_parser("generate", help="generate a synthetic Tx.Iy.Dm.dn workload")
@@ -505,6 +754,57 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--min-support", type=float, required=True)
     add_backend_flags(compare)
     compare.set_defaults(handler=_cmd_compare)
+
+    reproduce = commands.add_parser(
+        "reproduce",
+        help="run the paper-reproduction experiment matrix "
+        "(increment size x support x algorithm x engine/executor)",
+    )
+    reproduce.add_argument(
+        "--quick",
+        action="store_true",
+        help="run the small CI preset instead of the full default matrix",
+    )
+    reproduce.add_argument("--workload", help="Tx.Iy.Dm.dn workload name override")
+    reproduce.add_argument(
+        "--scale", type=float, default=None, help="workload scale factor override"
+    )
+    reproduce.add_argument(
+        "--seed", type=int, default=None, help="workload generator seed override"
+    )
+    reproduce.add_argument(
+        "--supports", help="comma-separated support thresholds (e.g. 0.03,0.02)"
+    )
+    reproduce.add_argument(
+        "--increments",
+        help="comma-separated increment fractions of the generated d (e.g. 0.5,1.0)",
+    )
+    reproduce.add_argument(
+        "--engines",
+        help="comma-separated engine specs backend[:shards[:executor[:workers]]] "
+        "(e.g. horizontal,partitioned:4:processes)",
+    )
+    reproduce.add_argument(
+        "--out", help="write machine-readable results (BENCH_reproduction.json) here"
+    )
+    reproduce.add_argument(
+        "--update-docs",
+        help="rewrite the generated block of this markdown file (docs/reproduction.md)",
+    )
+    reproduce.add_argument(
+        "--check-docs",
+        help="fail (exit 1) if this markdown file's generated block drifted",
+    )
+    reproduce.set_defaults(handler=_cmd_reproduce)
+
+    docs = commands.add_parser(
+        "docs", help="render the CLI reference (docs/cli.md) from the argparse tree"
+    )
+    docs.add_argument("--out", help="write the rendered markdown here")
+    docs.add_argument(
+        "--check", help="fail (exit 1) if this file drifted from the parser"
+    )
+    docs.set_defaults(handler=_cmd_docs)
 
     return parser
 

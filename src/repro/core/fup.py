@@ -84,13 +84,22 @@ class FupUpdater:
         min_support: float,
         options: FupOptions | None = None,
         max_itemset_size: int | None = None,
+        backend: CountingBackend | None = None,
     ) -> None:
         self.min_support = validate_min_support(min_support)
         self.options = options or FupOptions()
         if max_itemset_size is not None and max_itemset_size < 1:
             raise ValueError(f"max_itemset_size must be positive, got {max_itemset_size}")
         self.max_itemset_size = max_itemset_size
-        self.backend = make_backend(self.options.backend, shards=self.options.shards)
+        # An explicit *backend* instance wins over the options-described
+        # engine — callers sharing one (stateful) engine across several
+        # updaters/miners inject it here.
+        self.backend = backend if backend is not None else make_backend(
+            self.options.backend,
+            shards=self.options.shards,
+            executor=self.options.executor,
+            workers=self.options.workers,
+        )
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -194,7 +203,10 @@ class _FupRun:
         # database's vertical index is delta-maintained through mutations,
         # across every batch of a maintenance session.
         self.backend = backend if backend is not None else make_backend(
-            options.backend, shards=options.shards
+            options.backend,
+            shards=options.shards,
+            executor=options.executor,
+            workers=options.workers,
         )
         self.interleaved_scans = self.backend.supports_transaction_pruning
         self.original_db = original

@@ -29,7 +29,6 @@ from ..db.update import UpdateBatch, UpdateLog
 from ..errors import EmptyDatabaseError, InvalidThresholdError, StaleStateError
 from ..itemsets import Item, Itemset
 from ..mining.apriori import AprioriMiner
-from ..mining.backends import MiningOptions
 from ..mining.dhp import DhpMiner, DhpOptions
 from ..mining.result import ItemsetLattice, MiningResult, validate_min_support
 from ..mining.rules import AssociationRule, generate_rules
@@ -134,6 +133,15 @@ class RuleMaintainer:
         self._result: MiningResult | None = None
         self._rules: list[AssociationRule] = []
         self.update_log = UpdateLog()
+        # One updater of each kind serves every batch of the session, so a
+        # single counting engine — with whatever state it owns: worker
+        # processes, shipped shard caches, per-database indexes — is built
+        # once and amortised over the whole session instead of being
+        # respawned per batch.
+        self._fup_updater = FupUpdater(self.min_support, options=self.fup_options)
+        self._fup2_updater = Fup2Updater(
+            self.min_support, options=self.fup_options.mining_options()
+        )
 
     # ------------------------------------------------------------------ #
     # State access
@@ -215,15 +223,12 @@ class RuleMaintainer:
         return self._result
 
     def _full_mine(self, database: TransactionDatabase) -> MiningResult:
-        backend = self.fup_options.backend
-        shards = self.fup_options.shards
+        mining = self.fup_options.mining_options()
         if self.miner_name == "dhp":
             return DhpMiner(
-                self.min_support, options=DhpOptions(backend=backend, shards=shards)
+                self.min_support, options=DhpOptions.from_mining(mining)
             ).mine(database)
-        return AprioriMiner(
-            self.min_support, options=MiningOptions(backend=backend, shards=shards)
-        ).mine(database)
+        return AprioriMiner(self.min_support, options=mining).mine(database)
 
     # ------------------------------------------------------------------ #
     # Applying updates
@@ -268,12 +273,7 @@ class RuleMaintainer:
             algorithm = "noop"
         elif batch.deletions:
             self.validate_batch(batch)
-            new_result = Fup2Updater(
-                self.min_support,
-                options=MiningOptions(
-                    backend=self.fup_options.backend, shards=self.fup_options.shards
-                ),
-            ).update(
+            new_result = self._fup2_updater.update(
                 database,
                 previous,
                 batch.insertions_database(),
@@ -287,9 +287,7 @@ class RuleMaintainer:
                 new_result = self._full_mine(updated)
                 algorithm = f"remine-{self.miner_name}"
             else:
-                new_result = FupUpdater(self.min_support, options=self.fup_options).update(
-                    database, previous, increment
-                )
+                new_result = self._fup_updater.update(database, previous, increment)
                 algorithm = new_result.algorithm
 
         # Mutate the maintained database only after the updater succeeded, so a
@@ -333,6 +331,19 @@ class RuleMaintainer:
     ) -> MaintenanceReport:
         """Convenience wrapper: apply a delete-only batch."""
         return self.apply(UpdateBatch.from_iterables(deletions=transactions, label=label))
+
+    def close(self) -> None:
+        """Release the counting engines' owned resources (worker processes).
+
+        Only the process-mode partitioned engine holds any; for every other
+        configuration this is a no-op.  Safe to call more than once, and the
+        maintainer keeps working afterwards (the engine respawns its pool on
+        the next use).
+        """
+        for updater in (self._fup_updater, self._fup2_updater):
+            release = getattr(updater.backend, "close", None)
+            if release is not None:
+                release()
 
     # ------------------------------------------------------------------ #
     def _should_remine(self, increment: TransactionDatabase) -> bool:

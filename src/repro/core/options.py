@@ -10,7 +10,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..mining.backends import BACKEND_NAMES, DEFAULT_SHARDS, HorizontalBackend
+from ..mining.backends import (
+    BACKEND_NAMES,
+    DEFAULT_EXECUTOR,
+    DEFAULT_SHARDS,
+    EXECUTOR_NAMES,
+    HorizontalBackend,
+    MiningOptions,
+)
 
 __all__ = ["FupOptions"]
 
@@ -51,6 +58,13 @@ class FupOptions:
         instrumentation like candidate counts can differ).
     shards:
         Partition count used by the ``"partitioned"`` engine.
+    executor:
+        Shard executor used by the ``"partitioned"`` engine
+        (:data:`repro.mining.backends.EXECUTOR_NAMES`): ``"threads"`` or the
+        process-parallel ``"processes"``.
+    workers:
+        Cap on the ``"partitioned"`` engine's concurrent lanes (``None``:
+        one per shard).
     """
 
     prune_candidates_by_increment: bool = True
@@ -60,6 +74,8 @@ class FupOptions:
     hash_table_size: int = 100
     backend: str = HorizontalBackend.name
     shards: int = DEFAULT_SHARDS
+    executor: str = DEFAULT_EXECUTOR
+    workers: int | None = None
 
     def __post_init__(self) -> None:
         if self.hash_table_size < 1:
@@ -71,6 +87,37 @@ class FupOptions:
             )
         if self.shards < 1:
             raise ValueError(f"shards must be positive, got {self.shards}")
+        if self.executor not in EXECUTOR_NAMES:
+            raise ValueError(
+                f"unknown executor {self.executor!r}; "
+                f"expected one of {', '.join(EXECUTOR_NAMES)}"
+            )
+        if self.workers is not None and self.workers < 1:
+            raise ValueError(f"workers must be positive, got {self.workers}")
+
+    def mining_options(self) -> "MiningOptions":
+        """The engine-selection slice of these options as a MiningOptions."""
+        return MiningOptions(
+            backend=self.backend,
+            shards=self.shards,
+            executor=self.executor,
+            workers=self.workers,
+        )
+
+    @classmethod
+    def from_mining(cls, mining: MiningOptions, **overrides) -> "FupOptions":
+        """FUP options carrying a MiningOptions engine selection.
+
+        Together with :meth:`mining_options` this is the only projection
+        between the two shapes — new engine knobs are threaded here once.
+        """
+        return cls(
+            backend=mining.backend,
+            shards=mining.shards,
+            executor=mining.executor,
+            workers=mining.workers,
+            **overrides,
+        )
 
     @classmethod
     def all_disabled(cls) -> "FupOptions":

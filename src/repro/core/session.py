@@ -338,6 +338,8 @@ class SessionStatus:
     miner: str
     backend: str
     shards: int
+    executor: str
+    workers: int | None
     checkpoint_interval: int
 
     @property
@@ -360,6 +362,8 @@ class SessionStatus:
             "miner": self.miner,
             "backend": self.backend,
             "shards": self.shards,
+            "executor": self.executor,
+            "workers": self.workers,
             "checkpoint_interval": self.checkpoint_interval,
         }
 
@@ -507,7 +511,14 @@ class MaintenanceSession:
             float(manifest["min_confidence"]),
             miner=manifest["miner"],
             fup_options=FupOptions(
-                backend=str(manifest["backend"]), shards=int(manifest["shards"])
+                backend=str(manifest["backend"]),
+                shards=int(manifest["shards"]),
+                # Sessions written before the executor landed default to the
+                # thread path, which is what they were running all along.
+                executor=str(manifest.get("executor", "threads")),
+                workers=(
+                    int(manifest["workers"]) if manifest.get("workers") else None
+                ),
             ),
         )
         maintainer.restore(database, lattice)
@@ -552,6 +563,7 @@ class MaintenanceSession:
             self._journal.close()
             if self._lock is not None:
                 self._lock.close()  # closing the fd releases the flock
+            self._maintainer.close()  # release any engine worker processes
             self._closed = True
 
     def __enter__(self) -> "MaintenanceSession":
@@ -613,6 +625,8 @@ class MaintenanceSession:
             miner=maintainer.miner_name,
             backend=maintainer.fup_options.backend,
             shards=maintainer.fup_options.shards,
+            executor=maintainer.fup_options.executor,
+            workers=maintainer.fup_options.workers,
             checkpoint_interval=self._checkpoint_interval,
         )
 
@@ -640,6 +654,8 @@ class MaintenanceSession:
             miner=str(manifest["miner"]),
             backend=str(manifest["backend"]),
             shards=int(manifest["shards"]),
+            executor=str(manifest.get("executor", "threads")),
+            workers=(int(manifest["workers"]) if manifest.get("workers") else None),
             checkpoint_interval=int(manifest["checkpoint_interval"]),
         )
 
@@ -731,6 +747,8 @@ class MaintenanceSession:
             "miner": maintainer.miner_name,
             "backend": maintainer.fup_options.backend,
             "shards": maintainer.fup_options.shards,
+            "executor": maintainer.fup_options.executor,
+            "workers": maintainer.fup_options.workers,
             "checkpoint_interval": self._checkpoint_interval,
             "checkpoint_seq": checkpoint_seq,
             "database_size": len(maintainer.database),

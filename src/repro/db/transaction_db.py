@@ -14,6 +14,7 @@ the DHP/FUP transaction-trimming optimisations straightforward.
 
 from __future__ import annotations
 
+import hashlib
 from collections import Counter
 from typing import Iterable, Iterator, Sequence
 
@@ -127,6 +128,7 @@ class TransactionDatabase:
         "_partitions",
         "_item_counts",
         "_multiset",
+        "_fingerprint",
         "name",
     )
 
@@ -142,6 +144,7 @@ class TransactionDatabase:
         self._partitions: dict[int, list["TransactionDatabase"]] = {}
         self._item_counts: Counter[Item] | None = None
         self._multiset: Counter[Transaction] | None = None
+        self._fingerprint: str | None = None
         self.name = name
 
     # ------------------------------------------------------------------ #
@@ -191,6 +194,7 @@ class TransactionDatabase:
             clone._item_counts = Counter(self._item_counts)
         if self._multiset is not None:
             clone._multiset = Counter(self._multiset)
+        clone._fingerprint = self._fingerprint
         return clone
 
     # ------------------------------------------------------------------ #
@@ -236,6 +240,7 @@ class TransactionDatabase:
             self._vertical.append(canonical)
         self._note_added((canonical,))
         self._partitions.clear()
+        self._fingerprint = None
 
     def extend(self, transactions: Iterable[Iterable[Item]]) -> None:
         """Append every transaction of *transactions* (an increment ``db``)."""
@@ -249,6 +254,7 @@ class TransactionDatabase:
             self._vertical.extend(increment)
         self._note_added(increment)
         self._partitions.clear()
+        self._fingerprint = None
 
     def remove_batch(
         self, transactions: Iterable[Iterable[Item]], strict: bool = False
@@ -291,6 +297,7 @@ class TransactionDatabase:
             self._vertical.delete_tids(removed_tids)
         self._note_removed(removed_rows)
         self._partitions.clear()
+        self._fingerprint = None
         return len(removed_tids)
 
     def _locate_batch_indexed(
@@ -469,6 +476,59 @@ class TransactionDatabase:
     def has_vertical_index(self) -> bool:
         """True when the vertical index is currently built (and maintained)."""
         return self._vertical is not None
+
+    # ------------------------------------------------------------------ #
+    # Process-boundary export (used by the partitioned engine's process mode)
+    # ------------------------------------------------------------------ #
+    def fingerprint(self) -> str:
+        """Content hash identifying this database's exact transaction sequence.
+
+        Two databases holding the same transactions in the same order share a
+        fingerprint, across processes and interpreter runs.  The digest is
+        computed once and cached (mutations clear it), so repeated queries —
+        one per counting pass in a k-level mining run — are O(1) after the
+        first.  The partitioned engine's process mode keys its per-worker
+        shard caches on this, shipping each shard across the process boundary
+        only when the worker has not seen its fingerprint yet.
+        """
+        if self._fingerprint is None:
+            digest = hashlib.blake2b(digest_size=16)
+            digest.update(str(len(self._transactions)).encode("ascii"))
+            for transaction in self._transactions:
+                digest.update(b"\n")
+                digest.update(",".join(map(str, transaction)).encode("ascii"))
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
+
+    def shard_payload(self) -> dict[str, object]:
+        """Export this database as plain picklable data for a counting worker.
+
+        The payload carries the transaction list plus, when built, the
+        vertical index's mask table — so a worker rebuilding the shard via
+        :meth:`from_shard_payload` inherits the index instead of paying a
+        from-scratch rebuild on its side of the process boundary.
+        """
+        payload: dict[str, object] = {
+            "transactions": self._transactions,
+            "name": self.name,
+        }
+        if self._vertical is not None:
+            payload["vertical"] = self._vertical.to_payload()
+        return payload
+
+    @classmethod
+    def from_shard_payload(cls, payload: dict[str, object]) -> "TransactionDatabase":
+        """Rebuild a database from :meth:`shard_payload` data (no re-validation).
+
+        The payload's transactions are trusted to be canonical already — they
+        came out of a :class:`TransactionDatabase` on the sending side.
+        """
+        database = cls(name=str(payload.get("name", "")))
+        database._transactions = list(payload["transactions"])  # type: ignore[arg-type]
+        vertical = payload.get("vertical")
+        if vertical is not None:
+            database._vertical = VerticalIndex.from_payload(vertical)  # type: ignore[arg-type]
+        return database
 
     def partition(self, shards: int, name: str = "") -> list["TransactionDatabase"]:
         """Split the database into at most *shards* contiguous partitions.

@@ -208,6 +208,25 @@ class VerticalIndex(Mapping):
         self._size -= len(tids)
 
     # ------------------------------------------------------------------ #
+    # Process-boundary export
+    # ------------------------------------------------------------------ #
+    def to_payload(self) -> tuple[dict[Item, int], int]:
+        """Export the index as plain picklable data (mask table, size).
+
+        The payload is what crosses a process boundary when a shard is
+        shipped to a counting worker: rebuilding the index on the far side
+        via :meth:`from_payload` is O(items) dictionary construction, never a
+        re-scan of the shard's transactions.
+        """
+        return dict(self._masks), self._size
+
+    @classmethod
+    def from_payload(cls, payload: tuple[dict[Item, int], int]) -> "VerticalIndex":
+        """Rebuild an index from :meth:`to_payload` data."""
+        masks, size = payload
+        return cls(dict(masks), size)
+
+    # ------------------------------------------------------------------ #
     # Derivation (non-mutating)
     # ------------------------------------------------------------------ #
     def copy(self) -> "VerticalIndex":

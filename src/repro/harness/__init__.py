@@ -2,7 +2,10 @@
 
 The benchmark modules under ``benchmarks/`` are thin wrappers around this
 package — each one builds a workload, calls the runner functions here, and
-prints the table or series corresponding to a figure of the paper.
+prints the table or series corresponding to a figure of the paper.  The
+declarative reproduction matrix (:mod:`repro.harness.experiments`, CLI
+``repro reproduce``) sweeps the whole evaluation section in one run and
+maintains the generated tables in ``docs/reproduction.md``.
 """
 
 from .metrics import RunRecord, ComparisonRecord, speedup
@@ -16,8 +19,20 @@ from .runner import (
     OverheadRecord,
 )
 from .reporting import format_table, format_series, render_records
+from .experiments import (
+    EngineSpec,
+    ExperimentCell,
+    ExperimentMatrix,
+    ReproductionReport,
+    run_matrix,
+)
 
 __all__ = [
+    "EngineSpec",
+    "ExperimentCell",
+    "ExperimentMatrix",
+    "ReproductionReport",
+    "run_matrix",
     "RunRecord",
     "ComparisonRecord",
     "speedup",

@@ -27,7 +27,7 @@ from ..db.transaction_db import TransactionDatabase
 from ..db.update import UpdateBatch
 from ..errors import ExperimentError
 from ..mining.apriori import AprioriMiner
-from ..mining.backends import MiningOptions
+from ..mining.backends import CountingBackend, MiningOptions
 from ..mining.dhp import DhpMiner, DhpOptions
 from ..mining.result import MiningResult
 from .metrics import ComparisonRecord, RunRecord, speedup
@@ -45,6 +45,11 @@ __all__ = [
 ]
 
 
+def _dhp_options(mining: MiningOptions | None) -> DhpOptions | None:
+    """Project a MiningOptions engine selection onto DhpOptions (None-safe)."""
+    return DhpOptions.from_mining(mining) if mining is not None else None
+
+
 def run_miner(
     algorithm: str,
     database: TransactionDatabase,
@@ -58,10 +63,7 @@ def run_miner(
     if algorithm == "apriori":
         return AprioriMiner(min_support, options=mining).mine(database)
     if algorithm == "dhp":
-        dhp_options = (
-            DhpOptions(backend=mining.backend, shards=mining.shards) if mining else None
-        )
-        return DhpMiner(min_support, options=dhp_options).mine(database)
+        return DhpMiner(min_support, options=_dhp_options(mining)).mine(database)
     raise ExperimentError(f"unknown miner {algorithm!r}; expected 'apriori' or 'dhp'")
 
 
@@ -71,9 +73,12 @@ def run_fup_update(
     increment: TransactionDatabase,
     min_support: float,
     options: FupOptions | None = None,
+    engine: "CountingBackend | None" = None,
 ) -> MiningResult:
     """Run the FUP update step (the previous mining result is reused, not re-timed)."""
-    return FupUpdater(min_support, options=options).update(original, previous, increment)
+    return FupUpdater(min_support, options=options, backend=engine).update(
+        original, previous, increment
+    )
 
 
 @dataclass(frozen=True)
@@ -129,6 +134,7 @@ def compare_update_strategies(
     options: FupOptions | None = None,
     initial: MiningResult | None = None,
     mining: MiningOptions | None = None,
+    engine: "CountingBackend | None" = None,
 ) -> UpdateComparison:
     """Run the paper's comparison template on one update instance.
 
@@ -149,16 +155,25 @@ def compare_update_strategies(
         The mining result of the original database, if already available;
         when omitted it is mined here with Apriori (its time is *not* part of
         the comparison — the paper treats the old large itemsets as given).
+    engine:
+        A ready counting-engine *instance* shared by every strategy,
+        overriding the engine *mining* describes.  A sweep passing the same
+        instance across many comparisons lets a stateful engine (process
+        workers with shipped-shard caches) amortise its setup over the whole
+        sweep instead of respawning per strategy.
     """
     if initial is None:
-        initial = AprioriMiner(min_support, options=mining).mine(original)
+        initial = AprioriMiner(min_support, options=engine or mining).mine(original)
     updated = original.concatenate(increment)
     if options is None and mining is not None:
-        options = FupOptions(backend=mining.backend, shards=mining.shards)
-    fup_result = run_fup_update(original, initial, increment, min_support, options=options)
-    apriori_result = AprioriMiner(min_support, options=mining).mine(updated)
-    dhp_options = DhpOptions(backend=mining.backend, shards=mining.shards) if mining else None
-    dhp_result = DhpMiner(min_support, options=dhp_options).mine(updated)
+        options = FupOptions.from_mining(mining)
+    fup_result = run_fup_update(
+        original, initial, increment, min_support, options=options, engine=engine
+    )
+    apriori_result = AprioriMiner(min_support, options=engine or mining).mine(updated)
+    dhp_result = DhpMiner(
+        min_support, options=_dhp_options(mining), backend=engine
+    ).mine(updated)
     return UpdateComparison(
         workload=workload or original.name or "workload",
         min_support=min_support,

@@ -11,6 +11,7 @@ from .result import ItemsetLattice, MiningResult
 from .hash_tree import HashTree
 from .backends import (
     BACKEND_NAMES,
+    EXECUTOR_NAMES,
     CountingBackend,
     HorizontalBackend,
     MiningOptions,
@@ -46,6 +47,7 @@ __all__ = [
     "count_candidates",
     "count_items",
     "BACKEND_NAMES",
+    "EXECUTOR_NAMES",
     "CountingBackend",
     "HorizontalBackend",
     "VerticalBackend",

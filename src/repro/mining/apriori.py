@@ -24,6 +24,7 @@ from ..db.transaction_db import TransactionDatabase
 from ..itemsets import Itemset
 from .backends import (
     BACKEND_NAMES,
+    DEFAULT_EXECUTOR,
     DEFAULT_SHARDS,
     CountingBackend,
     MiningOptions,
@@ -87,6 +88,8 @@ class AprioriMiner:
                 MiningOptions(
                     backend=self.backend.name,
                     shards=getattr(self.backend, "shards", DEFAULT_SHARDS),
+                    executor=getattr(self.backend, "executor", DEFAULT_EXECUTOR),
+                    workers=getattr(self.backend, "workers", None),
                 )
                 if self.backend.name in BACKEND_NAMES
                 else None

@@ -11,11 +11,15 @@ contract:
   (:class:`VerticalBackend`).  The order-of-magnitude win on
   counting-dominated workloads.
 * ``"partitioned"`` — the database split into N shards counted in parallel
-  and merged (:class:`PartitionedBackend`).  The library's sharding seam.
+  and merged (:class:`PartitionedBackend`).  The library's sharding seam,
+  with two executors: GIL-bound threads (the default) and a real
+  process-parallel mode (``executor="processes"``) that ships each shard to
+  a dedicated worker process once and caches it there by content
+  fingerprint.
 
 Use :func:`make_backend` (or :meth:`MiningOptions.make_backend`) to construct
-an engine from a configuration, and :data:`BACKEND_NAMES` for the CLI
-choices.
+an engine from a configuration, :data:`BACKEND_NAMES` for the CLI
+``--backend`` choices and :data:`EXECUTOR_NAMES` for ``--executor``.
 """
 
 from __future__ import annotations
@@ -26,6 +30,7 @@ from ...errors import ReproError
 from .base import CountingBackend, TransactionSource
 from .horizontal import HorizontalBackend
 from .partitioned import DEFAULT_SHARDS, PartitionedBackend, split_into_shards
+from .process_pool import DEFAULT_EXECUTOR, EXECUTOR_NAMES, ShardWorkerPool
 from .vertical import VerticalBackend, build_vertical_index
 
 __all__ = [
@@ -34,16 +39,19 @@ __all__ = [
     "HorizontalBackend",
     "VerticalBackend",
     "PartitionedBackend",
+    "ShardWorkerPool",
     "MiningOptions",
     "BACKEND_NAMES",
+    "EXECUTOR_NAMES",
     "DEFAULT_SHARDS",
+    "DEFAULT_EXECUTOR",
     "make_backend",
     "build_vertical_index",
     "split_into_shards",
 ]
 
 #: Engine registry: name → zero-config factory.  ``make_backend`` adds the
-#: shard-count knob on top.
+#: shard-count and executor knobs on top.
 _FACTORIES = {
     HorizontalBackend.name: HorizontalBackend,
     VerticalBackend.name: VerticalBackend,
@@ -57,6 +65,8 @@ BACKEND_NAMES = tuple(_FACTORIES)
 def make_backend(
     backend: "str | CountingBackend" = HorizontalBackend.name,
     shards: int = DEFAULT_SHARDS,
+    executor: str = DEFAULT_EXECUTOR,
+    workers: int | None = None,
 ) -> CountingBackend:
     """Build a counting engine from a name (or pass an instance through).
 
@@ -69,6 +79,12 @@ def make_backend(
     shards:
         Partition count for the ``"partitioned"`` engine; ignored by the
         single-partition engines.
+    executor:
+        Shard executor for the ``"partitioned"`` engine
+        (:data:`EXECUTOR_NAMES`): ``"threads"`` or ``"processes"``.
+    workers:
+        Cap on the ``"partitioned"`` engine's concurrent lanes (``None``:
+        one per shard).
     """
     if isinstance(backend, CountingBackend):
         return backend
@@ -79,7 +95,7 @@ def make_backend(
             f"unknown counting backend {backend!r}; expected one of {', '.join(BACKEND_NAMES)}"
         ) from None
     if factory is PartitionedBackend:
-        return PartitionedBackend(shards=shards)
+        return PartitionedBackend(shards=shards, executor=executor, workers=workers)
     return factory()
 
 
@@ -93,10 +109,20 @@ class MiningOptions:
         Counting-engine name (see :data:`BACKEND_NAMES`).
     shards:
         Partition count used by the ``"partitioned"`` engine.
+    executor:
+        Shard executor used by the ``"partitioned"`` engine (see
+        :data:`EXECUTOR_NAMES`): ``"threads"`` (GIL-bound, zero overhead) or
+        ``"processes"`` (real parallelism; shards shipped to worker
+        processes once and cached there).
+    workers:
+        Cap on the ``"partitioned"`` engine's concurrent lanes (``None``:
+        one per shard).
     """
 
     backend: str = HorizontalBackend.name
     shards: int = DEFAULT_SHARDS
+    executor: str = DEFAULT_EXECUTOR
+    workers: int | None = None
 
     def __post_init__(self) -> None:
         if self.backend not in BACKEND_NAMES:
@@ -106,7 +132,19 @@ class MiningOptions:
             )
         if self.shards < 1:
             raise ValueError(f"shards must be positive, got {self.shards}")
+        if self.executor not in EXECUTOR_NAMES:
+            raise ReproError(
+                f"unknown executor {self.executor!r}; "
+                f"expected one of {', '.join(EXECUTOR_NAMES)}"
+            )
+        if self.workers is not None and self.workers < 1:
+            raise ValueError(f"workers must be positive, got {self.workers}")
 
     def make_backend(self) -> CountingBackend:
         """Construct the configured engine."""
-        return make_backend(self.backend, shards=self.shards)
+        return make_backend(
+            self.backend,
+            shards=self.shards,
+            executor=self.executor,
+            workers=self.workers,
+        )

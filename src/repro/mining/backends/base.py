@@ -6,9 +6,10 @@ a pile of transactions, what is the absolute support count of each candidate?*
 :class:`CountingBackend` turns that primitive into a pluggable seam.  The
 miners and updaters call the backend for every counting pass and never touch
 the scan machinery directly, so the horizontal hash-tree scan, the vertical
-TID-set engine and the partitioned parallel engine (and whatever future
-engines — multi-process shards, external stores, accelerators — come later)
-are interchangeable without touching algorithm code.
+TID-set engine and the partitioned engine — threaded or genuinely
+process-parallel — (and whatever future engines — multi-machine shards,
+external stores, accelerators — come later) are interchangeable without
+touching algorithm code.
 
 Backends accept either a :class:`~repro.db.transaction_db.TransactionDatabase`
 or any sequence of canonical transactions (sorted tuples of ints).  Passing

@@ -4,9 +4,8 @@ The database is split into ``shards`` contiguous partitions; each partition
 is counted independently by an inner engine and the per-shard counts are
 summed.  Support counting is embarrassingly parallel over disjoint
 partitions — ``support(C, DB) = Σ_i support(C, shard_i)`` — which makes this
-engine the library's first sharding seam: the same split/merge shape scales
-out to multi-process or multi-machine execution by swapping the executor,
-without touching any algorithm code.
+engine the library's sharding seam: the same split/merge shape scales out to
+multi-machine execution without touching any algorithm code.
 
 Shards of a :class:`~repro.db.transaction_db.TransactionDatabase` come from
 ``db.partition()``, which caches the shard views per shard count, so
@@ -15,11 +14,27 @@ maintenance session) reuse the same shard objects instead of re-splitting
 the database on every call — and with them any per-shard state the inner
 engine keeps, such as a shard's vertical index.
 
-Shards run on a :class:`concurrent.futures.ThreadPoolExecutor`.  In pure
-CPython the GIL serialises the Python-level inner scans, so this engine is
-about the *seam* (deterministic merge semantics, shard-boundary correctness,
-an executor swap away from real parallelism) rather than single-process
-speed; the benchmark suite records both so the trade-off stays visible.
+Two executors run the shards:
+
+* ``executor="threads"`` (default) — a
+  :class:`concurrent.futures.ThreadPoolExecutor`.  In pure CPython the GIL
+  serialises the Python-level inner scans, so this mode is about the seam's
+  *semantics* (deterministic merge, shard-boundary correctness) and about
+  workloads whose inner engine releases the GIL; it adds no process overhead
+  and needs no picklability.
+* ``executor="processes"`` — a :class:`.process_pool.ShardWorkerPool` of
+  dedicated worker processes, one lane per shard slot (capped by
+  ``workers``).  This is real parallelism for pure-Python scans.  Shards
+  cross the process boundary as picklable payloads
+  (:meth:`TransactionDatabase.shard_payload`) and are cached per worker
+  keyed by the shard's content fingerprint, so a k-level mining run or a
+  k-batch maintenance session ships each shard generation across the
+  boundary once, not once per counting pass.
+
+Both executors merge per-shard results in shard order, so they are
+bit-for-bit interchangeable — the executor-equivalence tests
+(``tests/mining/test_executors.py``, ``tests/property``) assert it, and
+``benchmarks/test_executor_scaling.py`` races them.
 """
 
 from __future__ import annotations
@@ -32,10 +47,11 @@ from ...db.transaction_db import Transaction, TransactionDatabase, shard_bounds
 from ...itemsets import Item, Itemset
 from .base import CountingBackend, TransactionSource
 from .horizontal import HorizontalBackend
+from .process_pool import DEFAULT_EXECUTOR, EXECUTOR_NAMES, ShardWorkerPool
 
 __all__ = ["PartitionedBackend", "split_into_shards"]
 
-#: Default number of partitions (and worker threads).
+#: Default number of partitions (and worker lanes).
 DEFAULT_SHARDS = 4
 
 
@@ -55,7 +71,29 @@ def split_into_shards(
 
 
 class PartitionedBackend(CountingBackend):
-    """Count each shard in parallel with an inner engine, then merge."""
+    """Count each shard in parallel with an inner engine, then merge.
+
+    Parameters
+    ----------
+    shards:
+        Partition count the database is split into.
+    inner:
+        The engine counting each shard (default: the horizontal hash-tree
+        scan).  In process mode the inner engine is pickled to the workers,
+        so it must be picklable — the registry engines all are.
+    executor:
+        ``"threads"`` (default) or ``"processes"`` — see the module
+        docstring for the trade-off.
+    workers:
+        Cap on concurrent execution lanes.  ``None`` (default) uses one lane
+        per shard.  With fewer lanes than shards, shard ``i`` runs on lane
+        ``i % workers`` (process mode pins that mapping, so per-worker shard
+        caches stay warm).
+
+    A process-mode backend owns worker processes; it is a context manager,
+    and :meth:`close` releases the workers explicitly (garbage collection
+    also reclaims them).  Thread mode holds no resources.
+    """
 
     name = "partitioned"
     supports_transaction_pruning = False
@@ -64,11 +102,60 @@ class PartitionedBackend(CountingBackend):
         self,
         shards: int = DEFAULT_SHARDS,
         inner: CountingBackend | None = None,
+        executor: str = DEFAULT_EXECUTOR,
+        workers: int | None = None,
     ) -> None:
         if shards < 1:
             raise ValueError(f"shards must be positive, got {shards}")
+        if executor not in EXECUTOR_NAMES:
+            raise ValueError(
+                f"unknown executor {executor!r}; expected one of {', '.join(EXECUTOR_NAMES)}"
+            )
+        if workers is not None and workers < 1:
+            raise ValueError(f"workers must be positive, got {workers}")
         self.shards = shards
         self.inner = inner if inner is not None else HorizontalBackend()
+        self.executor = executor
+        self.workers = workers
+        self._pool: ShardWorkerPool | None = None
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle (process mode owns worker processes)
+    # ------------------------------------------------------------------ #
+    @property
+    def lanes(self) -> int:
+        """Number of concurrent execution lanes."""
+        return min(self.workers, self.shards) if self.workers else self.shards
+
+    def _ensure_pool(self) -> ShardWorkerPool:
+        if self._pool is None:
+            self._pool = ShardWorkerPool(self.lanes)
+        return self._pool
+
+    def close(self) -> None:
+        """Release the worker processes of process mode (no-op otherwise)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def __enter__(self) -> "PartitionedBackend":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __getstate__(self) -> dict:
+        # A live worker pool cannot cross a process boundary (an inner
+        # partitioned engine is legal, if exotic): ship the configuration,
+        # respawn lanes on demand on the far side.
+        state = {slot: getattr(self, slot) for slot in
+                 ("shards", "inner", "executor", "workers")}
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        for slot, value in state.items():
+            setattr(self, slot, value)
+        self._pool = None
 
     # ------------------------------------------------------------------ #
     def _shards(self, transactions: TransactionSource) -> list[TransactionSource]:
@@ -76,7 +163,8 @@ class PartitionedBackend(CountingBackend):
             # The shard *databases* (not their raw transaction lists) go to
             # the inner engine: the database caches these views per shard
             # count, so per-shard engine state — a vertical inner engine's
-            # TID-bitset index above all — survives across counting calls.
+            # TID-bitset index, a worker process's cached copy — survives
+            # across counting calls.
             return list(transactions.partition(self.shards))
         return list(split_into_shards(self.materialize(transactions), self.shards))
 
@@ -85,7 +173,16 @@ class PartitionedBackend(CountingBackend):
         merged: Counter[Item] = Counter()
         if not parts:
             return merged
-        with ThreadPoolExecutor(max_workers=len(parts)) as executor:
+        if self.executor == "processes":
+            pool = self._ensure_pool()
+            futures = [
+                pool.submit_count_items(slot, part, self.inner)
+                for slot, part in enumerate(parts)
+            ]
+            for future in futures:
+                merged.update(future.result())
+            return merged
+        with ThreadPoolExecutor(max_workers=min(self.lanes, len(parts))) as executor:
             for shard_counts in executor.map(self.inner.count_items, parts):
                 merged.update(shard_counts)
         return merged
@@ -102,12 +199,26 @@ class PartitionedBackend(CountingBackend):
         parts = self._shards(transactions)
         if not parts:
             return counts
-        with ThreadPoolExecutor(max_workers=len(parts)) as executor:
-            shard_results = executor.map(
-                lambda part: self.inner.count_candidates(part, candidate_list), parts
+        if self.executor == "processes":
+            pool = self._ensure_pool()
+            futures = [
+                pool.submit_count_candidates(slot, part, self.inner, candidate_list)
+                for slot, part in enumerate(parts)
+            ]
+            shard_results: Iterable[dict[Itemset, int]] = (
+                future.result() for future in futures
             )
-            for shard_counts in shard_results:
-                for candidate, count in shard_counts.items():
-                    if count:
-                        counts[candidate] += count
+        else:
+            thread_pool = ThreadPoolExecutor(max_workers=min(self.lanes, len(parts)))
+            with thread_pool as executor:
+                shard_results = list(
+                    executor.map(
+                        lambda part: self.inner.count_candidates(part, candidate_list),
+                        parts,
+                    )
+                )
+        for shard_counts in shard_results:
+            for candidate, count in shard_counts.items():
+                if count:
+                    counts[candidate] += count
         return counts

@@ -1,0 +1,258 @@
+"""Process-pool execution for the partitioned counting engine.
+
+The partitioned engine's merge shape — ``support(C, DB) = Σ_i support(C,
+shard_i)`` — is embarrassingly parallel, but Python threads cannot exploit it
+for the pure-Python inner scans: the GIL serialises them.  This module
+supplies the process-level executor that turns the seam into real
+parallelism, built around two constraints:
+
+* **Shards must cross the process boundary as data.**  Workers receive
+  *payloads* (:meth:`TransactionDatabase.shard_payload` — the transaction
+  list plus, when built, the vertical index's mask table), never live
+  database objects, so what is shipped is exactly what the worker needs and
+  nothing else.
+* **Each shard should cross that boundary once, not once per counting
+  pass.**  A k-level mining run counts the same shards k times, and a
+  k-batch maintenance session counts each post-batch shard generation at
+  every level of its update.  :class:`ShardWorkerPool` therefore pins shard
+  *slots* to worker *lanes* (single-worker pools; shard ``i`` always lands on
+  lane ``i % lanes``) and mirrors, on the parent side, the fingerprint-keyed
+  shard cache each worker keeps — so a submit ships the payload only when the
+  lane has not cached that shard's :meth:`TransactionDatabase.fingerprint`
+  yet.  Because a lane executes its tasks in submission order, the mirror and
+  the worker cache evolve in lockstep and can never disagree.
+
+Merging stays deterministic: the parent collects per-shard results in shard
+order, exactly like the thread path, so the two executors are
+bit-for-bit interchangeable (the equivalence tests assert it).
+
+Start method: ``fork`` where available (Linux — cheap, no re-import of
+``__main__``), otherwise ``spawn``.  Set ``REPRO_MP_START_METHOD`` to
+override; with ``spawn``/``forkserver``, scripts that count through a
+process-mode engine at import time must guard with ``if __name__ ==
+"__main__"`` (the standard :mod:`multiprocessing` caveat).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import weakref
+from collections import Counter
+from concurrent.futures import BrokenExecutor, Future, ProcessPoolExecutor
+from typing import Sequence
+
+from ...db.transaction_db import Transaction, TransactionDatabase
+from ...itemsets import Item, Itemset
+
+__all__ = ["EXECUTOR_NAMES", "DEFAULT_EXECUTOR", "ShardWorkerPool", "SHARD_CACHE_LIMIT"]
+
+#: Valid ``executor=`` values for the partitioned engine (and the CLI flag).
+EXECUTOR_NAMES = ("threads", "processes")
+
+#: The executor the partitioned engine uses when none is selected.
+DEFAULT_EXECUTOR = "threads"
+
+#: How many distinct shards one worker process caches before evicting the
+#: oldest (FIFO).  A maintenance session advances every shard's fingerprint
+#: each batch, so without a bound a long session would pin every generation
+#: of every shard in worker memory.  The parent mirrors this policy exactly.
+SHARD_CACHE_LIMIT = 8
+
+
+def _start_method() -> str:
+    """The multiprocessing start method the shard pools use."""
+    override = os.environ.get("REPRO_MP_START_METHOD", "")
+    if override:
+        return override
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else "spawn"
+
+
+# --------------------------------------------------------------------- #
+# Worker side (runs inside the child processes)
+# --------------------------------------------------------------------- #
+#: Per-process shard cache: fingerprint → rebuilt shard database.  Plain
+#: module global — each worker process has its own copy.
+_WORKER_SHARDS: dict[str, TransactionDatabase] = {}
+
+
+def _cached_shard(fingerprint: str, payload: dict | None) -> TransactionDatabase:
+    """Return the shard for *fingerprint*, rebuilding and caching from *payload*.
+
+    Eviction is FIFO over insertion order, capped at
+    :data:`SHARD_CACHE_LIMIT` — the exact policy the parent-side mirror
+    replays, which is what makes "payload is None" a safe contract: the
+    parent only omits the payload when this cache is guaranteed to hold the
+    fingerprint.
+    """
+    shard = _WORKER_SHARDS.get(fingerprint)
+    if shard is None:
+        if payload is None:
+            raise RuntimeError(
+                f"shard {fingerprint} was never shipped to this worker "
+                f"(parent/worker cache desync)"
+            )
+        shard = TransactionDatabase.from_shard_payload(payload)
+        while len(_WORKER_SHARDS) >= SHARD_CACHE_LIMIT:
+            del _WORKER_SHARDS[next(iter(_WORKER_SHARDS))]
+        _WORKER_SHARDS[fingerprint] = shard
+    return shard
+
+
+def _worker_count_candidates(
+    fingerprint: str | None,
+    payload: dict | None,
+    inner,
+    candidates: list[Itemset],
+) -> dict[Itemset, int]:
+    """Count *candidates* over one shard inside a worker process."""
+    if fingerprint is None:  # ad-hoc transaction list: never cached
+        shard = TransactionDatabase.from_shard_payload(payload)
+    else:
+        shard = _cached_shard(fingerprint, payload)
+    return inner.count_candidates(shard, candidates)
+
+
+def _worker_count_items(
+    fingerprint: str | None,
+    payload: dict | None,
+    inner,
+) -> Counter[Item]:
+    """Count per-item supports over one shard inside a worker process."""
+    if fingerprint is None:
+        shard = TransactionDatabase.from_shard_payload(payload)
+    else:
+        shard = _cached_shard(fingerprint, payload)
+    return inner.count_items(shard)
+
+
+# --------------------------------------------------------------------- #
+# Parent side
+# --------------------------------------------------------------------- #
+def _shutdown_lanes(lanes: list[ProcessPoolExecutor]) -> None:
+    """Tear the worker processes down (GC finalizer and explicit close path)."""
+    for lane in lanes:
+        lane.shutdown(wait=False, cancel_futures=True)
+    lanes.clear()
+
+
+class ShardWorkerPool:
+    """A fixed set of worker *lanes*, each a dedicated single-worker process.
+
+    Shard slot ``i`` is pinned to lane ``i % lanes``, so the same shard keeps
+    hitting the same worker and its cached copy.  Lanes are spun up lazily on
+    the first submit; :meth:`close` (or garbage collection of the pool)
+    terminates them.
+    """
+
+    def __init__(self, lanes: int) -> None:
+        if lanes < 1:
+            raise ValueError(f"lanes must be positive, got {lanes}")
+        self.lanes = lanes
+        self._executors: list[ProcessPoolExecutor] = []
+        #: Per-lane mirror of the worker's shard cache (insertion-ordered
+        #: fingerprints, FIFO-evicted at SHARD_CACHE_LIMIT).
+        self._shipped: list[dict[str, None]] = []
+        self._finalizer = weakref.finalize(self, _shutdown_lanes, self._executors)
+
+    # ------------------------------------------------------------------ #
+    def _make_executor(self) -> ProcessPoolExecutor:
+        context = multiprocessing.get_context(_start_method())
+        return ProcessPoolExecutor(max_workers=1, mp_context=context)
+
+    def _lane_index(self, slot: int) -> int:
+        if not self._executors:
+            for _ in range(self.lanes):
+                self._executors.append(self._make_executor())
+                self._shipped.append({})
+        return slot % self.lanes
+
+    def _respawn_lane(self, index: int) -> None:
+        """Replace a broken lane with a fresh worker (empty shard cache)."""
+        self._executors[index].shutdown(wait=False, cancel_futures=True)
+        self._executors[index] = self._make_executor()
+        self._shipped[index].clear()
+
+    def _shard_args(
+        self, shard: "TransactionDatabase | Sequence[Transaction]", shipped: dict[str, None]
+    ) -> tuple[str | None, dict | None]:
+        """Fingerprint + payload for one submit (the mirror is NOT updated
+        here — only a successfully queued task may commit it, or a failed
+        submit would leave the parent believing a shard the worker never
+        received was shipped)."""
+        if not isinstance(shard, TransactionDatabase):
+            # Ad-hoc transaction list: shipped every time, cached never.
+            return None, {"transactions": list(shard), "name": ""}
+        fingerprint = shard.fingerprint()
+        if fingerprint in shipped:
+            return fingerprint, None
+        return fingerprint, shard.shard_payload()
+
+    def _submit(self, slot: int, shard, task, *arguments) -> Future:
+        """Queue *task* on the shard's pinned lane, respawning it if broken.
+
+        A worker killed from outside (OOM, signal) breaks its
+        ProcessPoolExecutor permanently; without the respawn every later
+        count through this pool would keep raising BrokenProcessPool.  One
+        respawn attempt per submit is enough — a freshly spawned lane that
+        still cannot accept work is a real environmental failure worth
+        propagating.
+        """
+        index = self._lane_index(slot)
+        for attempt in (0, 1):
+            shipped = self._shipped[index]
+            fingerprint, payload = self._shard_args(shard, shipped)
+            try:
+                future = self._executors[index].submit(
+                    task, fingerprint, payload, *arguments
+                )
+            except (BrokenExecutor, RuntimeError):
+                if attempt:
+                    raise
+                self._respawn_lane(index)
+                continue
+            if fingerprint is not None and payload is not None:
+                # Mirror the worker's miss-insert (same FIFO eviction rule).
+                while len(shipped) >= SHARD_CACHE_LIMIT:
+                    del shipped[next(iter(shipped))]
+                shipped[fingerprint] = None
+            return future
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    # ------------------------------------------------------------------ #
+    def submit_count_candidates(
+        self,
+        slot: int,
+        shard: "TransactionDatabase | Sequence[Transaction]",
+        inner,
+        candidates: list[Itemset],
+    ) -> "Future[dict[Itemset, int]]":
+        """Queue a candidate-counting pass over *shard* on its pinned lane."""
+        return self._submit(slot, shard, _worker_count_candidates, inner, candidates)
+
+    def submit_count_items(
+        self,
+        slot: int,
+        shard: "TransactionDatabase | Sequence[Transaction]",
+        inner,
+    ) -> "Future[Counter[Item]]":
+        """Queue an item-counting pass over *shard* on its pinned lane."""
+        return self._submit(slot, shard, _worker_count_items, inner)
+
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Shut the worker processes down.  Safe to call twice; the pool
+        re-spawns lanes if used again afterwards."""
+        _shutdown_lanes(self._executors)
+        self._shipped.clear()
+
+    def __enter__(self) -> "ShardWorkerPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "live" if self._executors else "idle"
+        return f"<ShardWorkerPool lanes={self.lanes} {state}>"

@@ -1,0 +1,334 @@
+"""Tests of the partitioned engine's executors and the process-pool plumbing.
+
+The contract under test: thread-mode and process-mode partitioned counting
+are bit-for-bit interchangeable with each other and with the serial
+single-partition engines, on every input — plus the machinery that makes
+process mode cheap (content fingerprints, picklable shard payloads,
+per-worker caching) behaves as documented.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import signal
+from concurrent.futures import BrokenExecutor
+
+import pytest
+
+from repro import (
+    AprioriMiner,
+    DhpMiner,
+    DhpOptions,
+    FupOptions,
+    FupUpdater,
+    MiningOptions,
+    ReproError,
+    RuleMaintainer,
+    TransactionDatabase,
+    VerticalIndex,
+    make_backend,
+)
+from repro.mining.backends import (
+    HorizontalBackend,
+    PartitionedBackend,
+    VerticalBackend,
+)
+from repro.mining.backends.process_pool import SHARD_CACHE_LIMIT, ShardWorkerPool
+
+DATABASE = TransactionDatabase(
+    [[1, 2, 3], [1, 2], [2, 4], [1, 3], [3, 4], [1, 2, 4], [], [5], [1, 2, 3, 4, 5]] * 3,
+    name="executors-fixture",
+)
+
+CANDIDATES = [
+    (1,),
+    (2,),
+    (5,),
+    (9,),
+    (1, 2),
+    (1, 3),
+    (2, 4),
+    (4, 5),
+    (1, 2, 3),
+    (1, 2, 4),
+    (1, 9),
+]
+
+
+@pytest.fixture(scope="module")
+def process_backends():
+    """One process-mode backend per inner engine, shared across the module.
+
+    Sharing keeps the worker processes (and their shard caches) alive across
+    tests, which both speeds the module up and exercises the cache-reuse
+    path far more than fresh pools would.
+    """
+    backends = {
+        "horizontal": PartitionedBackend(shards=4, executor="processes"),
+        "vertical": PartitionedBackend(
+            shards=4, inner=VerticalBackend(), executor="processes"
+        ),
+    }
+    yield backends
+    for backend in backends.values():
+        backend.close()
+
+
+def reference_counts(database):
+    return {candidate: database.count_itemset(candidate) for candidate in CANDIDATES}
+
+
+# --------------------------------------------------------------------- #
+# Equivalence: processes ≡ threads ≡ serial, on every backend
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize("inner_name", ["horizontal", "vertical"])
+def test_process_executor_matches_threads_and_serial(inner_name, process_backends):
+    serial = make_backend(inner_name)
+    threaded = PartitionedBackend(
+        shards=4, inner=make_backend(inner_name), executor="threads"
+    )
+    processes = process_backends[inner_name]
+
+    expected = reference_counts(DATABASE)
+    assert serial.count_candidates(DATABASE, CANDIDATES) == expected
+    assert threaded.count_candidates(DATABASE, CANDIDATES) == expected
+    assert processes.count_candidates(DATABASE, CANDIDATES) == expected
+
+    assert processes.count_items(DATABASE) == DATABASE.item_counts()
+    assert threaded.count_items(DATABASE) == DATABASE.item_counts()
+
+
+def test_process_executor_counts_plain_transaction_lists(process_backends):
+    processes = process_backends["horizontal"]
+    as_list = list(DATABASE)
+    assert processes.count_candidates(as_list, CANDIDATES) == reference_counts(DATABASE)
+    assert processes.count_items(as_list) == DATABASE.item_counts()
+
+
+def test_process_executor_empty_inputs(process_backends):
+    processes = process_backends["horizontal"]
+    empty = TransactionDatabase()
+    assert processes.count_candidates(empty, [(1,), (1, 2)]) == {(1,): 0, (1, 2): 0}
+    assert processes.count_candidates(empty, []) == {}
+    assert processes.count_items(empty) == {}
+
+
+def test_process_executor_tracks_database_mutation(process_backends):
+    """A mutated database gets a new fingerprint, so workers recount fresh data."""
+    processes = process_backends["horizontal"]
+    database = DATABASE.copy()
+    before = processes.count_candidates(database, CANDIDATES)
+    database.extend([[1, 2, 3, 4]] * 5)
+    after = processes.count_candidates(database, CANDIDATES)
+    assert after == reference_counts(database)
+    assert after != before
+    database.remove_batch([[1, 2, 3, 4]] * 5)
+    assert processes.count_candidates(database, CANDIDATES) == before
+
+
+def test_worker_cache_eviction_keeps_counts_correct(process_backends):
+    """More distinct shard generations than the cache holds still count right."""
+    processes = process_backends["horizontal"]
+    database = DATABASE.copy()
+    for round_number in range(SHARD_CACHE_LIMIT + 3):
+        database.append([round_number + 10, round_number + 11])
+        assert processes.count_candidates(database, CANDIDATES) == reference_counts(
+            database
+        )
+
+
+@pytest.mark.parametrize("min_support", [0.15, 0.4])
+def test_miners_and_updaters_identical_across_executors(min_support):
+    increment = TransactionDatabase([[1, 2, 4], [2, 5], [1, 2, 3, 4], [6, 7]])
+    reference = AprioriMiner(min_support).mine(DATABASE)
+    for executor in ("threads", "processes"):
+        options = MiningOptions(backend="partitioned", shards=3, executor=executor)
+        mined = AprioriMiner(min_support, options=options).mine(DATABASE)
+        assert mined.lattice.supports() == reference.lattice.supports()
+
+        dhp = DhpMiner(
+            min_support,
+            options=DhpOptions(backend="partitioned", shards=3, executor=executor),
+        ).mine(DATABASE)
+        assert dhp.lattice.supports() == reference.lattice.supports()
+
+        fup = FupUpdater(
+            min_support,
+            options=FupOptions(backend="partitioned", shards=3, executor=executor),
+        ).update(DATABASE, reference, increment)
+        remined = AprioriMiner(min_support).mine(DATABASE.concatenate(increment))
+        assert fup.lattice.supports() == remined.lattice.supports()
+
+
+# --------------------------------------------------------------------- #
+# Configuration plumbing
+# --------------------------------------------------------------------- #
+def test_executor_option_validation():
+    with pytest.raises(ValueError):
+        PartitionedBackend(executor="coroutines")
+    with pytest.raises(ValueError):
+        PartitionedBackend(workers=0)
+    with pytest.raises(ReproError):
+        MiningOptions(executor="coroutines")
+    with pytest.raises(ValueError):
+        MiningOptions(workers=0)
+    with pytest.raises(ValueError):
+        FupOptions(executor="coroutines")
+    with pytest.raises(ValueError):
+        DhpOptions(executor="coroutines")
+    with pytest.raises(ValueError):
+        ShardWorkerPool(lanes=0)
+
+
+def test_explicit_backend_instance_is_shared(process_backends):
+    """Miners/updaters accept a ready engine instance and use it as-is."""
+    shared = process_backends["horizontal"]
+    miner = DhpMiner(0.2, backend=shared)
+    assert miner.backend is shared
+    updater = FupUpdater(0.2, backend=shared)
+    assert updater.backend is shared
+    initial = AprioriMiner(0.2, options=shared).mine(DATABASE)
+    increment = TransactionDatabase([[1, 2, 4], [2, 5]])
+    updated = updater.update(DATABASE, initial, increment)
+    remined = AprioriMiner(0.2).mine(DATABASE.concatenate(increment))
+    assert updated.lattice.supports() == remined.lattice.supports()
+
+
+def test_make_backend_threads_executor_through():
+    backend = make_backend("partitioned", shards=5, executor="processes", workers=2)
+    assert isinstance(backend, PartitionedBackend)
+    assert (backend.shards, backend.executor, backend.workers) == (5, "processes", 2)
+    assert backend.lanes == 2
+    assert MiningOptions(
+        backend="partitioned", executor="processes", workers=3
+    ).make_backend().workers == 3
+
+
+def test_workers_cap_fewer_lanes_than_shards(process_backends):
+    capped = PartitionedBackend(shards=4, executor="processes", workers=2)
+    try:
+        assert capped.lanes == 2
+        assert capped.count_candidates(DATABASE, CANDIDATES) == reference_counts(DATABASE)
+        # Shards 0 and 2 share lane 0; 1 and 3 share lane 1 — count twice to
+        # hit the shared-lane cached path as well.
+        assert capped.count_candidates(DATABASE, CANDIDATES) == reference_counts(DATABASE)
+    finally:
+        capped.close()
+
+
+def test_partitioned_backend_survives_pickling():
+    backend = PartitionedBackend(shards=3, executor="processes", workers=2)
+    try:
+        backend.count_items(DATABASE)  # spin the pool up
+        clone = pickle.loads(pickle.dumps(backend))
+        assert (clone.shards, clone.executor, clone.workers) == (3, "processes", 2)
+        assert clone._pool is None  # the live pool never crosses the boundary
+        assert clone.count_candidates(DATABASE, CANDIDATES) == reference_counts(DATABASE)
+        clone.close()
+    finally:
+        backend.close()
+
+
+def test_close_is_idempotent_and_pool_respawns():
+    backend = PartitionedBackend(shards=2, executor="processes")
+    expected = reference_counts(DATABASE)
+    assert backend.count_candidates(DATABASE, CANDIDATES) == expected
+    backend.close()
+    backend.close()
+    assert backend.count_candidates(DATABASE, CANDIDATES) == expected
+    backend.close()
+
+
+def test_broken_worker_lane_respawns():
+    """A worker killed from outside must not poison the backend forever."""
+    backend = PartitionedBackend(shards=2, executor="processes")
+    try:
+        expected = reference_counts(DATABASE)
+        assert backend.count_candidates(DATABASE, CANDIDATES) == expected
+        for lane in backend._pool._executors:
+            for process in list(lane._processes.values()):
+                os.kill(process.pid, signal.SIGKILL)
+        # The first call(s) may surface the breakage; within a few attempts
+        # the lanes must have respawned and counting must be correct again.
+        for attempt in range(5):
+            try:
+                assert backend.count_candidates(DATABASE, CANDIDATES) == expected
+                break
+            except BrokenExecutor:
+                continue
+        else:
+            pytest.fail("pool never recovered from killed workers")
+    finally:
+        backend.close()
+
+
+def test_rule_maintainer_reuses_one_engine_across_batches():
+    """A k-batch session must not respawn workers (or re-ship shards) per batch."""
+    maintainer = RuleMaintainer(
+        0.2,
+        0.5,
+        fup_options=FupOptions(backend="partitioned", shards=3, executor="processes"),
+    )
+    maintainer.initialise(DATABASE)
+    backend = maintainer._fup_updater.backend
+    maintainer.add_transactions([[1, 2], [2, 3]])
+    pool = backend._pool
+    assert pool is not None  # the first FUP batch spun the lanes up
+    maintainer.add_transactions([[1, 4], [2, 4]])
+    maintainer.remove_transactions([[1, 4]])
+    assert maintainer._fup_updater.backend is backend
+    assert backend._pool is pool  # same worker processes, batch after batch
+    maintainer.close()
+    assert backend._pool is None
+    maintainer.close()  # idempotent
+    # The maintainer stays usable: the engine respawns lanes on demand.
+    maintainer.add_transactions([[3, 4]])
+    maintainer.close()
+
+
+def test_thread_mode_holds_no_pool():
+    backend = PartitionedBackend(shards=4, executor="threads")
+    backend.count_items(DATABASE)
+    assert backend._pool is None
+    backend.close()  # no-op
+
+
+# --------------------------------------------------------------------- #
+# Fingerprints and shard payloads
+# --------------------------------------------------------------------- #
+def test_fingerprint_identifies_content():
+    database = DATABASE.copy()
+    twin = DATABASE.copy()
+    assert database.fingerprint() == twin.fingerprint()
+    assert database.fingerprint() == database.fingerprint()  # cached
+
+    database.append([42])
+    assert database.fingerprint() != twin.fingerprint()
+    twin.append([42])
+    assert database.fingerprint() == twin.fingerprint()
+
+    reordered = TransactionDatabase(list(reversed(list(DATABASE))))
+    assert reordered.fingerprint() != DATABASE.fingerprint()
+
+
+def test_shard_payload_round_trip():
+    database = TransactionDatabase(list(DATABASE), name="payload-fixture")
+    plain = TransactionDatabase.from_shard_payload(database.shard_payload())
+    assert plain == database
+    assert not plain.has_vertical_index
+
+    database.vertical()  # build the index, then ship it along
+    indexed = TransactionDatabase.from_shard_payload(database.shard_payload())
+    assert indexed == database
+    assert indexed.has_vertical_index
+    assert dict(indexed.vertical()) == dict(database.vertical())
+
+
+def test_vertical_index_payload_round_trip():
+    index = VerticalIndex.build([(1, 2), (2,), (1,)])
+    clone = VerticalIndex.from_payload(index.to_payload())
+    assert dict(clone) == dict(index)
+    assert clone.size == index.size
+    clone.append((7,))  # independent after the round trip
+    assert 7 not in index

@@ -1,0 +1,116 @@
+"""Hypothesis properties of the partitioned engine's executors.
+
+The invariant: for any database, candidate pool and shard/worker
+configuration, process-mode counting is bit-for-bit identical to thread-mode
+counting and to the serial single-partition engines — including across
+database mutations (which advance the shard fingerprints the per-worker
+caches are keyed on).
+
+The process-mode backends are module-scoped on purpose: the worker processes
+and their shard caches survive across examples, so Hypothesis hammers the
+cache/fingerprint bookkeeping (hundreds of distinct shard generations
+through the same lanes), not just the happy path of a fresh pool.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import TransactionDatabase, make_backend
+from repro.mining.backends import PartitionedBackend, VerticalBackend
+
+from .strategies import build_database, increment_lists, transaction_lists
+
+#: Candidate pools over the same small item universe as the databases.
+candidate_pools = st.lists(
+    st.lists(st.integers(min_value=0, max_value=13), min_size=1, max_size=4)
+    .map(lambda items: tuple(sorted(set(items)))),
+    min_size=0,
+    max_size=12,
+)
+
+shard_counts = st.integers(min_value=1, max_value=5)
+
+RELAXED = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+#: Shared pools: shards land on the same lanes for the whole module.
+_PROCESS_HORIZONTAL = PartitionedBackend(shards=4, executor="processes")
+_PROCESS_VERTICAL = PartitionedBackend(
+    shards=4, inner=VerticalBackend(), executor="processes"
+)
+_PROCESS_CAPPED = PartitionedBackend(shards=5, executor="processes", workers=2)
+
+
+def teardown_module() -> None:
+    for backend in (_PROCESS_HORIZONTAL, _PROCESS_VERTICAL, _PROCESS_CAPPED):
+        backend.close()
+
+
+@given(rows=transaction_lists, pool=candidate_pools)
+@RELAXED
+def test_process_counts_equal_serial_and_threads(rows, pool):
+    database = build_database(rows)
+    expected = make_backend("horizontal").count_candidates(database, pool)
+    assert make_backend("vertical").count_candidates(database, pool) == expected
+    threaded = PartitionedBackend(shards=4, executor="threads")
+    assert threaded.count_candidates(database, pool) == expected
+    assert _PROCESS_HORIZONTAL.count_candidates(database, pool) == expected
+    assert _PROCESS_VERTICAL.count_candidates(database, pool) == expected
+    assert _PROCESS_CAPPED.count_candidates(database, pool) == expected
+
+
+@given(rows=transaction_lists)
+@RELAXED
+def test_process_item_counts_equal_database(rows):
+    database = build_database(rows)
+    assert _PROCESS_HORIZONTAL.count_items(database) == database.item_counts()
+    assert _PROCESS_CAPPED.count_items(database) == database.item_counts()
+
+
+@given(
+    rows=transaction_lists,
+    increment=increment_lists,
+    delete_count=st.integers(min_value=0, max_value=5),
+    pool=candidate_pools,
+    shards=shard_counts,
+)
+@RELAXED
+def test_process_counts_track_mutations(rows, increment, delete_count, pool, shards):
+    """Counting stays correct through extend/remove cycles on one backend.
+
+    This is the maintenance-session shape: every mutation advances the shard
+    fingerprints, so the worker caches must refresh exactly when the parent
+    mirror says they will.
+    """
+    database = build_database(rows)
+    fresh = PartitionedBackend(shards=shards, executor="threads")
+    assert _PROCESS_HORIZONTAL.count_candidates(database, pool) == (
+        fresh.count_candidates(database, pool)
+    )
+    database.extend(increment)
+    assert _PROCESS_HORIZONTAL.count_candidates(database, pool) == (
+        fresh.count_candidates(database, pool)
+    )
+    victims = database.transactions()[:delete_count]
+    database.remove_batch(list(victims))
+    expected = {
+        candidate: database.count_itemset(candidate) for candidate in pool
+    }
+    assert _PROCESS_HORIZONTAL.count_candidates(database, pool) == expected
+
+
+@given(rows=transaction_lists)
+@RELAXED
+def test_fingerprint_equals_content_equality(rows):
+    database = build_database(rows)
+    same = build_database(rows)
+    assert database.fingerprint() == same.fingerprint()
+    round_tripped = TransactionDatabase.from_shard_payload(database.shard_payload())
+    assert round_tripped.fingerprint() == database.fingerprint()
+    database.append([99])
+    assert database.fingerprint() != same.fingerprint()

@@ -392,3 +392,146 @@ class TestCompareCommand:
         output = capsys.readouterr().out
         assert "speed-up of FUP" in output
         assert "candidate ratio" in output
+
+
+class TestExecutorFlags:
+    def test_mine_with_process_executor(self, tmp_path, workload_files, capsys):
+        code = main(
+            [
+                "mine", str(workload_files["database_path"]),
+                "--min-support", "0.1",
+                "--backend", "partitioned", "--shards", "3",
+                "--executor", "processes", "--workers", "2",
+            ]
+        )
+        assert code == 0
+        assert "large itemsets" in capsys.readouterr().out
+
+    def test_executor_choices_are_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["mine", "db.txt", "--min-support", "0.1", "--executor", "fibers"]
+            )
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["mine", "db.txt", "--min-support", "0.1", "--workers", "0"]
+            )
+
+    def test_session_manifest_records_executor(self, tmp_path, workload_files, capsys):
+        session_dir = tmp_path / "session"
+        code = main(
+            [
+                "session", "init", str(session_dir),
+                str(workload_files["database_path"]),
+                "--min-support", "0.1",
+                "--backend", "partitioned", "--executor", "processes", "--workers", "2",
+            ]
+        )
+        assert code == 0
+        manifest = json.loads((session_dir / "session.json").read_text())
+        assert manifest["executor"] == "processes"
+        assert manifest["workers"] == 2
+        capsys.readouterr()
+        assert main(["session", "status", str(session_dir)]) == 0
+        status_output = capsys.readouterr().out
+        assert "executor: processes" in status_output
+        assert "workers: 2" in status_output
+
+    def test_pre_executor_manifests_still_open(self, tmp_path, workload_files, capsys):
+        session_dir = tmp_path / "session"
+        main(
+            [
+                "session", "init", str(session_dir),
+                str(workload_files["database_path"]),
+                "--min-support", "0.1",
+            ]
+        )
+        manifest_path = session_dir / "session.json"
+        manifest = json.loads(manifest_path.read_text())
+        del manifest["executor"], manifest["workers"]
+        manifest_path.write_text(json.dumps(manifest))
+        capsys.readouterr()
+        assert main(["session", "status", str(session_dir)]) == 0
+        assert "executor: threads" in capsys.readouterr().out
+        with MaintenanceSession.open(session_dir) as session:
+            assert session.maintainer.fup_options.executor == "threads"
+
+
+class TestReproduceCommand:
+    def test_tiny_custom_matrix_end_to_end(self, tmp_path, capsys):
+        out_path = tmp_path / "BENCH_reproduction.json"
+        code = main(
+            [
+                "reproduce",
+                "--workload", "T5.I2.D1.d1", "--scale", "0.2",
+                "--supports", "0.1", "--increments", "0.5",
+                "--engines", "vertical,partitioned:3:threads",
+                "--out", str(out_path),
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "measured speedups" in output
+        assert "work ratios" in output
+        payload = json.loads(out_path.read_text())
+        assert payload["matrix"]["label"] == "custom"
+        assert {row["strategy"] for row in payload["rows"]} == {"fup", "apriori", "dhp"}
+
+    def test_update_then_check_docs_round_trip(self, tmp_path, capsys):
+        docs_path = tmp_path / "reproduction.md"
+        docs_path.write_text(
+            "# title\n\n<!-- repro:reproduce:tables:begin -->\n"
+            "<!-- repro:reproduce:tables:end -->\n"
+        )
+        matrix_args = [
+            "reproduce",
+            "--workload", "T5.I2.D1.d1", "--scale", "0.2",
+            "--supports", "0.1", "--increments", "1.0",
+            "--engines", "vertical",
+        ]
+        assert main([*matrix_args, "--update-docs", str(docs_path)]) == 0
+        assert "work ratios" in docs_path.read_text()
+        capsys.readouterr()
+        assert main([*matrix_args, "--check-docs", str(docs_path)]) == 0
+        assert "in sync" in capsys.readouterr().out
+
+        # Any edit inside the generated block is drift: exit 1, named line.
+        docs_path.write_text(docs_path.read_text().replace("work ratios", "work rations"))
+        assert main([*matrix_args, "--check-docs", str(docs_path)]) == 1
+        assert "drifted" in capsys.readouterr().err
+
+    def test_bad_engine_spec_fails_cleanly(self, capsys):
+        code = main(["reproduce", "--quick", "--engines", "columnar"])
+        assert code == 2
+        assert "unknown backend" in capsys.readouterr().err
+
+
+class TestDocsCommand:
+    def test_docs_prints_markdown(self, capsys):
+        assert main(["docs"]) == 0
+        output = capsys.readouterr().out
+        assert output.startswith("# CLI reference")
+        assert "## `repro reproduce`" in output
+
+    def test_docs_out_then_check(self, tmp_path, capsys):
+        target = tmp_path / "cli.md"
+        assert main(["docs", "--out", str(target)]) == 0
+        capsys.readouterr()
+        assert main(["docs", "--check", str(target)]) == 0
+        assert "in sync" in capsys.readouterr().out
+
+        target.write_text(target.read_text() + "manual edit\n")
+        assert main(["docs", "--check", str(target)]) == 1
+        assert "drifted" in capsys.readouterr().err
+
+    def test_malformed_numeric_flags_fail_cleanly(self, capsys):
+        assert main(["reproduce", "--quick", "--supports", "abc"]) == 2
+        assert "comma-separated numbers" in capsys.readouterr().err
+        assert main(["reproduce", "--quick", "--increments", "0.5x"]) == 2
+        assert "comma-separated numbers" in capsys.readouterr().err
+        assert main(["reproduce", "--quick", "--engines", "partitioned:x"]) == 2
+        assert "engine spec" in capsys.readouterr().err
+
+    def test_check_docs_missing_file_fails_cleanly(self, tmp_path, capsys):
+        assert main(["docs", "--check", str(tmp_path / "absent.md")]) == 2
+        assert "cannot read docs file" in capsys.readouterr().err

@@ -1,0 +1,73 @@
+"""Drift checks for the generated documentation.
+
+Two files under ``docs/`` are build artifacts of the code itself:
+
+* ``docs/cli.md`` — rendered from the argparse tree by ``repro docs``;
+* the marker-delimited block of ``docs/reproduction.md`` — the
+  deterministic work-ratio tables of the ``repro reproduce --quick`` matrix.
+
+These tests regenerate both and compare byte-for-byte, so a change to the
+CLI surface or to anything the quick matrix measures must ship with its
+regenerated docs in the same commit (CI runs the same checks through the
+CLI entry points).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.cli import render_cli_markdown
+from repro.harness.experiments import (
+    DOCS_BEGIN,
+    DOCS_END,
+    ExperimentMatrix,
+    generated_block_drift,
+    run_matrix,
+)
+
+DOCS_DIR = Path(__file__).resolve().parents[1] / "docs"
+
+
+def test_docs_directory_is_complete():
+    expected = {"architecture.md", "paper-map.md", "cli.md", "reproduction.md"}
+    assert expected <= {path.name for path in DOCS_DIR.glob("*.md")}
+
+
+def test_cli_reference_matches_parser():
+    committed = (DOCS_DIR / "cli.md").read_text(encoding="utf-8")
+    regenerated = render_cli_markdown()
+    assert committed == regenerated, (
+        "docs/cli.md drifted from the argparse tree; run "
+        "`python -m repro.cli docs --out docs/cli.md`"
+    )
+
+
+def test_cli_reference_covers_every_subcommand():
+    committed = (DOCS_DIR / "cli.md").read_text(encoding="utf-8")
+    for command in (
+        "repro generate",
+        "repro mine",
+        "repro update",
+        "repro maintain",
+        "repro session apply",
+        "repro rules",
+        "repro compare",
+        "repro reproduce",
+        "repro docs",
+    ):
+        assert f"## `{command}`" in committed, f"{command} missing from docs/cli.md"
+
+
+@pytest.mark.slow_docs_check
+def test_reproduction_tables_match_quick_matrix():
+    """The committed tables must equal a fresh seeded --quick run, byte for byte."""
+    committed = (DOCS_DIR / "reproduction.md").read_text(encoding="utf-8")
+    assert DOCS_BEGIN in committed and DOCS_END in committed
+    report = run_matrix(ExperimentMatrix.quick())
+    drift = generated_block_drift(committed, report.deterministic_markdown())
+    assert drift is None, (
+        "docs/reproduction.md drifted from the regenerated tables; run "
+        f"`python -m repro.cli reproduce --quick --update-docs docs/reproduction.md`\n{drift}"
+    )

@@ -1,0 +1,52 @@
+"""Smoke tests for the example scripts.
+
+Examples are documentation that executes; without a test they rot silently
+the moment an API they demonstrate moves.  Each script is run exactly as a
+reader would run it — a fresh interpreter, from a scratch working directory
+(some examples create session directories) — and must exit 0.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[1] / "examples"
+SRC_DIR = Path(__file__).resolve().parents[1] / "src"
+
+EXAMPLE_SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_are_discovered():
+    """The glob must keep finding the walkthroughs (guards against renames)."""
+    names = {script.name for script in EXAMPLE_SCRIPTS}
+    assert {"quickstart.py", "streaming_maintenance.py"} <= names
+    assert len(EXAMPLE_SCRIPTS) >= 5
+
+
+@pytest.mark.parametrize(
+    "script", EXAMPLE_SCRIPTS, ids=[script.stem for script in EXAMPLE_SCRIPTS]
+)
+def test_example_runs_clean(script: Path, tmp_path: Path):
+    environment = dict(os.environ)
+    environment["PYTHONPATH"] = str(SRC_DIR) + (
+        os.pathsep + environment["PYTHONPATH"] if environment.get("PYTHONPATH") else ""
+    )
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        cwd=tmp_path,
+        env=environment,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, (
+        f"{script.name} exited {completed.returncode}\n"
+        f"stdout:\n{completed.stdout[-2000:]}\n"
+        f"stderr:\n{completed.stderr[-2000:]}"
+    )
+    assert completed.stdout.strip(), f"{script.name} printed nothing"
