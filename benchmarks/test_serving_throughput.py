@@ -1,0 +1,211 @@
+"""Serving-layer query throughput: inverted-index basket matching vs linear scan.
+
+The serving subsystem answers "which rules apply to this basket?" on every
+request, so that lookup is the hot path of the read side.  A
+:class:`~repro.serve.snapshot.RuleSnapshot` accelerates it with an inverted
+antecedent-item index (each rule posted under its *rarest* antecedent item;
+only the basket's posting lists are candidate-checked); this benchmark races
+that path against the scan-every-rule baseline on the Figure-2 workload —
+the baskets are the workload's own transactions, so the query mix has the
+paper's item distribution.
+
+Both modes are run through
+:func:`~repro.harness.runner.measure_query_throughput`, which also returns
+the total number of rules matched — asserted identical across modes, so the
+speedup is measured on provably equal work.
+
+A second test measures end-to-end publication cost (maintainer state →
+published snapshot, the price a writer pays per batch to refresh readers).
+
+When ``REPRO_BENCH_ARTIFACT`` is set the measurements land in
+``BENCH_serving.json`` (repo root, or the directory the variable names) so
+CI uploads them next to the other baselines.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro import AprioriMiner, MiningOptions, RuleSnapshot, RuleStore, generate_rules
+from repro.harness.runner import measure_query_throughput
+
+from .conftest import BENCH_SCALE, build_workload, print_report, timing_asserts_enabled
+
+#: Support/confidence for the served rule set.  The lowest Figure-2 support
+#: level gives the richest rule set — the regime where serving performance
+#: matters at all.
+SERVE_SUPPORT = 0.0075
+SERVE_CONFIDENCE = 0.3
+#: Baskets per measured pass (the workload's own transactions) and passes.
+BASKETS = 200
+REPEAT = 3
+#: Required advantage of the indexed basket query over the linear rule scan.
+MIN_INDEX_SPEEDUP = 1.25
+
+
+def _artifact_path() -> Path | None:
+    """Where ``BENCH_serving.json`` lands, or None to skip writing it."""
+    value = os.environ.get("REPRO_BENCH_ARTIFACT", "")
+    if not value:
+        return None
+    if value == "1":
+        return Path(__file__).resolve().parents[1] / "BENCH_serving.json"
+    path = Path(value)
+    if path.name != "BENCH_serving.json":
+        # The env var is shared across benchmark modules: a custom value
+        # selects the *directory*, and each module keeps its canonical file
+        # name there so the artifacts never clobber each other.
+        return path.with_name("BENCH_serving.json")
+    return path
+
+
+def _update_artifact(section: str, payload: dict) -> None:
+    """Merge *payload* under *section* into the serving artifact."""
+    artifact = _artifact_path()
+    if artifact is None:
+        return
+    document: dict = {"benchmark": "serving", "scale": BENCH_SCALE}
+    if artifact.exists():
+        try:
+            existing = json.loads(artifact.read_text(encoding="ascii"))
+        except (OSError, ValueError):
+            existing = {}
+        if existing.get("benchmark") == "serving":
+            document = existing
+    document["scale"] = BENCH_SCALE
+    document[section] = payload
+    artifact.parent.mkdir(parents=True, exist_ok=True)
+    artifact.write_text(json.dumps(document, indent=2) + "\n", encoding="ascii")
+
+
+@pytest.fixture(scope="module")
+def served_state():
+    """The Figure-2 workload mined into a snapshot plus its query baskets."""
+    workload = build_workload("T10.I4.D100.d1")
+    updated = workload.original.concatenate(workload.increment)
+    # Setup is not what is measured: the vertical engine just gets us to the
+    # serving state quickly.
+    result = AprioriMiner(
+        SERVE_SUPPORT, options=MiningOptions(backend="vertical")
+    ).mine(updated)
+    rules = generate_rules(result.lattice, SERVE_CONFIDENCE)
+    snapshot = RuleSnapshot(
+        version=0,
+        rules=rules,
+        lattice=result.lattice,
+        min_support=SERVE_SUPPORT,
+        min_confidence=SERVE_CONFIDENCE,
+    )
+    baskets = [set(row) for row in updated.transactions()[:BASKETS]]
+    return {
+        "workload": workload.name,
+        "snapshot": snapshot,
+        "baskets": baskets,
+        "lattice": result.lattice,
+    }
+
+
+@pytest.mark.benchmark(group="serving")
+def test_indexed_basket_query_beats_linear_scan(benchmark, served_state):
+    snapshot = served_state["snapshot"]
+    baskets = served_state["baskets"]
+    assert snapshot.rule_count >= 50, (
+        f"only {snapshot.rule_count} rules at support {SERVE_SUPPORT}; "
+        f"the throughput comparison needs a real rule set"
+    )
+
+    def race() -> dict:
+        # Best of two passes per mode, interleaved, so one scheduler hiccup
+        # cannot decide the ratio.
+        records = {"indexed": [], "linear": []}
+        for _ in range(2):
+            for mode in ("indexed", "linear"):
+                records[mode].append(
+                    measure_query_throughput(
+                        snapshot,
+                        baskets,
+                        mode=mode,
+                        repeat=REPEAT,
+                        workload=served_state["workload"],
+                    )
+                )
+        return {
+            mode: min(results, key=lambda record: record.seconds)
+            for mode, results in records.items()
+        }
+
+    measured = benchmark.pedantic(race, rounds=1)
+    indexed, linear = measured["indexed"], measured["linear"]
+
+    # Identical work: every query returned the same rules in both modes.
+    assert indexed.queries == linear.queries
+    assert indexed.matches == linear.matches
+    speedup = indexed.queries_per_second / max(linear.queries_per_second, 1e-9)
+
+    _update_artifact(
+        "basket_queries",
+        {
+            "workload": served_state["workload"],
+            "rules": snapshot.rule_count,
+            "itemsets": snapshot.itemset_count,
+            "database_size": snapshot.database_size,
+            "baskets": len(baskets),
+            "indexed": indexed.as_dict(),
+            "linear": linear.as_dict(),
+            "speedup_indexed_vs_linear": round(speedup, 3),
+        },
+    )
+    print_report(
+        f"basket queries on {served_state['workload']} "
+        f"({snapshot.rule_count} rules, speedup {speedup:.2f}x)",
+        [indexed.as_dict(), linear.as_dict()],
+    )
+
+    if timing_asserts_enabled():
+        assert speedup >= MIN_INDEX_SPEEDUP, (
+            f"indexed basket matching only {speedup:.2f}x over the linear scan "
+            f"(required {MIN_INDEX_SPEEDUP}x) at {snapshot.rule_count} rules"
+        )
+
+
+@pytest.mark.benchmark(group="serving")
+def test_snapshot_publication_cost(benchmark, served_state):
+    """What a writer pays per batch to refresh readers: build + publish.
+
+    Publication happens once per maintenance batch while queries happen per
+    request, so this only needs to be cheap relative to the batch's mining
+    work — the measurement is recorded for trajectory, not gated.
+    """
+    lattice = served_state["lattice"]
+    rules = list(served_state["snapshot"].rules)
+    store = RuleStore()
+
+    def publish_once() -> float:
+        start = time.perf_counter()
+        store.publish(
+            RuleSnapshot(
+                version=store.publications,
+                rules=rules,
+                lattice=lattice,
+                min_support=SERVE_SUPPORT,
+                min_confidence=SERVE_CONFIDENCE,
+            )
+        )
+        return time.perf_counter() - start
+
+    seconds = benchmark.pedantic(publish_once, rounds=1)
+    _update_artifact(
+        "publication",
+        {
+            "workload": served_state["workload"],
+            "rules": len(rules),
+            "itemsets": served_state["snapshot"].itemset_count,
+            "publish_seconds": round(seconds, 6),
+        },
+    )
+    assert store.snapshot().rule_count == len(rules)

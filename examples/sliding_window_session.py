@@ -99,7 +99,7 @@ def main() -> None:
                 "seconds": round(time.perf_counter() - began, 4),
                 "window": report.database_size,
                 "itemsets +/-": f"+{len(report.itemsets_added)}/-{len(report.itemsets_removed)}",
-                "rules +/-": f"+{len(report.rules_added)}/-{len(report.rules_removed)}",
+                "rules +/-/~": f"+{len(report.rules_added)}/-{len(report.rules_removed)}/~{len(report.rules_updated)}",
                 "checkpoint": session.checkpoint_seq,
             }
         )

@@ -12,7 +12,11 @@ The package provides:
   process-parallel partitioned engine), the Quest-style synthetic data
   generator the paper's evaluation uses, and the experiment harness — with
   the declarative ``repro reproduce`` matrix — that regenerates every figure
-  of the evaluation section.
+  of the evaluation section,
+* a lock-free rule-serving subsystem (:mod:`repro.serve`): versioned
+  immutable snapshots published by atomic reference swap, basket/recommend
+  queries over an inverted antecedent-item index, and the ``repro serve``
+  HTTP endpoint.
 
 Quickstart::
 
@@ -78,9 +82,11 @@ from .core import (
     MaintenanceSession,
     RuleMaintainer,
     SessionStatus,
+    read_session_state,
     update_with_fup,
     update_with_fup2,
 )
+from .serve import RuleServer, RuleSnapshot, RuleStore, SessionFeed
 from .datagen import (
     SyntheticConfig,
     SyntheticDataGenerator,
@@ -149,8 +155,14 @@ __all__ = [
     "MaintenanceReport",
     "MaintenanceSession",
     "SessionStatus",
+    "read_session_state",
     "update_with_fup",
     "update_with_fup2",
+    # serve
+    "RuleSnapshot",
+    "RuleStore",
+    "RuleServer",
+    "SessionFeed",
     # datagen
     "SyntheticConfig",
     "SyntheticDataGenerator",

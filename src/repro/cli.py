@@ -32,6 +32,12 @@ shell, each as a subcommand:
 ``docs``
     Render the CLI reference (``docs/cli.md``) from this very argparse tree,
     or ``--check`` the committed file for drift (the CI docs job does).
+``serve``
+    Serve the maintained rules over HTTP (``/rules``, ``/recommend``,
+    ``/itemset``, ``/health``): either mine a transaction file and serve the
+    result, or serve from a durable session directory — polling it (without
+    the writer lock) so batches applied by other processes show up as new
+    snapshot versions while the server keeps answering.
 ``session init | apply | status | checkpoint``
     The durable flavour of ``maintain``: a
     :class:`~repro.core.session.MaintenanceSession` persisted to a session
@@ -230,7 +236,7 @@ def _cmd_maintain(args: argparse.Namespace) -> int:
                 "seconds": round(seconds, 4),
                 "size": report.database_size,
                 "itemsets +/-": f"+{len(report.itemsets_added)}/-{len(report.itemsets_removed)}",
-                "rules +/-": f"+{len(report.rules_added)}/-{len(report.rules_removed)}",
+                "rules +/-/~": f"+{len(report.rules_added)}/-{len(report.rules_removed)}/~{len(report.rules_updated)}",
             }
         )
     print(
@@ -301,7 +307,8 @@ def _cmd_session_apply(args: argparse.Namespace) -> int:
                     "seconds": round(seconds, 4),
                     "size": report.database_size,
                     "itemsets +/-": f"+{len(report.itemsets_added)}/-{len(report.itemsets_removed)}",
-                    "rules +/-": f"+{len(report.rules_added)}/-{len(report.rules_removed)}",
+                    "rules +/-/~": f"+{len(report.rules_added)}/-{len(report.rules_removed)}"
+                    f"/~{len(report.rules_updated)}",
                 }
             )
         status = session.status()
@@ -319,6 +326,135 @@ def _cmd_session_apply(args: argparse.Namespace) -> int:
         f"{status.pending_batches} journaled); {status.database_size} transactions, "
         f"{status.itemsets} itemsets, {status.rules} rules"
     )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import threading
+
+    from .serve import RuleServer, RuleStore, SessionFeed
+
+    if bool(args.session) == bool(args.database):
+        print(
+            "error: serve needs exactly one of --session DIR or a database file",
+            file=sys.stderr,
+        )
+        return 2
+
+    store = RuleStore()
+    feed = None
+    maintainer = None  # database-mode maintainer, closed on exit
+    if args.session:
+        interval = 1.0 if args.refresh is None else args.refresh
+        if interval <= 0:
+            print(
+                f"error: --refresh must be positive, got {args.refresh}",
+                file=sys.stderr,
+            )
+            return 2
+        # Session mode serves the configuration the session manifest records;
+        # silently ignoring mining flags would make re-thresholding *look*
+        # like it worked.  All these flags default to None, so any explicit
+        # use — even at a flag's database-mode default value — is caught.
+        ignored = [
+            flag
+            for flag, value in (
+                ("--min-support", args.min_support),
+                ("--min-confidence", args.min_confidence),
+                ("--miner", args.miner),
+                ("--backend", args.backend),
+                ("--shards", args.shards),
+                ("--executor", args.executor),
+                ("--workers", args.workers),
+            )
+            if value is not None
+        ]
+        if ignored:
+            print(
+                f"error: {', '.join(ignored)} only apply when mining a database "
+                f"file; --session serves the thresholds and engine recorded in "
+                f"the session manifest",
+                file=sys.stderr,
+            )
+            return 2
+        feed = SessionFeed(store, args.session, interval=interval)
+        # The feed's first tick does the initial publication (and records the
+        # freshness marker, so its polling loop does not redo the recovery).
+        # One retry covers the transient window where the read races a
+        # writer's checkpoint commit — the same race the polling loop
+        # tolerates by design; a persistent failure raises the real
+        # diagnosis, which main() turns into a clean CLI error.
+        try:
+            feed.refresh(strict=True)
+        except (ReproError, OSError):
+            time.sleep(min(interval, 0.2))
+            try:
+                feed.refresh(strict=True)
+            except OSError as exc:
+                # ReproError falls through to main()'s handler; a raw
+                # filesystem error (unreadable directory) gets the same
+                # clean exit-2 treatment here.
+                print(
+                    f"error: cannot read session {args.session}: {exc}",
+                    file=sys.stderr,
+                )
+                return 2
+    else:
+        if args.refresh is not None:
+            print(
+                "error: --refresh only applies with --session (database mode "
+                "serves one mined state)",
+                file=sys.stderr,
+            )
+            return 2
+        if args.min_support is None:
+            print("error: serving a database file needs --min-support", file=sys.stderr)
+            return 2
+        maintainer = RuleMaintainer(
+            args.min_support,
+            0.5 if args.min_confidence is None else args.min_confidence,
+            miner=args.miner or "apriori",
+            fup_options=FupOptions.from_mining(
+                MiningOptions(
+                    backend=args.backend or "horizontal",
+                    shards=DEFAULT_SHARDS if args.shards is None else args.shards,
+                    executor=args.executor or "threads",
+                    workers=args.workers,
+                )
+            ),
+        )
+        store.attach(maintainer)  # publishes on initialise (and any later apply)
+        maintainer.initialise(load_database(args.database))
+
+    try:
+        server = RuleServer(store, host=args.host, port=args.port)
+    except OSError as exc:
+        print(f"error: cannot serve on {args.host}:{args.port}: {exc}", file=sys.stderr)
+        if maintainer is not None:
+            maintainer.close()  # reap any engine worker processes
+        return 2
+    if feed is not None:
+        feed.start()
+    print(f"serving rules on {server.url} ({store.snapshot().describe()})", flush=True)
+    timer = None
+    if args.max_seconds is not None:
+        timer = threading.Timer(args.max_seconds, server.shutdown)
+        # Daemonised so an early Ctrl-C exits immediately instead of the
+        # interpreter waiting out the rest of the timeout.
+        timer.daemon = True
+        timer.start()
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        pass
+    finally:
+        if timer is not None:
+            timer.cancel()
+        server.close()
+        if feed is not None:
+            feed.stop()
+        if maintainer is not None:
+            maintainer.close()
     return 0
 
 
@@ -692,6 +828,78 @@ def build_parser() -> argparse.ArgumentParser:
     maintain.add_argument("--out-state", help="write the final itemset state here")
     add_backend_flags(maintain)
     maintain.set_defaults(handler=_cmd_maintain)
+
+    serve = commands.add_parser(
+        "serve",
+        help="serve maintained rules over HTTP (query API + health endpoint)",
+    )
+    serve.add_argument(
+        "database",
+        nargs="?",
+        help="transaction file to mine and serve (or use --session instead)",
+    )
+    serve.add_argument(
+        "--session",
+        metavar="DIR",
+        help="serve from this durable session directory (lock-free; polled "
+        "for batches applied by other processes)",
+    )
+    # Database-mode flags default to None (not their effective values) so
+    # session mode can tell "explicitly passed" from "left alone" and refuse
+    # flags the session manifest would silently override.
+    serve.add_argument(
+        "--min-support", type=float, help="relative support (database mode)"
+    )
+    serve.add_argument(
+        "--min-confidence",
+        type=float,
+        help="rule confidence (database mode; default 0.5)",
+    )
+    serve.add_argument(
+        "--miner",
+        choices=["apriori", "dhp"],
+        help="initial-mine algorithm (database mode; default apriori)",
+    )
+    serve.add_argument(
+        "--backend",
+        choices=list(BACKEND_NAMES),
+        help="support-counting engine (database mode; default horizontal)",
+    )
+    serve.add_argument(
+        "--shards",
+        type=positive_int,
+        help=f"partition count for the partitioned backend (database mode; "
+        f"default {DEFAULT_SHARDS})",
+    )
+    serve.add_argument(
+        "--executor",
+        choices=list(EXECUTOR_NAMES),
+        help="shard executor for the partitioned backend (database mode; "
+        "default threads)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=positive_int,
+        help="cap on the partitioned backend's concurrent lanes (database mode)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=8000, help="bind port (0 picks an ephemeral port)"
+    )
+    serve.add_argument(
+        "--refresh",
+        type=float,
+        metavar="SECONDS",
+        help="freshness poll interval (session mode; default 1.0)",
+    )
+    serve.add_argument(
+        "--max-seconds",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="shut down after this long (smoke tests; default: serve until Ctrl-C)",
+    )
+    serve.set_defaults(handler=_cmd_serve)
 
     session = commands.add_parser(
         "session",

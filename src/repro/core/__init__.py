@@ -17,7 +17,13 @@ from .options import FupOptions
 from .fup import FupUpdater, update_with_fup
 from .fup2 import Fup2Updater, update_with_fup2
 from .maintenance import MaintenanceReport, RuleMaintainer
-from .session import MaintenanceSession, SessionStatus, load_state, save_state
+from .session import (
+    MaintenanceSession,
+    SessionStatus,
+    load_state,
+    read_session_state,
+    save_state,
+)
 
 __all__ = [
     "FupOptions",
@@ -29,6 +35,7 @@ __all__ = [
     "RuleMaintainer",
     "MaintenanceSession",
     "SessionStatus",
+    "read_session_state",
     "save_state",
     "load_state",
 ]

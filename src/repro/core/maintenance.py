@@ -22,16 +22,21 @@ says users care about.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Literal
+from typing import Callable, Iterable, Literal
 
 from ..db.transaction_db import TransactionDatabase
 from ..db.update import UpdateBatch, UpdateLog
-from ..errors import EmptyDatabaseError, InvalidThresholdError, StaleStateError
+from ..errors import EmptyDatabaseError, StaleStateError
 from ..itemsets import Item, Itemset
 from ..mining.apriori import AprioriMiner
 from ..mining.dhp import DhpMiner, DhpOptions
 from ..mining.result import ItemsetLattice, MiningResult, validate_min_support
-from ..mining.rules import AssociationRule, generate_rules
+from ..mining.rules import (
+    AssociationRule,
+    diff_rules,
+    generate_rules,
+    validate_min_confidence,
+)
 from .fup import FupUpdater
 from .fup2 import Fup2Updater
 from .options import FupOptions
@@ -54,6 +59,12 @@ class MaintenanceReport:
     itemsets_removed: list[Itemset] = field(default_factory=list)
     rules_added: list[AssociationRule] = field(default_factory=list)
     rules_removed: list[AssociationRule] = field(default_factory=list)
+    #: Rules whose antecedent/consequent pair survived the batch but whose
+    #: statistics (confidence, support, support count, derived measures)
+    #: changed, as ``(before, after)`` pairs.  Without this field a rule whose
+    #: numbers drifted would be reported as unchanged and any consumer caching
+    #: rule statistics would silently serve stale values.
+    rules_updated: list[tuple[AssociationRule, AssociationRule]] = field(default_factory=list)
     result: MiningResult | None = None
 
     @property
@@ -63,8 +74,8 @@ class MaintenanceReport:
 
     @property
     def rules_changed(self) -> bool:
-        """True when the set of strong rules changed at all."""
-        return bool(self.rules_added or self.rules_removed)
+        """True when the strong rules changed at all — membership *or* statistics."""
+        return bool(self.rules_added or self.rules_removed or self.rules_updated)
 
     def summary(self) -> dict[str, int | str]:
         """Compact description used by the examples and the harness."""
@@ -78,6 +89,7 @@ class MaintenanceReport:
             "itemsets_removed": len(self.itemsets_removed),
             "rules_added": len(self.rules_added),
             "rules_removed": len(self.rules_removed),
+            "rules_updated": len(self.rules_updated),
         }
 
 
@@ -114,11 +126,10 @@ class RuleMaintainer:
         remine_increment_factor: float | None = None,
     ) -> None:
         self.min_support = validate_min_support(min_support)
-        if not 0.0 < float(min_confidence) <= 1.0:
-            raise InvalidThresholdError(
-                f"minimum confidence must be in (0, 1], got {min_confidence!r}"
-            )
-        self.min_confidence = float(min_confidence)
+        # The same validator generate_rules uses, so the two entry points
+        # cannot drift (it also rejects booleans, which the hand-rolled check
+        # this replaced happily accepted).
+        self.min_confidence = validate_min_confidence(min_confidence)
         if miner not in ("apriori", "dhp"):
             raise ValueError(f"miner must be 'apriori' or 'dhp', got {miner!r}")
         self.miner_name: MinerName = miner
@@ -133,6 +144,12 @@ class RuleMaintainer:
         self._result: MiningResult | None = None
         self._rules: list[AssociationRule] = []
         self.update_log = UpdateLog()
+        #: Monotonic count of update batches folded into the current state
+        #: (the durable session seeds it with its checkpoint sequence, so for
+        #: a restored session it equals the journal sequence number).  Serving
+        #: snapshots are stamped with it.
+        self.sequence = 0
+        self._subscribers: list[Callable[["RuleMaintainer"], None]] = []
         # One updater of each kind serves every batch of the session, so a
         # single counting engine — with whatever state it owns: worker
         # processes, shipped shard caches, per-database indexes — is built
@@ -180,6 +197,31 @@ class RuleMaintainer:
     # ------------------------------------------------------------------ #
     # Lifecycle
     # ------------------------------------------------------------------ #
+    def subscribe(self, callback: Callable[["RuleMaintainer"], None]) -> None:
+        """Register *callback* to run after every state change (the serving hook).
+
+        The callback receives this maintainer after ``initialise``,
+        ``restore`` and every state-changing ``apply`` — at a point where the
+        database, mining result, rules and :attr:`sequence` are mutually
+        consistent, which is what lets a subscriber build an atomic snapshot.
+        If the maintainer is already initialised the callback fires
+        immediately, so late subscribers never miss the current state.
+
+        A callback that raises does so *after* the state change has
+        committed: the exception propagates to the ``apply`` caller, but the
+        batch is applied, the sequence has advanced, and (in a durable
+        session) the journal record is kept — snapshots are complete states,
+        so the next successful publication self-heals whatever the failed
+        callback missed.
+        """
+        self._subscribers.append(callback)
+        if self.is_initialised:
+            callback(self)
+
+    def _publish(self) -> None:
+        for callback in self._subscribers:
+            callback(self)
+
     def initialise(self, database: TransactionDatabase | Iterable[Iterable[Item]]) -> MiningResult:
         """Mine the initial state from *database* with the configured miner."""
         if not isinstance(database, TransactionDatabase):
@@ -187,6 +229,8 @@ class RuleMaintainer:
         self._database = database.copy()
         self._result = self._full_mine(self._database)
         self._rules = generate_rules(self._result.lattice, self.min_confidence)
+        self.sequence = 0
+        self._publish()
         return self._result
 
     def restore(
@@ -194,6 +238,7 @@ class RuleMaintainer:
         database: TransactionDatabase,
         lattice: ItemsetLattice,
         algorithm: str = "restored",
+        sequence: int = 0,
     ) -> MiningResult:
         """Adopt previously-mined state instead of mining it (the session hook).
 
@@ -202,6 +247,8 @@ class RuleMaintainer:
         snapshot) and *lattice* as the current large-itemset state; rules are
         regenerated from the lattice, which is deterministic, so a restored
         maintainer is bit-for-bit equivalent to the one that saved the state.
+        *sequence* seeds :attr:`sequence` (the durable session passes its
+        checkpoint sequence so snapshot versions keep counting from there).
 
         Raises
         ------
@@ -220,6 +267,8 @@ class RuleMaintainer:
             algorithm=algorithm,
         )
         self._rules = generate_rules(lattice, self.min_confidence)
+        self.sequence = int(sequence)
+        self._publish()
         return self._result
 
     def _full_mine(self, database: TransactionDatabase) -> MiningResult:
@@ -261,17 +310,28 @@ class RuleMaintainer:
         """Apply one update batch and return a report of what changed.
 
         Insert-only batches use FUP; batches with deletions use the FUP2-style
-        updater; empty batches are a no-op report.
+        updater.  Empty batches short-circuit to a no-op report: the unchanged
+        lattice is not re-derived into rules, nothing is recorded in the
+        update log (so durable-session journals stay free of empty records),
+        and :attr:`sequence` does not advance.
         """
         database = self.database
         previous = self.result
-        previous_rules = {(_rule_key(rule)): rule for rule in self._rules}
-        previous_itemsets = set(previous.lattice.itemsets())
 
         if batch.is_empty:
-            new_result = previous
-            algorithm = "noop"
-        elif batch.deletions:
+            return MaintenanceReport(
+                batch_label=batch.label,
+                algorithm="noop",
+                inserted_transactions=0,
+                deleted_transactions=0,
+                database_size=len(database),
+                result=previous,
+            )
+
+        previous_rules = list(self._rules)
+        previous_itemsets = set(previous.lattice.itemsets())
+
+        if batch.deletions:
             self.validate_batch(batch)
             new_result = self._fup2_updater.update(
                 database,
@@ -301,9 +361,10 @@ class RuleMaintainer:
         self._result = new_result
         self._rules = generate_rules(new_result.lattice, self.min_confidence)
         self.update_log.record(batch)
+        self.sequence += 1
 
         new_itemsets = set(new_result.lattice.itemsets())
-        new_rules = {(_rule_key(rule)): rule for rule in self._rules}
+        rules_diff = diff_rules(previous_rules, self._rules)
         report = MaintenanceReport(
             batch_label=batch.label,
             algorithm=algorithm,
@@ -312,12 +373,12 @@ class RuleMaintainer:
             database_size=len(database),
             itemsets_added=sorted(new_itemsets - previous_itemsets),
             itemsets_removed=sorted(previous_itemsets - new_itemsets),
-            rules_added=[new_rules[key] for key in sorted(new_rules.keys() - previous_rules.keys())],
-            rules_removed=[
-                previous_rules[key] for key in sorted(previous_rules.keys() - new_rules.keys())
-            ],
+            rules_added=rules_diff.added,
+            rules_removed=rules_diff.removed,
+            rules_updated=rules_diff.updated,
             result=new_result,
         )
+        self._publish()
         return report
 
     def add_transactions(
@@ -353,8 +414,3 @@ class RuleMaintainer:
         if database_size == 0:
             return True
         return len(increment) > self.remine_increment_factor * database_size
-
-
-def _rule_key(rule: AssociationRule) -> tuple[Itemset, Itemset]:
-    """Identity of a rule for added/removed comparisons (thresholds aside)."""
-    return (rule.antecedent, rule.consequent)

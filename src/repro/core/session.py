@@ -82,6 +82,7 @@ from .options import FupOptions
 __all__ = [
     "MaintenanceSession",
     "SessionStatus",
+    "read_session_state",
     "save_state",
     "load_state",
     "DEFAULT_CHECKPOINT_INTERVAL",
@@ -489,11 +490,19 @@ class MaintenanceSession:
             raise
 
     @classmethod
-    def _open_locked(cls, directory: Path, manifest: dict, lock: IO[str] | None):
+    def _recover_maintainer(
+        cls, directory: Path, manifest: dict
+    ) -> tuple[RuleMaintainer, int, int]:
+        """Rebuild the in-memory state a session's files describe (read-only).
+
+        Loads the checkpoint snapshot pair, restores a maintainer from it and
+        replays the journal tail over it — without writing anything, so both
+        :meth:`open` (which holds the lock and then truncates any torn tail)
+        and :func:`read_session_state` (which deliberately takes no lock)
+        share one recovery semantics.  Returns ``(maintainer, applied_seq,
+        valid_journal_length)``.
+        """
         checkpoint_seq = int(manifest["checkpoint_seq"])
-        # The manifest names the live snapshot pair; anything else in the
-        # directory is debris from a checkpoint that crashed mid-write.
-        _sweep_stale_files(directory, keep_seq=checkpoint_seq)
         snapshot_path = directory / f"snapshot-{checkpoint_seq}.bin"
         state_path = directory / f"state-{checkpoint_seq}.json"
         database = load_database(snapshot_path, binary=True)
@@ -521,7 +530,10 @@ class MaintenanceSession:
                 ),
             ),
         )
-        maintainer.restore(database, lattice)
+        # Seeding the sequence with the checkpoint seq makes the maintainer's
+        # batch counter equal the journal sequence number at every point of
+        # the replay — serving snapshots are stamped with it.
+        maintainer.restore(database, lattice, sequence=checkpoint_seq)
 
         journal_path = directory / JOURNAL_NAME
         records, valid_length = _read_journal(journal_path)
@@ -539,6 +551,19 @@ class MaintenanceSession:
                 )
             maintainer.apply(UpdateBatch.from_dict(record))
             applied_seq = seq
+        maintainer.sequence = applied_seq
+        return maintainer, applied_seq, valid_length
+
+    @classmethod
+    def _open_locked(cls, directory: Path, manifest: dict, lock: IO[str] | None):
+        checkpoint_seq = int(manifest["checkpoint_seq"])
+        # The manifest names the live snapshot pair; anything else in the
+        # directory is debris from a checkpoint that crashed mid-write.
+        _sweep_stale_files(directory, keep_seq=checkpoint_seq)
+        maintainer, applied_seq, valid_length = cls._recover_maintainer(
+            directory, manifest
+        )
+        journal_path = directory / JOURNAL_NAME
         if journal_path.exists() and journal_path.stat().st_size > valid_length:
             # Drop the torn trailing line before appending new records.
             with journal_path.open("r+b") as handle:
@@ -668,19 +693,32 @@ class MaintenanceSession:
         The journal record is durable before the in-memory state changes, so
         a crash at any point during this call is recovered by replay.  If the
         maintainer refuses the batch the record is scrubbed from the journal
-        and the exception propagates with the session unchanged.
+        and the exception propagates with the session unchanged.  Empty
+        batches are never journaled: they change nothing, so recording them
+        would only grow the journal and burn sequence numbers on no-ops.
         """
         if self._closed:
             raise StorageError(f"session {self._directory} is closed")
+        if batch.is_empty:
+            return self._maintainer.apply(batch)
         # Refuse an unapplyable batch BEFORE journaling it: a crash between
         # the fsynced append and the refusal would otherwise leave a record
         # recovery can never replay, bricking the session.
         self._maintainer.validate_batch(batch)
         seq = self._applied_seq + 1
         offset = self._journal.append({"seq": seq, **batch.as_dict()})
+        sequence_before = self._maintainer.sequence
         try:
             report = self._maintainer.apply(batch)
         except Exception:
+            if self._maintainer.sequence != sequence_before:
+                # The state change committed — the failure came from a
+                # post-commit publication subscriber.  The journal record
+                # matches the in-memory state, so keep both in step and let
+                # the subscriber's error propagate; scrubbing here would
+                # desync the journal from a database that DID change.
+                self._applied_seq = seq
+                raise
             self._journal.truncate_to(offset)
             raise
         self._applied_seq = seq
@@ -774,3 +812,25 @@ class MaintenanceSession:
         if payload.get("format") != _MANIFEST_FORMAT:
             raise StorageError(f"{manifest_path} is not a maintenance-session manifest")
         return payload
+
+
+def read_session_state(directory: str | Path) -> RuleMaintainer:
+    """Rebuild a session's current state **without taking the session lock**.
+
+    The serving path: load the checkpoint snapshot, replay the journal tail
+    in memory, and return the resulting :class:`RuleMaintainer` — the files
+    are only read, never truncated, swept or locked, so a live writer is
+    never blocked (and never blocks the reader).  The returned maintainer's
+    :attr:`~RuleMaintainer.sequence` equals the session's ``applied_seq``.
+
+    Because no lock is taken, a checkpoint that commits *while the files are
+    being read* can delete the snapshot pair mid-read; that surfaces as a
+    :class:`~repro.errors.StorageError` (or ``StaleStateError`` if a swept
+    journal is replayed over the newer snapshot).  Callers poll — catch the
+    error, keep the previous state, and retry on the next tick; the files on
+    disk are untouched either way.
+    """
+    directory = Path(directory)
+    manifest = MaintenanceSession._read_manifest(directory)
+    maintainer, _, _ = MaintenanceSession._recover_maintainer(directory, manifest)
+    return maintainer

@@ -6,7 +6,7 @@ from dataclasses import dataclass
 
 from ..mining.result import MiningResult
 
-__all__ = ["RunRecord", "ComparisonRecord", "speedup"]
+__all__ = ["QueryThroughputRecord", "RunRecord", "ComparisonRecord", "speedup"]
 
 
 def speedup(baseline_seconds: float, candidate_seconds: float) -> float:
@@ -100,4 +100,42 @@ class ComparisonRecord:
             "baseline_candidates": self.baseline_candidates,
             "fup_candidates": self.fup_candidates,
             "candidate_ratio": round(self.candidate_ratio, 4),
+        }
+
+
+@dataclass(frozen=True)
+class QueryThroughputRecord:
+    """Serving-layer query throughput on one snapshot (one workload/mode).
+
+    ``mode`` names the query path measured (``"indexed"`` — the inverted
+    antecedent-item index — or ``"linear"``, the scan-every-rule baseline);
+    ``matches`` totals the rules returned across all queries, pinning that
+    the two modes did identical work.
+    """
+
+    workload: str
+    mode: str
+    snapshot_version: int
+    rules: int
+    queries: int
+    seconds: float
+    matches: int
+
+    @property
+    def queries_per_second(self) -> float:
+        """Sustained single-thread query rate."""
+        tick = 1e-9
+        return self.queries / max(self.seconds, tick)
+
+    def as_dict(self) -> dict[str, float | int | str]:
+        """Flat dictionary form used by the report renderer and BENCH files."""
+        return {
+            "workload": self.workload,
+            "mode": self.mode,
+            "snapshot_version": self.snapshot_version,
+            "rules": self.rules,
+            "queries": self.queries,
+            "seconds": round(self.seconds, 6),
+            "matches": self.matches,
+            "queries_per_second": round(self.queries_per_second, 1),
         }

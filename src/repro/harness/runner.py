@@ -30,7 +30,7 @@ from ..mining.apriori import AprioriMiner
 from ..mining.backends import CountingBackend, MiningOptions
 from ..mining.dhp import DhpMiner, DhpOptions
 from ..mining.result import MiningResult
-from .metrics import ComparisonRecord, RunRecord, speedup
+from .metrics import ComparisonRecord, QueryThroughputRecord, RunRecord, speedup
 
 __all__ = [
     "run_miner",
@@ -39,6 +39,7 @@ __all__ = [
     "compare_update_strategies",
     "OverheadRecord",
     "measure_fup_overhead",
+    "measure_query_throughput",
     "ExperimentRunner",
     "SessionBatchRecord",
     "run_durable_session",
@@ -242,6 +243,54 @@ def measure_fup_overhead(
         mine_original_seconds=initial.elapsed_seconds,
         fup_update_seconds=fup_result.elapsed_seconds,
         mine_updated_seconds=remined.elapsed_seconds,
+    )
+
+
+def measure_query_throughput(
+    snapshot,
+    baskets: Iterable[Iterable[int]],
+    *,
+    mode: str = "indexed",
+    repeat: int = 1,
+    workload: str = "",
+) -> QueryThroughputRecord:
+    """Measure basket-query throughput of a serving snapshot.
+
+    Runs every basket through the snapshot's basket-matching path *repeat*
+    times and times the whole sweep once (per-query timing at these rates
+    would measure the clock, not the query).  ``mode`` selects the measured
+    path: ``"indexed"`` (:meth:`~repro.serve.snapshot.RuleSnapshot.rules_for_basket`)
+    or ``"linear"``
+    (:meth:`~repro.serve.snapshot.RuleSnapshot.rules_for_basket_linear`).
+    The returned record carries the total match count, so two modes measured
+    on the same snapshot and baskets can be asserted to have done identical
+    work.
+    """
+    if mode == "indexed":
+        query = snapshot.rules_for_basket
+    elif mode == "linear":
+        query = snapshot.rules_for_basket_linear
+    else:
+        raise ExperimentError(f"unknown query mode {mode!r}; expected 'indexed' or 'linear'")
+    if repeat < 1:
+        raise ExperimentError(f"repeat must be positive, got {repeat}")
+    prepared = [frozenset(basket) for basket in baskets]
+    matches = 0
+    queries = 0
+    began = time.perf_counter()
+    for _ in range(repeat):
+        for basket in prepared:
+            matches += len(query(basket))
+            queries += 1
+    seconds = time.perf_counter() - began
+    return QueryThroughputRecord(
+        workload=workload or "workload",
+        mode=mode,
+        snapshot_version=snapshot.version,
+        rules=snapshot.rule_count,
+        queries=queries,
+        seconds=seconds,
+        matches=matches,
     )
 
 

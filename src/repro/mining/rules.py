@@ -18,8 +18,9 @@ expects to find.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterator
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
 
 from ..errors import InvalidThresholdError
 from ..itemsets import Itemset, format_itemset, proper_subsets
@@ -27,11 +28,17 @@ from .result import ItemsetLattice
 
 __all__ = [
     "AssociationRule",
+    "RulesDiff",
+    "diff_rules",
     "generate_rules",
+    "rule_as_dict",
     "rule_confidence",
-    "rule_lift",
-    "rule_leverage",
     "rule_conviction",
+    "rule_from_dict",
+    "rule_key",
+    "rule_leverage",
+    "rule_lift",
+    "validate_min_confidence",
 ]
 
 
@@ -65,6 +72,98 @@ class AssociationRule:
         )
 
 
+def rule_key(rule: AssociationRule) -> tuple[Itemset, Itemset]:
+    """Identity of a rule — its antecedent/consequent pair, statistics aside.
+
+    Two rule objects with the same key describe the same implication; whether
+    their *statistics* agree is a separate question (:func:`diff_rules`
+    answers both).
+    """
+    return (rule.antecedent, rule.consequent)
+
+
+def rule_as_dict(rule: AssociationRule) -> dict[str, object]:
+    """JSON-safe dictionary form of a rule.
+
+    An exact rule's conviction is ``inf``, which ``json.dumps`` renders as the
+    bare token ``Infinity`` — not valid JSON, so downstream parsers choke.
+    Non-finite statistics are therefore written as strings (``"inf"``), which
+    :func:`rule_from_dict` turns back into the float, so the round trip is
+    lossless and the payload stays strict JSON.
+    """
+
+    def _number(value: float) -> float | str:
+        return value if math.isfinite(value) else str(value)
+
+    return {
+        "antecedent": list(rule.antecedent),
+        "consequent": list(rule.consequent),
+        "support": rule.support,
+        "confidence": rule.confidence,
+        "support_count": rule.support_count,
+        "lift": rule.lift,
+        "leverage": rule.leverage,
+        "conviction": _number(rule.conviction),
+    }
+
+
+def rule_from_dict(payload: dict[str, object]) -> AssociationRule:
+    """Inverse of :func:`rule_as_dict` (``float("inf")`` parses the sentinel)."""
+    return AssociationRule(
+        antecedent=tuple(payload["antecedent"]),  # type: ignore[arg-type]
+        consequent=tuple(payload["consequent"]),  # type: ignore[arg-type]
+        support=float(payload["support"]),  # type: ignore[arg-type]
+        confidence=float(payload["confidence"]),  # type: ignore[arg-type]
+        support_count=int(payload["support_count"]),  # type: ignore[arg-type]
+        lift=float(payload["lift"]),  # type: ignore[arg-type]
+        leverage=float(payload["leverage"]),  # type: ignore[arg-type]
+        conviction=float(payload["conviction"]),  # type: ignore[arg-type]
+    )
+
+
+@dataclass(frozen=True)
+class RulesDiff:
+    """What changed between two rule sets, keyed by :func:`rule_key`.
+
+    ``updated`` holds the rules whose key survived but whose statistics
+    drifted, as ``(before, after)`` pairs — the change a key-only comparison
+    silently misses.
+    """
+
+    added: list[AssociationRule] = field(default_factory=list)
+    removed: list[AssociationRule] = field(default_factory=list)
+    updated: list[tuple[AssociationRule, AssociationRule]] = field(default_factory=list)
+
+    @property
+    def changed(self) -> bool:
+        """True when anything at all differs between the two sets."""
+        return bool(self.added or self.removed or self.updated)
+
+
+def diff_rules(
+    old: Iterable[AssociationRule], new: Iterable[AssociationRule]
+) -> RulesDiff:
+    """Compare two rule sets: appeared, disappeared, and statistics drift.
+
+    A rule counts as *updated* when any field of the (frozen) dataclass
+    differs — confidence, support, support count, or any derived measure —
+    so a consumer caching rule statistics can rely on ``changed`` being False
+    only when the served numbers are identical.  All three lists are sorted
+    by rule key, so the diff is deterministic.
+    """
+    old_by_key = {rule_key(rule): rule for rule in old}
+    new_by_key = {rule_key(rule): rule for rule in new}
+    diff = RulesDiff(
+        added=[new_by_key[key] for key in sorted(new_by_key.keys() - old_by_key.keys())],
+        removed=[old_by_key[key] for key in sorted(old_by_key.keys() - new_by_key.keys())],
+    )
+    for key in sorted(old_by_key.keys() & new_by_key.keys()):
+        before, after = old_by_key[key], new_by_key[key]
+        if before != after:
+            diff.updated.append((before, after))
+    return diff
+
+
 def rule_confidence(joint_support: float, antecedent_support: float) -> float:
     """``P(Y | X)``: confidence of the rule ``X ⇒ Y``."""
     if antecedent_support <= 0.0:
@@ -94,7 +193,15 @@ def rule_conviction(confidence: float, consequent_support: float) -> float:
     return (1.0 - consequent_support) / (1.0 - confidence)
 
 
-def _validate_min_confidence(min_confidence: float) -> float:
+def validate_min_confidence(min_confidence: float) -> float:
+    """Validate and normalise a minimum-confidence threshold.
+
+    The single validator every confidence-accepting entry point routes
+    through (:func:`generate_rules`, :class:`~repro.core.maintenance.RuleMaintainer`),
+    so they cannot drift apart: booleans are rejected (``True`` is an ``int``
+    to ``isinstance`` but never a sensible threshold), as is anything outside
+    ``(0, 1]``.
+    """
     if not isinstance(min_confidence, (int, float)) or isinstance(min_confidence, bool):
         raise InvalidThresholdError(
             f"minimum confidence must be a number, got {min_confidence!r}"
@@ -127,7 +234,7 @@ def generate_rules(
     list[AssociationRule]
         Rules sorted by descending confidence, then descending support.
     """
-    min_confidence = _validate_min_confidence(min_confidence)
+    min_confidence = validate_min_confidence(min_confidence)
     rules = list(_iter_rules(lattice, min_confidence, max_consequent_size))
     rules.sort(key=lambda rule: (-rule.confidence, -rule.support, rule.antecedent))
     return rules

@@ -1,0 +1,36 @@
+"""Serving maintained association rules (the read side of the system).
+
+The maintenance side of this repo keeps discovered rules *current* under
+update batches (FUP/FUP2, durable sessions); this package is why that
+matters: it **serves** the maintained rules to queries while maintenance
+keeps running.
+
+* :class:`~repro.serve.snapshot.RuleSnapshot` — an immutable, versioned view
+  of the rule set (rules + inverted antecedent-item index + itemset-support
+  table), stamped with the maintenance sequence number that produced it.
+* :class:`~repro.serve.store.RuleStore` — the lock-free single-writer /
+  many-reader seam: publication is one atomic reference swap, readers never
+  lock and never observe a half-applied batch.
+* :class:`~repro.serve.http.RuleServer` — a stdlib ``ThreadingHTTPServer``
+  JSON endpoint (``/rules``, ``/recommend``, ``/itemset``, ``/health``)
+  behind the ``repro serve`` CLI subcommand.
+* :class:`~repro.serve.feed.SessionFeed` — keeps a store fresh from an
+  on-disk :class:`~repro.core.session.MaintenanceSession` directory without
+  ever taking the session's writer lock.
+
+See ``docs/serving.md`` for the snapshot/versioning model and the
+consistency guarantees.
+"""
+
+from .feed import SessionFeed
+from .http import RuleServer
+from .snapshot import Recommendation, RuleSnapshot
+from .store import RuleStore
+
+__all__ = [
+    "Recommendation",
+    "RuleServer",
+    "RuleSnapshot",
+    "RuleStore",
+    "SessionFeed",
+]

@@ -1,0 +1,221 @@
+"""A stdlib JSON/HTTP front end over a :class:`~repro.serve.store.RuleStore`.
+
+Endpoints (all ``GET``, all JSON):
+
+``/health``
+    ``{"status", "version", "database_size", "rules", "itemsets",
+    "min_support", "min_confidence", "publications"}`` — 503 with
+    ``status="empty"`` until a snapshot is published.
+``/rules?limit=N``
+    The served rule set (optionally truncated), with the snapshot version.
+``/recommend?basket=1,2,3&k=5``
+    Top-k recommendations for a basket; owned items are excluded.
+``/itemset?items=1,2``
+    Support lookup for one itemset against the snapshot's support table.
+
+Every request reads the store's snapshot exactly once and answers entirely
+from that immutable object, so a response is always internally consistent —
+version, rules and supports all describe the same maintenance sequence
+number even while a writer publishes mid-request.  The server is a
+``ThreadingHTTPServer`` (one thread per request, daemonised); the store's
+lock-free read contract is what makes that safe without further
+synchronisation.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlsplit
+
+from ..errors import EmptyDatabaseError
+from ..itemsets import Item
+from .snapshot import RuleSnapshot
+from .store import RuleStore
+
+__all__ = ["RuleServer"]
+
+
+class _BadRequest(ValueError):
+    """A malformed query string (answered with a 400, not a traceback)."""
+
+
+def _parse_items(raw: str, parameter: str) -> tuple[Item, ...]:
+    """Parse a comma-separated item list (``"1,2,3"``) from a query value."""
+    try:
+        items = tuple(int(token) for token in raw.split(",") if token.strip() != "")
+    except ValueError:
+        raise _BadRequest(
+            f"{parameter} must be comma-separated integers, got {raw!r}"
+        ) from None
+    if not items:
+        raise _BadRequest(f"{parameter} must name at least one item")
+    return items
+
+
+def _parse_positive_int(raw: str, parameter: str) -> int:
+    try:
+        value = int(raw)
+    except ValueError:
+        raise _BadRequest(f"{parameter} must be an integer, got {raw!r}") from None
+    if value < 1:
+        raise _BadRequest(f"{parameter} must be positive, got {value}")
+    return value
+
+
+class _RuleRequestHandler(BaseHTTPRequestHandler):
+    server_version = "repro-serve/1.0"
+    protocol_version = "HTTP/1.1"
+
+    # The owning _RuleHTTPServer carries the store; typed for clarity.
+    server: "_RuleHTTPServer"
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        parsed = urlsplit(self.path)
+        query = {key: values[-1] for key, values in parse_qs(parsed.query).items()}
+        try:
+            status, payload = self._route(parsed.path, query)
+        except _BadRequest as exc:
+            status, payload = 400, {"error": str(exc)}
+        except EmptyDatabaseError:
+            status, payload = 503, {"status": "empty", "version": None}
+        body = json.dumps(payload, allow_nan=False).encode("ascii")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _route(self, path: str, query: dict[str, str]) -> tuple[int, dict]:
+        store = self.server.rule_store
+        if path == "/health":
+            if not store.has_snapshot:
+                return 503, {"status": "empty", "version": None}
+            snapshot = store.snapshot()
+            return 200, {
+                "status": "ok",
+                "version": snapshot.version,
+                "database_size": snapshot.database_size,
+                "rules": snapshot.rule_count,
+                "itemsets": snapshot.itemset_count,
+                "min_support": snapshot.min_support,
+                "min_confidence": snapshot.min_confidence,
+                "publications": store.publications,
+            }
+        if path == "/rules":
+            snapshot = store.snapshot()
+            limit = None
+            if "limit" in query:
+                limit = _parse_positive_int(query["limit"], "limit")
+            return 200, snapshot.as_dict(limit=limit)
+        if path == "/recommend":
+            snapshot = store.snapshot()
+            if "basket" not in query:
+                raise _BadRequest("recommend needs a basket (e.g. ?basket=1,2,3)")
+            basket = _parse_items(query["basket"], "basket")
+            k = _parse_positive_int(query.get("k", "5"), "k")
+            return 200, {
+                "version": snapshot.version,
+                "basket": list(basket),
+                "recommendations": [
+                    recommendation.as_dict()
+                    for recommendation in snapshot.recommend(basket, k=k)
+                ],
+            }
+        if path == "/itemset":
+            snapshot = store.snapshot()
+            if "items" not in query:
+                raise _BadRequest("itemset needs items (e.g. ?items=1,2)")
+            items = _parse_items(query["items"], "items")
+            return 200, {
+                "version": snapshot.version,
+                "items": sorted(set(items)),
+                "support_count": snapshot.support_count(items),
+                "support": snapshot.support(items),
+                "large": snapshot.is_large(items),
+            }
+        return 404, {"error": f"unknown endpoint {path!r}"}
+
+    def log_message(self, format: str, *args: object) -> None:  # noqa: A002
+        """Silence per-request stderr logging (the CLI prints its own banner)."""
+
+
+class _RuleHTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+
+    def __init__(self, address: tuple[str, int], store: RuleStore) -> None:
+        super().__init__(address, _RuleRequestHandler)
+        self.rule_store = store
+
+
+class RuleServer:
+    """The HTTP endpoint over a rule store.
+
+    ``port=0`` binds an ephemeral port (read it back from :attr:`port`).
+    Use :meth:`start` for a background server (tests, embedding) or
+    :meth:`serve_forever` to run on the calling thread (the CLI).
+    """
+
+    def __init__(self, store: RuleStore, host: str = "127.0.0.1", port: int = 0) -> None:
+        self.store = store
+        self._httpd = _RuleHTTPServer((host, port), store)
+        self._thread: threading.Thread | None = None
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "RuleServer":
+        """Serve on a background daemon thread; returns self for chaining."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever, name="repro-rule-server", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until :meth:`shutdown` (or Ctrl-C)."""
+        self._httpd.serve_forever()
+
+    def shutdown(self) -> None:
+        """Stop a *running* serve loop (safe to call from any thread).
+
+        Only call while :meth:`serve_forever` (or the :meth:`start` thread)
+        is active — ``socketserver`` blocks a shutdown request until the
+        serve loop acknowledges it, so shutting down a server whose loop
+        never ran would wait forever.
+        """
+        self._httpd.shutdown()
+
+    def close(self) -> None:
+        """Stop the background serve loop (if any) and release the socket.
+
+        Safe in every lifecycle state, more than once: a server that was
+        never started (or whose foreground :meth:`serve_forever` already
+        returned) has no loop to stop, so only the socket is closed.
+        """
+        if self._thread is not None:
+            self._httpd.shutdown()
+            self._thread.join()
+            self._thread = None
+        self._httpd.server_close()
+
+    def __enter__(self) -> "RuleServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def snapshot(self) -> RuleSnapshot:
+        """The snapshot requests are currently answered from."""
+        return self.store.snapshot()

@@ -65,6 +65,15 @@ class TestInitialisation:
         with pytest.raises(InvalidThresholdError):
             RuleMaintainer(0.5, 1.5)
 
+    def test_confidence_validation_matches_generate_rules(self):
+        """One validator serves both entry points: booleans are rejected too."""
+        with pytest.raises(InvalidThresholdError):
+            RuleMaintainer(0.5, True)
+        with pytest.raises(InvalidThresholdError):
+            RuleMaintainer(0.5, "0.5")
+        with pytest.raises(InvalidThresholdError):
+            RuleMaintainer(0.5, 0.0)
+
     def test_validation_of_miner_name(self):
         with pytest.raises(ValueError):
             RuleMaintainer(0.5, 0.5, miner="eclat")
@@ -193,12 +202,75 @@ class TestRestore:
         assert maintainer.result.lattice.supports() == remined.lattice.supports()
 
 
+class TestStatDrift:
+    """The rules_updated bugfix: statistics drift must not read as 'unchanged'."""
+
+    def test_surviving_rule_with_drifted_stats_is_reported(self):
+        maintainer = RuleMaintainer(0.3, 0.6)
+        maintainer.initialise([[1, 2]] * 6 + [[1], [2], [3], [3]])
+        before = {rule for rule in maintainer.rules}
+        # Reinforce {1}=>{2} (and every 1-itemset's share): the rule set's
+        # membership stays identical while every statistic moves.
+        report = maintainer.add_transactions([[1, 2]] * 2, label="drift")
+        assert {(r.antecedent, r.consequent) for r in maintainer.rules} == {
+            (r.antecedent, r.consequent) for r in before
+        }
+        assert report.rules_added == []
+        assert report.rules_removed == []
+        assert report.rules_updated, "stat drift silently dropped"
+        assert report.rules_changed  # the fixed property sees the drift
+        for old, new in report.rules_updated:
+            assert (old.antecedent, old.consequent) == (new.antecedent, new.consequent)
+            assert old != new
+        assert report.summary()["rules_updated"] == len(report.rules_updated)
+
+    def test_report_matches_diff_rules(self, maintainer):
+        """The report's three rule lists are exactly diff_rules(before, after)."""
+        from repro.mining.rules import diff_rules
+
+        before = maintainer.rules
+        report = maintainer.add_transactions([[1, 2, 3]] * 3, label="grow")
+        diff = diff_rules(before, maintainer.rules)
+        assert report.rules_added == diff.added
+        assert report.rules_removed == diff.removed
+        assert report.rules_updated == diff.updated
+
+    def test_unchanged_state_reports_no_drift(self, maintainer):
+        """Applying and reverting leaves statistics identical: no updates."""
+        maintainer.add_transactions([[1, 2, 4]], label="add")
+        report = maintainer.remove_transactions([[1, 2, 4]], label="undo")
+        # After the revert the lattice matches the original state, so a rule
+        # can only appear in updated if its statistics truly differ.
+        for old, new in report.rules_updated:
+            assert old != new
+
+
 class TestBookkeeping:
     def test_empty_batch_is_noop(self, maintainer):
         before = maintainer.result.lattice.supports()
         report = maintainer.apply(UpdateBatch())
         assert report.algorithm == "noop"
         assert maintainer.result.lattice.supports() == before
+
+    def test_empty_batch_skips_log_rules_and_sequence(self, maintainer):
+        """A no-op batch regenerates nothing and leaves no trace in the log."""
+        rules_before = maintainer.rules
+        report = maintainer.apply(UpdateBatch(label="nothing"))
+        assert len(maintainer.update_log) == 0
+        assert maintainer.sequence == 0
+        assert maintainer.rules == rules_before
+        assert report.database_size == len(maintainer.database)
+        assert not report.rules_changed
+        assert not report.itemsets_changed
+
+    def test_sequence_counts_applied_batches(self, maintainer, small_increment):
+        assert maintainer.sequence == 0
+        maintainer.add_transactions(list(small_increment), label="a")
+        assert maintainer.sequence == 1
+        maintainer.apply(UpdateBatch())  # no-op: sequence must not advance
+        assert maintainer.sequence == 1
+        maintainer.remove_transactions([[1, 2, 3]], label="b")
+        assert maintainer.sequence == 2
 
     def test_update_log_records_batches(self, maintainer, small_increment):
         maintainer.add_transactions(list(small_increment), label="a")

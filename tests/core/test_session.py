@@ -102,6 +102,80 @@ class TestApply:
         assert (session_dir / "snapshot-3.bin").exists()
         assert not (session_dir / "snapshot-0.bin").exists()
 
+    def test_empty_batch_is_never_journaled(self, session, session_dir):
+        """No-op batches leave no journal record and burn no sequence number."""
+        before = _journal_lines(session_dir)
+        report = session.apply(UpdateBatch(label="nothing"))
+        assert report.algorithm == "noop"
+        assert session.applied_seq == 0
+        assert session.pending_batches == 0
+        assert _journal_lines(session_dir) == before
+        # A real batch afterwards takes the next contiguous sequence number.
+        session.add_transactions([[1, 4]], label="real")
+        assert session.applied_seq == 1
+        assert json.loads(_journal_lines(session_dir)[-1])["seq"] == 1
+
+    def test_maintainer_sequence_tracks_applied_seq(self, session):
+        assert session.maintainer.sequence == session.applied_seq == 0
+        session.add_transactions([[1, 4], [2, 4]], label="a")
+        assert session.maintainer.sequence == session.applied_seq == 1
+        session.remove_transactions([[1, 2, 3]], label="b")
+        assert session.maintainer.sequence == session.applied_seq == 2
+
+    def test_sequence_survives_reopen_and_checkpoint(self, session, session_dir):
+        session.add_transactions([[1, 4], [2, 4]], label="a")
+        session.checkpoint()
+        session.add_transactions([[2, 5]], label="b")
+        _crash(session)
+        with MaintenanceSession.open(session_dir) as reopened:
+            assert reopened.maintainer.sequence == reopened.applied_seq == 2
+
+    def test_failing_publication_subscriber_does_not_desync_the_journal(
+        self, session, session_dir, small_database
+    ):
+        """A post-commit subscriber error must not scrub the journal record.
+
+        The state change has already committed when subscribers run; treating
+        their exception like a refused batch would truncate a journal record
+        whose batch IS in the in-memory database — the silent-desync class
+        the journal exists to prevent.  The error still propagates, but
+        journal, applied_seq and maintainer state all stay in step, and a
+        recovery reproduces exactly the live state.
+        """
+
+        armed = {"on": False}
+
+        def explode(maintainer):
+            if armed["on"]:
+                raise RuntimeError("metrics sink offline")
+
+        session.maintainer.subscribe(explode)  # fires once immediately, unarmed
+        armed["on"] = True
+        with pytest.raises(RuntimeError):
+            session.add_transactions([[1, 4], [2, 4]], label="committed")
+        assert session.applied_seq == 1
+        assert session.maintainer.sequence == 1
+        assert len(session.database) == len(small_database) + 2
+        assert json.loads(_journal_lines(session_dir)[-1])["seq"] == 1
+        live_supports = session.result.lattice.supports()
+        _crash(session)
+        with MaintenanceSession.open(session_dir) as recovered:
+            assert recovered.applied_seq == 1
+            assert recovered.result.lattice.supports() == live_supports
+
+    def test_refused_batch_is_still_scrubbed_with_a_subscriber_attached(
+        self, session, session_dir
+    ):
+        """Pre-commit failures keep the scrub semantics even with subscribers."""
+        session.maintainer.subscribe(lambda maintainer: None)
+        with pytest.raises(StaleStateError):
+            session.remove_transactions([[7, 8, 9]], label="phantom")
+        assert session.applied_seq == 0
+        assert all(
+            json.loads(line)["label"] != "phantom"
+            for line in _journal_lines(session_dir)
+        )
+
     def test_apply_after_close_is_refused(self, session):
         session.close()
         with pytest.raises(StorageError):

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro import AprioriMiner, TransactionDatabase, generate_rules
@@ -9,10 +11,15 @@ from repro.errors import InvalidThresholdError
 from repro.mining.result import ItemsetLattice
 from repro.mining.rules import (
     AssociationRule,
+    diff_rules,
+    rule_as_dict,
     rule_confidence,
     rule_conviction,
+    rule_from_dict,
+    rule_key,
     rule_leverage,
     rule_lift,
+    validate_min_confidence,
 )
 
 
@@ -67,6 +74,43 @@ class TestRuleGeneration:
         lattice = AprioriMiner(0.2).mine(database).lattice
         rules = generate_rules(lattice, 0.3, max_consequent_size=1)
         assert all(len(rule.consequent) == 1 for rule in rules)
+
+    def test_max_consequent_size_caps_exactly(self):
+        """The cap filters the unrestricted set — it never invents rules."""
+        database = TransactionDatabase(
+            [[1, 2, 3, 4]] * 6 + [[1, 2], [2, 3], [3, 4], [5]]
+        )
+        lattice = AprioriMiner(0.3).mine(database).lattice
+        unrestricted = generate_rules(lattice, 0.3)
+        assert any(len(rule.consequent) > 2 for rule in unrestricted)
+        capped = generate_rules(lattice, 0.3, max_consequent_size=2)
+        assert capped == [
+            rule for rule in unrestricted if len(rule.consequent) <= 2
+        ]
+
+    def test_max_consequent_size_beyond_largest_is_a_noop(self, mined_lattice):
+        assert generate_rules(mined_lattice, 0.4, max_consequent_size=100) == (
+            generate_rules(mined_lattice, 0.4)
+        )
+
+    def test_equal_confidence_rules_order_deterministically(self):
+        """Ties on (confidence, support) break on the antecedent, stably.
+
+        The lattice is built by hand so that several rules share identical
+        confidence and support; the serving layer and the maintenance diffs
+        both rely on two generations over equal state being list-equal.
+        """
+        lattice = ItemsetLattice(database_size=100)
+        for item in (1, 2, 3, 4):
+            lattice.add((item,), 40)
+        for pair in [(1, 2), (1, 3), (2, 4), (3, 4)]:
+            lattice.add(pair, 20)  # every pair rule: confidence 0.5, support 0.2
+        first = generate_rules(lattice, 0.4)
+        second = generate_rules(lattice, 0.4)
+        assert first == second
+        assert len({(rule.confidence, rule.support) for rule in first}) == 1
+        antecedents = [rule.antecedent for rule in first]
+        assert antecedents == sorted(antecedents)
 
     def test_empty_lattice_gives_no_rules(self):
         assert generate_rules(ItemsetLattice(database_size=10), 0.5) == []
@@ -135,3 +179,99 @@ class TestAssociationRuleDataclass:
             conviction=2.0,
         )
         assert rule.items == (1, 2, 3)
+
+
+class TestValidateMinConfidence:
+    def test_accepts_valid_floats(self):
+        assert validate_min_confidence(0.5) == 0.5
+        assert validate_min_confidence(1) == 1.0
+
+    @pytest.mark.parametrize("value", [0.0, -0.1, 1.0001, 2])
+    def test_rejects_out_of_range(self, value):
+        with pytest.raises(InvalidThresholdError):
+            validate_min_confidence(value)
+
+    @pytest.mark.parametrize("value", [True, False, "0.5", None])
+    def test_rejects_non_numbers(self, value):
+        """Booleans especially: ``True`` is an int to isinstance but not a threshold."""
+        with pytest.raises(InvalidThresholdError):
+            validate_min_confidence(value)
+
+
+class TestRuleSerialization:
+    def _exact_rule(self) -> AssociationRule:
+        return AssociationRule(
+            antecedent=(1,),
+            consequent=(2,),
+            support=0.4,
+            confidence=1.0,
+            support_count=4,
+            lift=2.5,
+            leverage=0.24,
+            conviction=float("inf"),
+        )
+
+    def test_round_trip_preserves_every_field(self, mined_lattice):
+        for rule in generate_rules(mined_lattice, 0.4):
+            assert rule_from_dict(rule_as_dict(rule)) == rule
+
+    def test_infinite_conviction_round_trips_through_strict_json(self):
+        rule = self._exact_rule()
+        payload = json.dumps(rule_as_dict(rule), allow_nan=False)  # valid JSON
+        assert rule_from_dict(json.loads(payload)) == rule
+        assert rule_from_dict(json.loads(payload)).conviction == float("inf")
+
+    def test_finite_conviction_stays_a_number(self, mined_lattice):
+        finite = [
+            rule
+            for rule in generate_rules(mined_lattice, 0.4)
+            if rule.conviction != float("inf")
+        ]
+        assert finite
+        for rule in finite:
+            assert isinstance(rule_as_dict(rule)["conviction"], float)
+
+
+class TestDiffRules:
+    def _rule(self, antecedent, consequent, confidence=0.8, count=5) -> AssociationRule:
+        return AssociationRule(
+            antecedent=antecedent,
+            consequent=consequent,
+            support=count / 10,
+            confidence=confidence,
+            support_count=count,
+            lift=1.0,
+            leverage=0.0,
+            conviction=1.0,
+        )
+
+    def test_partitions_added_removed_updated(self):
+        stays = self._rule((1,), (2,))
+        goes = self._rule((2,), (3,))
+        drifts_before = self._rule((3,), (4,), confidence=0.8)
+        drifts_after = self._rule((3,), (4,), confidence=0.9)
+        arrives = self._rule((4,), (5,))
+        diff = diff_rules([stays, goes, drifts_before], [stays, drifts_after, arrives])
+        assert diff.added == [arrives]
+        assert diff.removed == [goes]
+        assert diff.updated == [(drifts_before, drifts_after)]
+        assert diff.changed
+
+    def test_support_count_drift_alone_is_an_update(self):
+        before = self._rule((1,), (2,), count=5)
+        after = self._rule((1,), (2,), count=6)
+        diff = diff_rules([before], [after])
+        assert diff.updated == [(before, after)]
+
+    def test_identical_sets_do_not_differ(self, mined_lattice):
+        rules = generate_rules(mined_lattice, 0.4)
+        diff = diff_rules(rules, list(rules))
+        assert not diff.changed
+        assert diff.added == diff.removed == diff.updated == []
+
+    def test_sorted_by_rule_key(self):
+        rules = [self._rule((item,), (item + 1,)) for item in (3, 1, 2)]
+        diff = diff_rules([], rules)
+        assert [rule_key(rule) for rule in diff.added] == sorted(
+            rule_key(rule) for rule in rules
+        )

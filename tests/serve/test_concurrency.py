@@ -1,0 +1,162 @@
+"""Concurrent stress test: lock-free readers vs. a live maintenance writer.
+
+The acceptance bar for the serving subsystem: with one writer applying a
+mixed insert/delete batch sequence and several reader threads querying the
+store continuously, **every** read must observe a single internally
+consistent snapshot — its version, rule set, support table and database
+size must all belong to the same committed batch, never a half-applied
+mixture.
+
+The test first replays the exact batch sequence on a shadow maintainer to
+record, per version, what the consistent state *is* (maintenance is
+deterministic, so the live run must produce byte-identical states).  The
+readers then hammer the store while the writer applies the batches, checking
+every observed snapshot against the expectation table for its version, plus
+monotonicity (a reader never sees the version go backwards) and index/linear
+query agreement on the snapshot it holds.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+from repro import RuleMaintainer, RuleStore, TransactionDatabase, UpdateBatch
+
+MIN_SUPPORT = 0.15
+MIN_CONFIDENCE = 0.4
+BATCHES = 12
+READERS = 4
+
+
+def build_batches(seed: int = 20260730) -> tuple[TransactionDatabase, list[UpdateBatch]]:
+    """A base database plus a mixed insert/delete batch sequence.
+
+    Deletions always target transactions known to still be present (the
+    writer would otherwise refuse the batch), and every batch carries both
+    kinds so the FUP2 path is exercised throughout.
+    """
+    rng = random.Random(seed)
+    universe = list(range(1, 13))
+    rows = [sorted(rng.sample(universe, rng.randint(2, 6))) for _ in range(160)]
+    base = TransactionDatabase(rows, name="stress")
+
+    live = list(rows)
+    batches = []
+    for index in range(BATCHES):
+        insertions = [
+            sorted(rng.sample(universe, rng.randint(2, 6))) for _ in range(8)
+        ]
+        deletions = [live.pop(rng.randrange(len(live))) for _ in range(4)]
+        live.extend(insertions)
+        batches.append(
+            UpdateBatch.from_iterables(
+                insertions=insertions, deletions=deletions, label=f"stress-{index}"
+            )
+        )
+    return base, batches
+
+
+def expected_states(base, batches):
+    """version -> (rules, database size, support table) from a shadow replay."""
+    shadow = RuleMaintainer(MIN_SUPPORT, MIN_CONFIDENCE)
+    shadow.initialise(base)
+    states = {
+        0: (
+            tuple(shadow.rules),
+            len(shadow.database),
+            dict(shadow.result.lattice.supports()),
+        )
+    }
+    for batch in batches:
+        shadow.apply(batch)
+        states[shadow.sequence] = (
+            tuple(shadow.rules),
+            len(shadow.database),
+            dict(shadow.result.lattice.supports()),
+        )
+    return states
+
+
+def test_readers_always_observe_consistent_snapshots():
+    base, batches = build_batches()
+    states = expected_states(base, batches)
+    assert len(states) == BATCHES + 1
+
+    maintainer = RuleMaintainer(MIN_SUPPORT, MIN_CONFIDENCE)
+    store = RuleStore()
+    store.attach(maintainer)
+    maintainer.initialise(base)
+
+    failures: list[str] = []
+    observed_versions: set[int] = set()
+    done = threading.Event()
+    start = threading.Barrier(READERS + 1)
+
+    def reader(identity: int) -> None:
+        rng = random.Random(identity)
+        last_version = -1
+        reads = 0
+        start.wait()
+        while not done.is_set() or reads == 0:
+            snapshot = store.snapshot()
+            reads += 1
+            version = snapshot.version
+            if version < last_version:
+                failures.append(
+                    f"reader {identity}: version went backwards "
+                    f"({last_version} -> {version})"
+                )
+                return
+            last_version = version
+            if version not in states:
+                failures.append(f"reader {identity}: unknown version {version}")
+                return
+            rules, size, supports = states[version]
+            if snapshot.rules != rules:
+                failures.append(
+                    f"reader {identity}: rule set does not match version {version}"
+                )
+                return
+            if snapshot.database_size != size:
+                failures.append(
+                    f"reader {identity}: database size {snapshot.database_size} "
+                    f"does not match version {version} (expected {size})"
+                )
+                return
+            if dict(snapshot.supports()) != supports:
+                failures.append(
+                    f"reader {identity}: support table does not match version {version}"
+                )
+                return
+            basket = rng.sample(range(1, 13), rng.randint(1, 5))
+            if snapshot.rules_for_basket(basket) != snapshot.rules_for_basket_linear(
+                basket
+            ):
+                failures.append(
+                    f"reader {identity}: indexed and linear query disagree on "
+                    f"version {version}"
+                )
+                return
+            observed_versions.add(version)
+
+    threads = [
+        threading.Thread(target=reader, args=(identity,), daemon=True)
+        for identity in range(READERS)
+    ]
+    for thread in threads:
+        thread.start()
+
+    start.wait()  # release the readers and the writer together
+    for batch in batches:
+        maintainer.apply(batch)
+    done.set()
+    for thread in threads:
+        thread.join(timeout=60)
+        assert not thread.is_alive(), "reader thread failed to finish"
+
+    assert not failures, "\n".join(failures)
+    assert store.version == BATCHES
+    # The readers genuinely overlapped the writer: more than just the final
+    # state was observed.
+    assert len(observed_versions) >= 2, observed_versions

@@ -1,0 +1,164 @@
+"""Tests for the HTTP JSON endpoint over the rule store."""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import RuleMaintainer, RuleServer, RuleStore, TransactionDatabase
+
+
+@pytest.fixture
+def maintainer(small_database):
+    maintainer = RuleMaintainer(0.3, 0.5)
+    maintainer.initialise(small_database)
+    return maintainer
+
+
+@pytest.fixture
+def served(maintainer):
+    """A running server over a store attached to the small-database maintainer."""
+    store = RuleStore()
+    store.attach(maintainer)
+    with RuleServer(store) as server:
+        yield {"server": server, "store": store, "maintainer": maintainer}
+
+
+def get_json(url: str) -> dict:
+    with urllib.request.urlopen(url) as response:
+        return json.loads(response.read().decode("ascii"))
+
+
+def get_error(url: str) -> tuple[int, dict]:
+    try:
+        urllib.request.urlopen(url)
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read().decode("ascii"))
+    raise AssertionError(f"{url} unexpectedly succeeded")
+
+
+class TestHealth:
+    def test_reports_snapshot_coordinates(self, served):
+        payload = get_json(served["server"].url + "/health")
+        snapshot = served["store"].snapshot()
+        assert payload["status"] == "ok"
+        assert payload["version"] == snapshot.version
+        assert payload["database_size"] == snapshot.database_size
+        assert payload["rules"] == snapshot.rule_count
+        assert payload["itemsets"] == snapshot.itemset_count
+        assert payload["min_support"] == snapshot.min_support
+        assert payload["min_confidence"] == snapshot.min_confidence
+
+    def test_version_advances_with_batches(self, served):
+        url = served["server"].url
+        assert get_json(url + "/health")["version"] == 0
+        served["maintainer"].add_transactions([[1, 4], [2, 4]], label="live")
+        assert get_json(url + "/health")["version"] == 1
+
+    def test_empty_store_is_503(self):
+        with RuleServer(RuleStore()) as server:
+            code, payload = get_error(server.url + "/health")
+        assert code == 503
+        assert payload["status"] == "empty"
+
+
+class TestRules:
+    def test_serves_the_full_rule_set(self, served):
+        payload = get_json(served["server"].url + "/rules")
+        snapshot = served["store"].snapshot()
+        assert payload["rule_count"] == snapshot.rule_count
+        assert len(payload["rules"]) == snapshot.rule_count
+
+    def test_limit(self, served):
+        payload = get_json(served["server"].url + "/rules?limit=2")
+        assert len(payload["rules"]) == 2
+
+    def test_infinite_conviction_survives_the_json_layer(self):
+        """An exact rule (conviction == inf) must serve as strict JSON."""
+        maintainer = RuleMaintainer(0.3, 0.5)
+        # Item 2 always occurs with item 1: confidence({2}=>{1}) == 1.0.
+        maintainer.initialise(
+            TransactionDatabase([[1, 2], [1, 2], [1, 2], [1, 3], [1, 3], [3, 4]])
+        )
+        assert any(rule.conviction == float("inf") for rule in maintainer.rules)
+        store = RuleStore()
+        store.attach(maintainer)
+        with RuleServer(store) as server:
+            payload = get_json(server.url + "/rules")
+        convictions = [entry["conviction"] for entry in payload["rules"]]
+        assert "inf" in convictions
+        assert all(
+            isinstance(value, (int, float)) or value == "inf" for value in convictions
+        )
+
+
+class TestRecommend:
+    def test_recommends_unowned_items(self, served):
+        payload = get_json(served["server"].url + "/recommend?basket=1,2&k=5")
+        assert payload["basket"] == [1, 2]
+        assert payload["recommendations"]
+        for entry in payload["recommendations"]:
+            assert entry["item"] not in (1, 2)
+
+    def test_matches_the_snapshot_api(self, served):
+        payload = get_json(served["server"].url + "/recommend?basket=1&k=3")
+        expected = served["store"].snapshot().recommend((1,), k=3)
+        assert payload["recommendations"] == [entry.as_dict() for entry in expected]
+
+    def test_missing_basket_is_400(self, served):
+        code, payload = get_error(served["server"].url + "/recommend")
+        assert code == 400
+        assert "basket" in payload["error"]
+
+    def test_malformed_basket_is_400(self, served):
+        code, payload = get_error(served["server"].url + "/recommend?basket=1,zebra")
+        assert code == 400
+
+    def test_bad_k_is_400(self, served):
+        code, _ = get_error(served["server"].url + "/recommend?basket=1&k=0")
+        assert code == 400
+
+
+class TestItemset:
+    def test_support_lookup(self, served, small_database):
+        payload = get_json(served["server"].url + "/itemset?items=1,2")
+        assert payload["support_count"] == small_database.count_itemset((1, 2))
+        assert payload["large"] is True
+
+    def test_unknown_itemset(self, served):
+        payload = get_json(served["server"].url + "/itemset?items=1,5")
+        assert payload["support_count"] == 0
+        assert payload["large"] is False
+
+    def test_missing_items_is_400(self, served):
+        code, _ = get_error(served["server"].url + "/itemset")
+        assert code == 400
+
+
+class TestLifecycle:
+    def test_close_without_start_returns(self):
+        """close() on a never-started server must not wait on the serve loop."""
+        server = RuleServer(RuleStore())
+        server.close()  # would deadlock if it requested a loop shutdown
+
+    def test_close_is_idempotent(self, maintainer):
+        store = RuleStore()
+        store.attach(maintainer)
+        server = RuleServer(store).start()
+        server.close()
+        server.close()
+
+
+class TestRouting:
+    def test_unknown_path_is_404(self, served):
+        code, payload = get_error(served["server"].url + "/nope")
+        assert code == 404
+
+    def test_every_response_is_strict_json(self, served):
+        """Strict parse (json.loads already) plus explicit allow_nan check."""
+        for path in ("/health", "/rules", "/recommend?basket=1", "/itemset?items=1"):
+            payload = get_json(served["server"].url + path)
+            json.dumps(payload, allow_nan=False)

@@ -1,0 +1,102 @@
+"""Unit tests for the lock-free rule store and its maintenance hook."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    RuleMaintainer,
+    RuleStore,
+    UpdateBatch,
+)
+from repro.errors import EmptyDatabaseError
+
+
+@pytest.fixture
+def maintainer(small_database):
+    maintainer = RuleMaintainer(0.3, 0.5)
+    maintainer.initialise(small_database)
+    return maintainer
+
+
+class TestEmptyStore:
+    def test_snapshot_raises_until_published(self):
+        store = RuleStore()
+        assert not store.has_snapshot
+        assert store.version is None
+        assert store.publications == 0
+        with pytest.raises(EmptyDatabaseError):
+            store.snapshot()
+
+
+class TestPublication:
+    def test_publish_from_maintainer(self, maintainer):
+        store = RuleStore()
+        snapshot = store.publish_from(maintainer)
+        assert store.snapshot() is snapshot
+        assert snapshot.version == maintainer.sequence == 0
+        assert snapshot.rules == tuple(maintainer.rules)
+        assert snapshot.database_size == len(maintainer.database)
+
+    def test_attach_publishes_current_state_immediately(self, maintainer):
+        store = RuleStore()
+        store.attach(maintainer)
+        assert store.has_snapshot
+        assert store.version == 0
+
+    def test_attach_before_initialise_publishes_on_initialise(self, small_database):
+        maintainer = RuleMaintainer(0.3, 0.5)
+        store = RuleStore()
+        store.attach(maintainer)
+        assert not store.has_snapshot
+        maintainer.initialise(small_database)
+        assert store.version == 0
+
+    def test_every_applied_batch_republishes(self, maintainer, small_increment):
+        store = RuleStore()
+        store.attach(maintainer)
+        maintainer.add_transactions(list(small_increment), label="a")
+        assert store.version == 1
+        maintainer.remove_transactions([[1, 2, 3]], label="b")
+        assert store.version == 2
+        assert store.publications == 3  # attach + two batches
+
+    def test_empty_batch_does_not_republish(self, maintainer):
+        store = RuleStore()
+        store.attach(maintainer)
+        published = store.publications
+        maintainer.apply(UpdateBatch())
+        assert store.publications == published
+        assert store.version == 0
+
+    def test_snapshot_reflects_post_batch_state(self, maintainer, small_increment):
+        store = RuleStore()
+        store.attach(maintainer)
+        maintainer.add_transactions(list(small_increment))
+        snapshot = store.snapshot()
+        assert snapshot.database_size == len(maintainer.database)
+        assert snapshot.rules == tuple(maintainer.rules)
+        assert snapshot.supports() == maintainer.result.lattice.supports()
+
+    def test_old_snapshot_is_untouched_by_new_publication(self, maintainer, small_increment):
+        """A reader holding the previous snapshot keeps a consistent view."""
+        store = RuleStore()
+        store.attach(maintainer)
+        old = store.snapshot()
+        old_rules = old.rules
+        old_size = old.database_size
+        maintainer.add_transactions(list(small_increment))
+        assert store.snapshot() is not old
+        assert old.rules == old_rules
+        assert old.database_size == old_size
+        assert old.version == 0
+
+
+class TestListeners:
+    def test_on_publish_fires_per_publication(self, maintainer, small_increment):
+        store = RuleStore()
+        seen = []
+        store.on_publish(lambda snapshot: seen.append(snapshot.version))
+        store.attach(maintainer)
+        maintainer.add_transactions(list(small_increment))
+        assert seen == [0, 1]

@@ -1,0 +1,171 @@
+"""Unit tests for the immutable, versioned rule snapshot."""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro import AprioriMiner, RuleSnapshot, TransactionDatabase, generate_rules
+from repro.mining.rules import rule_from_dict, rule_key
+
+
+def snapshot_of(database: TransactionDatabase, min_support=0.3, min_confidence=0.5, version=0):
+    result = AprioriMiner(min_support).mine(database)
+    rules = generate_rules(result.lattice, min_confidence)
+    return RuleSnapshot(
+        version=version,
+        rules=rules,
+        lattice=result.lattice,
+        min_support=min_support,
+        min_confidence=min_confidence,
+    )
+
+
+class TestConstruction:
+    def test_version_and_counts(self, small_database):
+        snapshot = snapshot_of(small_database, version=17)
+        assert snapshot.version == 17
+        assert snapshot.rule_count == len(snapshot.rules) == len(snapshot)
+        assert snapshot.database_size == len(small_database)
+        assert snapshot.itemset_count == len(snapshot.supports())
+
+    def test_support_table_is_a_copy(self, small_database):
+        """Later lattice mutations must not leak into a published snapshot."""
+        result = AprioriMiner(0.3).mine(small_database)
+        rules = generate_rules(result.lattice, 0.5)
+        snapshot = RuleSnapshot(0, rules, result.lattice, 0.3, 0.5)
+        before = snapshot.support_count((1, 2))
+        result.lattice.add((1, 2), before + 99)
+        assert snapshot.support_count((1, 2)) == before
+
+
+class TestSupportLookups:
+    def test_known_itemset(self, small_database):
+        snapshot = snapshot_of(small_database)
+        count = small_database.count_itemset((1, 2))
+        assert snapshot.support_count((1, 2)) == count
+        assert snapshot.support((1, 2)) == count / len(small_database)
+        assert snapshot.is_large((1, 2))
+
+    def test_lookup_canonicalises_order_and_duplicates(self, small_database):
+        snapshot = snapshot_of(small_database)
+        assert snapshot.support_count((2, 1)) == snapshot.support_count((1, 2))
+        assert snapshot.support_count((1, 2, 2)) == snapshot.support_count((1, 2))
+
+    def test_unknown_itemset_is_zero(self, small_database):
+        snapshot = snapshot_of(small_database)
+        assert snapshot.support_count((1, 5)) == 0
+        assert snapshot.support((1, 5)) == 0.0
+        assert not snapshot.is_large((1, 5))
+
+
+class TestBasketQueries:
+    def test_indexed_equals_linear_on_small(self, small_database):
+        snapshot = snapshot_of(small_database)
+        for basket in [(1,), (1, 2), (1, 2, 3), (2, 3, 4), (5,), ()]:
+            assert snapshot.rules_for_basket(basket) == snapshot.rules_for_basket_linear(
+                basket
+            )
+
+    def test_indexed_equals_linear_randomised(self, random_database_factory):
+        database = random_database_factory(transactions=250, items=12, seed=41)
+        snapshot = snapshot_of(database, min_support=0.1, min_confidence=0.3)
+        assert snapshot.rule_count > 10  # meaningful comparison
+        rng = random.Random(97)
+        for _ in range(50):
+            basket = rng.sample(range(12), rng.randint(0, 6))
+            assert snapshot.rules_for_basket(basket) == snapshot.rules_for_basket_linear(
+                basket
+            )
+
+    def test_matches_are_exactly_the_applicable_rules(self, small_database):
+        snapshot = snapshot_of(small_database)
+        basket = frozenset((1, 2, 3))
+        matched = snapshot.rules_for_basket(basket)
+        for rule in snapshot.rules:
+            assert (rule in matched) == (set(rule.antecedent) <= basket)
+
+    def test_results_keep_confidence_order(self, random_database_factory):
+        database = random_database_factory(transactions=250, items=12, seed=41)
+        snapshot = snapshot_of(database, min_support=0.1, min_confidence=0.3)
+        matched = snapshot.rules_for_basket(range(12))
+        keys = [(-rule.confidence, -rule.support) for rule in matched]
+        assert keys == sorted(keys)
+
+
+class TestRecommend:
+    def test_excludes_owned_items(self, small_database):
+        snapshot = snapshot_of(small_database)
+        basket = (1, 2)
+        for recommendation in snapshot.recommend(basket, k=10):
+            assert recommendation.item not in basket
+
+    def test_ranked_by_confidence_then_lift(self, random_database_factory):
+        database = random_database_factory(transactions=250, items=12, seed=41)
+        snapshot = snapshot_of(database, min_support=0.1, min_confidence=0.3)
+        recommendations = snapshot.recommend((0, 1), k=10)
+        scores = [(-r.confidence, -r.lift, -r.support) for r in recommendations]
+        assert scores == sorted(scores)
+
+    def test_k_truncates(self, random_database_factory):
+        database = random_database_factory(transactions=250, items=12, seed=41)
+        snapshot = snapshot_of(database, min_support=0.1, min_confidence=0.3)
+        assert len(snapshot.recommend((0, 1), k=2)) <= 2
+
+    def test_k_must_be_positive(self, small_database):
+        snapshot = snapshot_of(small_database)
+        with pytest.raises(ValueError):
+            snapshot.recommend((1,), k=0)
+
+    def test_backing_rule_is_applicable(self, small_database):
+        snapshot = snapshot_of(small_database)
+        basket = frozenset((1, 2))
+        for recommendation in snapshot.recommend(basket, k=10):
+            assert set(recommendation.rule.antecedent) <= basket
+            assert recommendation.item in recommendation.rule.consequent
+
+
+class TestDiff:
+    def test_identical_snapshots_do_not_differ(self, small_database):
+        first = snapshot_of(small_database, version=0)
+        second = snapshot_of(small_database, version=1)
+        diff = second.diff(first)
+        assert not diff.changed
+
+    def test_statistics_drift_is_reported(self, small_database):
+        """A rule whose key survives but whose numbers move lands in updated."""
+        first = snapshot_of(small_database, version=0)
+        grown = small_database.copy()
+        grown.extend([[1, 2]] * 3)  # shifts confidences without killing {1}=>{2}
+        second = snapshot_of(grown, version=1)
+        diff = second.diff(first)
+        assert diff.updated, "statistics drift must not be reported as unchanged"
+        surviving_keys = {rule_key(rule) for rule in first.rules} & {
+            rule_key(rule) for rule in second.rules
+        }
+        for before, after in diff.updated:
+            assert rule_key(before) == rule_key(after)
+            assert rule_key(before) in surviving_keys
+            assert before != after
+
+
+class TestSerialization:
+    def test_as_dict_is_strict_json(self, small_database):
+        snapshot = snapshot_of(small_database)
+        payload = json.dumps(snapshot.as_dict(), allow_nan=False)
+        parsed = json.loads(payload)
+        assert parsed["version"] == snapshot.version
+        assert parsed["rule_count"] == snapshot.rule_count
+
+    def test_limit_truncates_rules_only(self, small_database):
+        snapshot = snapshot_of(small_database)
+        payload = snapshot.as_dict(limit=1)
+        assert len(payload["rules"]) == 1
+        assert payload["rule_count"] == snapshot.rule_count
+
+    def test_rules_round_trip(self, small_database):
+        snapshot = snapshot_of(small_database)
+        for entry, rule in zip(snapshot.as_dict()["rules"], snapshot.rules):
+            assert rule_from_dict(entry) == rule

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+from pathlib import Path
 
 import pytest
 
@@ -535,3 +536,172 @@ class TestDocsCommand:
     def test_check_docs_missing_file_fails_cleanly(self, tmp_path, capsys):
         assert main(["docs", "--check", str(tmp_path / "absent.md")]) == 2
         assert "cannot read docs file" in capsys.readouterr().err
+
+
+class TestServe:
+    """The serving subcommand: argument validation inline, serving via subprocess."""
+
+    def test_needs_exactly_one_source(self, tmp_path, capsys):
+        assert main(["serve"]) == 2
+        assert "exactly one" in capsys.readouterr().err
+        (tmp_path / "db.txt").write_text("1 2\n")
+        assert main(
+            ["serve", str(tmp_path / "db.txt"), "--session", str(tmp_path)]
+        ) == 2
+        assert "exactly one" in capsys.readouterr().err
+
+    def test_database_mode_needs_min_support(self, workload_files, capsys):
+        assert main(["serve", str(workload_files["database_path"])]) == 2
+        assert "--min-support" in capsys.readouterr().err
+
+    def test_database_mode_rejects_refresh(self, workload_files, capsys):
+        code = main(
+            [
+                "serve",
+                str(workload_files["database_path"]),
+                "--min-support", "0.2",
+                "--refresh", "0.5",
+            ]
+        )
+        assert code == 2
+        assert "--refresh only applies with --session" in capsys.readouterr().err
+
+    def test_session_mode_rejects_nonpositive_refresh(self, tmp_path, capsys):
+        assert main(["serve", "--session", str(tmp_path), "--refresh", "0"]) == 2
+        assert "--refresh must be positive" in capsys.readouterr().err
+
+    def test_missing_session_fails_cleanly(self, tmp_path, capsys):
+        assert main(["serve", "--session", str(tmp_path / "nope")]) == 2
+        assert "holds no maintenance session" in capsys.readouterr().err
+
+    def test_session_mode_rejects_mining_flags(self, tmp_path, capsys):
+        """Flags the session manifest overrides must error, not silently no-op."""
+        code = main(
+            ["serve", "--session", str(tmp_path), "--min-support", "0.05"]
+        )
+        assert code == 2
+        assert "--min-support" in capsys.readouterr().err
+        code = main(["serve", "--session", str(tmp_path), "--backend", "vertical"])
+        assert code == 2
+        assert "--backend" in capsys.readouterr().err
+        # Explicitly passing a flag at its database-mode default is still an
+        # explicit request the manifest would override: also refused.
+        code = main(
+            ["serve", "--session", str(tmp_path), "--min-confidence", "0.5"]
+        )
+        assert code == 2
+        assert "--min-confidence" in capsys.readouterr().err
+
+    def test_occupied_port_fails_cleanly(self, workload_files, capsys):
+        import socket
+
+        blocker = socket.socket()
+        blocker.bind(("127.0.0.1", 0))
+        try:
+            port = blocker.getsockname()[1]
+            code = main(
+                [
+                    "serve",
+                    str(workload_files["database_path"]),
+                    "--min-support", "0.2",
+                    "--port", str(port),
+                ]
+            )
+        finally:
+            blocker.close()
+        assert code == 2
+        assert "cannot serve on" in capsys.readouterr().err
+
+    def test_serves_a_session_and_follows_live_updates(self, tmp_path, workload_files):
+        """End to end over HTTP: a batch applied by another process shows up
+        as a new snapshot version while the server keeps answering."""
+        import json as jsonlib
+        import os
+        import subprocess
+        import sys
+        import time
+        import urllib.request
+
+        session_dir = tmp_path / "session"
+        assert (
+            main(
+                [
+                    "session",
+                    "init",
+                    str(session_dir),
+                    str(workload_files["database_path"]),
+                    "--min-support",
+                    "0.1",
+                ]
+            )
+            == 0
+        )
+        environment = dict(os.environ)
+        src = str(Path(__file__).resolve().parents[1] / "src")
+        environment["PYTHONPATH"] = src + (
+            os.pathsep + environment["PYTHONPATH"]
+            if environment.get("PYTHONPATH")
+            else ""
+        )
+        process = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.cli",
+                "serve",
+                "--session",
+                str(session_dir),
+                "--port",
+                "0",
+                "--refresh",
+                "0.1",
+                "--max-seconds",
+                "60",
+            ],
+            stdout=subprocess.PIPE,
+            text=True,
+            env=environment,
+        )
+        try:
+            banner = process.stdout.readline()
+            assert "serving rules on http://" in banner, banner
+            url = banner.split()[3]
+
+            def fetch(path: str) -> dict:
+                with urllib.request.urlopen(url + path, timeout=10) as response:
+                    return jsonlib.loads(response.read())
+
+            health = fetch("/health")
+            assert health["status"] == "ok"
+            assert health["version"] == 0
+            assert health["publications"] == 1  # startup recovers exactly once
+
+            recommendations = fetch("/recommend?basket=1,2&k=3")
+            assert recommendations["version"] == 0
+
+            # Another process applies a batch; the feed must pick it up.
+            assert (
+                main(
+                    [
+                        "session",
+                        "apply",
+                        str(session_dir),
+                        "--insertions",
+                        str(workload_files["increment_path"]),
+                        "--batches",
+                        "2",
+                    ]
+                )
+                == 0
+            )
+            deadline = time.monotonic() + 30
+            version = health["version"]
+            while time.monotonic() < deadline:
+                version = fetch("/health")["version"]
+                if version > health["version"]:
+                    break
+                time.sleep(0.2)
+            assert version == 2, f"served version never advanced past {version}"
+        finally:
+            process.terminate()
+            process.wait(timeout=30)
