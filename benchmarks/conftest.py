@@ -14,8 +14,10 @@ is itself a full multi-algorithm experiment — the quantity of interest is the
 
 from __future__ import annotations
 
+import json
 import os
 from dataclasses import dataclass
+from pathlib import Path
 
 import pytest
 
@@ -149,3 +151,46 @@ def print_report(title: str, rows: list[dict[str, object]], columns: list[str] |
     """Print a benchmark report table (captured by pytest, shown with ``-s``)."""
     print()
     print(format_table(rows, columns=columns, title=title))
+
+
+def serving_artifact_path() -> "Path | None":
+    """Where ``BENCH_serving.json`` lands, or None to skip writing it.
+
+    ``REPRO_BENCH_ARTIFACT=1`` selects the repo root; any other value names
+    the *directory* (the env var is shared across benchmark modules, so each
+    module keeps its canonical file name and the artifacts never clobber
+    each other).
+    """
+    value = os.environ.get("REPRO_BENCH_ARTIFACT", "")
+    if not value:
+        return None
+    if value == "1":
+        return Path(__file__).resolve().parents[1] / "BENCH_serving.json"
+    path = Path(value)
+    if path.name != "BENCH_serving.json":
+        return path.with_name("BENCH_serving.json")
+    return path
+
+
+def update_serving_artifact(section: str, payload: dict) -> None:
+    """Merge *payload* under *section* into ``BENCH_serving.json``.
+
+    Shared by the in-process serving benchmarks and the load-harness
+    benchmark so every serving measurement lands in one document with the
+    run's scale stamped on it.
+    """
+    artifact = serving_artifact_path()
+    if artifact is None:
+        return
+    document: dict = {"benchmark": "serving", "scale": BENCH_SCALE}
+    if artifact.exists():
+        try:
+            existing = json.loads(artifact.read_text(encoding="ascii"))
+        except (OSError, ValueError):
+            existing = {}
+        if existing.get("benchmark") == "serving":
+            document = existing
+    document["scale"] = BENCH_SCALE
+    document[section] = payload
+    artifact.parent.mkdir(parents=True, exist_ok=True)
+    artifact.write_text(json.dumps(document, indent=2) + "\n", encoding="ascii")

@@ -24,17 +24,19 @@ CI uploads them next to the other baselines.
 
 from __future__ import annotations
 
-import json
-import os
 import time
-from pathlib import Path
 
 import pytest
 
 from repro import AprioriMiner, MiningOptions, RuleSnapshot, RuleStore, generate_rules
 from repro.harness.runner import measure_query_throughput
 
-from .conftest import BENCH_SCALE, build_workload, print_report, timing_asserts_enabled
+from .conftest import (
+    build_workload,
+    print_report,
+    timing_asserts_enabled,
+    update_serving_artifact,
+)
 
 #: Support/confidence for the served rule set.  The lowest Figure-2 support
 #: level gives the richest rule set — the regime where serving performance
@@ -46,41 +48,6 @@ BASKETS = 200
 REPEAT = 3
 #: Required advantage of the indexed basket query over the linear rule scan.
 MIN_INDEX_SPEEDUP = 1.25
-
-
-def _artifact_path() -> Path | None:
-    """Where ``BENCH_serving.json`` lands, or None to skip writing it."""
-    value = os.environ.get("REPRO_BENCH_ARTIFACT", "")
-    if not value:
-        return None
-    if value == "1":
-        return Path(__file__).resolve().parents[1] / "BENCH_serving.json"
-    path = Path(value)
-    if path.name != "BENCH_serving.json":
-        # The env var is shared across benchmark modules: a custom value
-        # selects the *directory*, and each module keeps its canonical file
-        # name there so the artifacts never clobber each other.
-        return path.with_name("BENCH_serving.json")
-    return path
-
-
-def _update_artifact(section: str, payload: dict) -> None:
-    """Merge *payload* under *section* into the serving artifact."""
-    artifact = _artifact_path()
-    if artifact is None:
-        return
-    document: dict = {"benchmark": "serving", "scale": BENCH_SCALE}
-    if artifact.exists():
-        try:
-            existing = json.loads(artifact.read_text(encoding="ascii"))
-        except (OSError, ValueError):
-            existing = {}
-        if existing.get("benchmark") == "serving":
-            document = existing
-    document["scale"] = BENCH_SCALE
-    document[section] = payload
-    artifact.parent.mkdir(parents=True, exist_ok=True)
-    artifact.write_text(json.dumps(document, indent=2) + "\n", encoding="ascii")
 
 
 @pytest.fixture(scope="module")
@@ -147,7 +114,7 @@ def test_indexed_basket_query_beats_linear_scan(benchmark, served_state):
     assert indexed.matches == linear.matches
     speedup = indexed.queries_per_second / max(linear.queries_per_second, 1e-9)
 
-    _update_artifact(
+    update_serving_artifact(
         "basket_queries",
         {
             "workload": served_state["workload"],
@@ -199,7 +166,7 @@ def test_snapshot_publication_cost(benchmark, served_state):
         return time.perf_counter() - start
 
     seconds = benchmark.pedantic(publish_once, rounds=1)
-    _update_artifact(
+    update_serving_artifact(
         "publication",
         {
             "workload": served_state["workload"],

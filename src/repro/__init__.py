@@ -86,7 +86,7 @@ from .core import (
     update_with_fup,
     update_with_fup2,
 )
-from .serve import RuleServer, RuleSnapshot, RuleStore, SessionFeed
+from .serve import AsyncRuleServer, RuleServer, RuleSnapshot, RuleStore, SessionFeed
 from .datagen import (
     SyntheticConfig,
     SyntheticDataGenerator,
@@ -159,6 +159,7 @@ __all__ = [
     "update_with_fup",
     "update_with_fup2",
     # serve
+    "AsyncRuleServer",
     "RuleSnapshot",
     "RuleStore",
     "RuleServer",

@@ -37,7 +37,13 @@ shell, each as a subcommand:
     ``/itemset``, ``/health``): either mine a transaction file and serve the
     result, or serve from a durable session directory — polling it (without
     the writer lock) so batches applied by other processes show up as new
-    snapshot versions while the server keeps answering.
+    snapshot versions while the server keeps answering.  ``--frontend``
+    picks the transport: ``threaded`` (stdlib, one thread per connection)
+    or ``async`` (one asyncio event loop, keep-alive + batched ``POST
+    /recommend``, a version-keyed response cache via ``--cache-size``,
+    per-client token-bucket rate limiting via ``--rate-limit`` /
+    ``--rate-burst``, and bounded-connection backpressure via
+    ``--max-connections``).
 ``session init | apply | status | checkpoint``
     The durable flavour of ``maintain``: a
     :class:`~repro.core.session.MaintenanceSession` persisted to a session
@@ -332,13 +338,46 @@ def _cmd_session_apply(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     import threading
 
-    from .serve import RuleServer, RuleStore, SessionFeed
+    from .serve import AsyncRuleServer, RuleServer, RuleStore, SessionFeed
 
     if bool(args.session) == bool(args.database):
         print(
             "error: serve needs exactly one of --session DIR or a database file",
             file=sys.stderr,
         )
+        return 2
+    if args.frontend != "async":
+        # Cache, rate limiting and the connection bound are features of the
+        # asyncio front end; silently accepting them for the threaded one
+        # would make the limits *look* applied.
+        async_only = [
+            flag
+            for flag, value in (
+                ("--cache-size", args.cache_size),
+                ("--rate-limit", args.rate_limit),
+                ("--rate-burst", args.rate_burst),
+                ("--max-connections", args.max_connections),
+            )
+            if value is not None
+        ]
+        if async_only:
+            print(
+                f"error: {', '.join(async_only)} only apply to the asyncio "
+                f"front end; add --frontend async",
+                file=sys.stderr,
+            )
+            return 2
+    if args.rate_burst is not None and args.rate_limit is None:
+        print("error: --rate-burst needs --rate-limit", file=sys.stderr)
+        return 2
+    if args.cache_size is not None and args.cache_size < 0:
+        print(f"error: --cache-size must be >= 0, got {args.cache_size}", file=sys.stderr)
+        return 2
+    if args.rate_limit is not None and args.rate_limit <= 0:
+        print(f"error: --rate-limit must be positive, got {args.rate_limit}", file=sys.stderr)
+        return 2
+    if args.rate_burst is not None and args.rate_burst < 1:
+        print(f"error: --rate-burst must be >= 1, got {args.rate_burst}", file=sys.stderr)
         return 2
 
     store = RuleStore()
@@ -427,7 +466,27 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         maintainer.initialise(load_database(args.database))
 
     try:
-        server = RuleServer(store, host=args.host, port=args.port)
+        if args.frontend == "async":
+            from .serve.async_server import DEFAULT_MAX_CONNECTIONS
+            from .serve.cache import DEFAULT_CACHE_SIZE
+
+            server = AsyncRuleServer(
+                store,
+                host=args.host,
+                port=args.port,
+                cache_size=(
+                    DEFAULT_CACHE_SIZE if args.cache_size is None else args.cache_size
+                ),
+                rate_limit=args.rate_limit,
+                rate_burst=args.rate_burst,
+                max_connections=(
+                    DEFAULT_MAX_CONNECTIONS
+                    if args.max_connections is None
+                    else args.max_connections
+                ),
+            )
+        else:
+            server = RuleServer(store, host=args.host, port=args.port)
     except OSError as exc:
         print(f"error: cannot serve on {args.host}:{args.port}: {exc}", file=sys.stderr)
         if maintainer is not None:
@@ -435,7 +494,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         return 2
     if feed is not None:
         feed.start()
-    print(f"serving rules on {server.url} ({store.snapshot().describe()})", flush=True)
+    print(
+        f"serving rules on {server.url} via the {args.frontend} front end "
+        f"({store.snapshot().describe()})",
+        flush=True,
+    )
     timer = None
     if args.max_seconds is not None:
         timer = threading.Timer(args.max_seconds, server.shutdown)
@@ -885,6 +948,44 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--host", default="127.0.0.1", help="bind address")
     serve.add_argument(
         "--port", type=int, default=8000, help="bind port (0 picks an ephemeral port)"
+    )
+    serve.add_argument(
+        "--frontend",
+        choices=["threaded", "async"],
+        default="threaded",
+        help="HTTP front end: stdlib thread-per-request, or the asyncio "
+        "event loop with keep-alive batching, response cache, rate limiting "
+        "and connection backpressure",
+    )
+    # Async-only knobs default to None so the threaded front end can refuse
+    # them instead of silently ignoring limits that are not being enforced.
+    serve.add_argument(
+        "--cache-size",
+        type=int,
+        metavar="N",
+        help="response-cache entry bound (async front end; default 1024, "
+        "0 disables caching)",
+    )
+    serve.add_argument(
+        "--rate-limit",
+        type=float,
+        metavar="R",
+        help="per-client request rate in requests/second; over-limit "
+        "requests get 429 + Retry-After (async front end; default off)",
+    )
+    serve.add_argument(
+        "--rate-burst",
+        type=float,
+        metavar="B",
+        help="token-bucket burst capacity (async front end; default: one "
+        "second of --rate-limit, at least 1)",
+    )
+    serve.add_argument(
+        "--max-connections",
+        type=positive_int,
+        metavar="M",
+        help="concurrent-connection bound; excess connections are rejected "
+        "immediately with 503 (async front end; default 1024)",
     )
     serve.add_argument(
         "--refresh",

@@ -2,11 +2,19 @@
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from ..mining.result import MiningResult
 
-__all__ = ["QueryThroughputRecord", "RunRecord", "ComparisonRecord", "speedup"]
+__all__ = [
+    "LatencySummary",
+    "QueryThroughputRecord",
+    "RunRecord",
+    "ComparisonRecord",
+    "percentile",
+    "speedup",
+]
 
 
 def speedup(baseline_seconds: float, candidate_seconds: float) -> float:
@@ -138,4 +146,90 @@ class QueryThroughputRecord:
             "seconds": round(self.seconds, 6),
             "matches": self.matches,
             "queries_per_second": round(self.queries_per_second, 1),
+        }
+
+
+def percentile(sorted_values: "list[float]", fraction: float) -> float:
+    """Nearest-rank percentile of an ascending-sorted sample list.
+
+    ``fraction`` is in ``[0, 1]`` (``0.99`` = p99).  The nearest-rank method
+    always returns an observed sample — no interpolation — which is the
+    honest choice for latency tails, where interpolating between a 40ms and
+    a 400ms observation would invent a latency nobody experienced.
+    """
+    if not sorted_values:
+        raise ValueError("percentile of an empty sample")
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    rank = max(1, math.ceil(fraction * len(sorted_values)))
+    return sorted_values[rank - 1]
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Latency distribution + sustained rate of one load-generator run.
+
+    Latencies are milliseconds; ``queries`` counts logical basket queries
+    (for batched requests: requests × baskets per request), so the
+    ``queries_per_second`` of a batched and an unbatched run are directly
+    comparable.
+    """
+
+    requests: int
+    queries: int
+    seconds: float
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    max_ms: float
+
+    @classmethod
+    def from_samples(
+        cls,
+        latencies_seconds: "list[float]",
+        wall_seconds: float,
+        queries_per_request: int = 1,
+    ) -> "LatencySummary":
+        """Summarise per-request latency samples from one timed run."""
+        if queries_per_request < 1:
+            raise ValueError(f"queries_per_request must be >= 1, got {queries_per_request}")
+        ordered = sorted(latencies_seconds)
+        if not ordered:
+            return cls(
+                requests=0, queries=0, seconds=wall_seconds,
+                p50_ms=0.0, p95_ms=0.0, p99_ms=0.0, max_ms=0.0,
+            )
+        return cls(
+            requests=len(ordered),
+            queries=len(ordered) * queries_per_request,
+            seconds=wall_seconds,
+            p50_ms=percentile(ordered, 0.50) * 1000.0,
+            p95_ms=percentile(ordered, 0.95) * 1000.0,
+            p99_ms=percentile(ordered, 0.99) * 1000.0,
+            max_ms=ordered[-1] * 1000.0,
+        )
+
+    @property
+    def requests_per_second(self) -> float:
+        tick = 1e-9
+        return self.requests / max(self.seconds, tick)
+
+    @property
+    def queries_per_second(self) -> float:
+        """Sustained logical-query rate over the whole run."""
+        tick = 1e-9
+        return self.queries / max(self.seconds, tick)
+
+    def as_dict(self) -> "dict[str, float | int]":
+        """Flat dictionary form used by the load harness and BENCH files."""
+        return {
+            "requests": self.requests,
+            "queries": self.queries,
+            "seconds": round(self.seconds, 6),
+            "requests_per_second": round(self.requests_per_second, 1),
+            "queries_per_second": round(self.queries_per_second, 1),
+            "p50_ms": round(self.p50_ms, 3),
+            "p95_ms": round(self.p95_ms, 3),
+            "p99_ms": round(self.p99_ms, 3),
+            "max_ms": round(self.max_ms, 3),
         }

@@ -14,23 +14,40 @@ keeps running.
 * :class:`~repro.serve.http.RuleServer` — a stdlib ``ThreadingHTTPServer``
   JSON endpoint (``/rules``, ``/recommend``, ``/itemset``, ``/health``)
   behind the ``repro serve`` CLI subcommand.
+* :class:`~repro.serve.async_server.AsyncRuleServer` — the high-concurrency
+  asyncio front end over the same store and routes: keep-alive HTTP/1.1,
+  batched ``POST /recommend`` answered from one snapshot, a bounded LRU
+  response cache invalidated on publish, per-client token-bucket rate
+  limiting (429 + ``Retry-After``) and bounded-connection backpressure
+  (``repro serve --frontend async``).
 * :class:`~repro.serve.feed.SessionFeed` — keeps a store fresh from an
   on-disk :class:`~repro.core.session.MaintenanceSession` directory without
   ever taking the session's writer lock.
+
+Shared request semantics (routing, parsing, normalized response headers)
+live in :mod:`repro.serve.api`; the async front end's cache and limiter in
+:mod:`repro.serve.cache` / :mod:`repro.serve.ratelimit`.
 
 See ``docs/serving.md`` for the snapshot/versioning model and the
 consistency guarantees.
 """
 
+from .async_server import AsyncRuleServer
+from .cache import ResponseCache
 from .feed import SessionFeed
 from .http import RuleServer
+from .ratelimit import RateLimiter, TokenBucket
 from .snapshot import Recommendation, RuleSnapshot
 from .store import RuleStore
 
 __all__ = [
+    "AsyncRuleServer",
+    "RateLimiter",
     "Recommendation",
+    "ResponseCache",
     "RuleServer",
     "RuleSnapshot",
     "RuleStore",
     "SessionFeed",
+    "TokenBucket",
 ]

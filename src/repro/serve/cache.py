@@ -1,0 +1,90 @@
+"""A bounded, concurrency-safe LRU response cache for the serving tier.
+
+The async front end memoizes recommendation responses keyed on
+``(snapshot_version, basket, k)``.  Because the snapshot version is part of
+the key, a cached entry can never be served against a newer snapshot — the
+version in the key *is* the consistency proof.  Publication still clears the
+cache wholesale (:meth:`ResponseCache.clear`, wired to
+:meth:`~repro.serve.store.RuleStore.on_publish`): entries for a superseded
+version can never hit again, so keeping them would only squeeze live entries
+out of the bounded capacity.
+
+The cache is guarded by a plain mutex rather than relying on the event
+loop's single-threadedness: publication hooks run on the *writer's* thread
+(a maintainer applying a batch, or the session feed's polling thread), so
+``clear()`` genuinely races ``get``/``put``.
+
+A zero capacity disables caching entirely (every ``get`` misses, ``put`` is
+a no-op), which is what ``repro serve --cache-size 0`` means.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Hashable
+
+__all__ = ["ResponseCache", "DEFAULT_CACHE_SIZE"]
+
+#: Default entry bound of the async front end's response cache.
+DEFAULT_CACHE_SIZE = 1024
+
+
+class ResponseCache:
+    """A thread-safe LRU mapping with wholesale invalidation and stats."""
+
+    def __init__(self, capacity: int = DEFAULT_CACHE_SIZE) -> None:
+        if capacity < 0:
+            raise ValueError(f"cache capacity must be >= 0, got {capacity}")
+        self.capacity = int(capacity)
+        self._entries: OrderedDict[Hashable, object] = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._invalidations = 0
+
+    def get(self, key: Hashable) -> object | None:
+        """The cached value for *key* (refreshing its recency), or ``None``."""
+        with self._lock:
+            try:
+                value = self._entries[key]
+            except KeyError:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return value
+
+    def put(self, key: Hashable, value: object) -> None:
+        """Insert *key* as most-recent, evicting LRU entries over capacity."""
+        if self.capacity == 0:
+            return
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (the on-publish wholesale invalidation)."""
+        with self._lock:
+            self._invalidations += 1
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> dict[str, int]:
+        """Counters served by the async front end's ``/health`` endpoint."""
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "size": len(self._entries),
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+                "invalidations": self._invalidations,
+            }

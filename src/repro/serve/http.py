@@ -19,54 +19,31 @@ version, rules and supports all describe the same maintenance sequence
 number even while a writer publishes mid-request.  The server is a
 ``ThreadingHTTPServer`` (one thread per request, daemonised); the store's
 lock-free read contract is what makes that safe without further
-synchronisation.
+synchronisation.  Routing and response normalization are shared with the
+asyncio front end through :mod:`repro.serve.api`, so the two cannot drift.
 """
 
 from __future__ import annotations
 
-import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlsplit
 
-from ..errors import EmptyDatabaseError
-from ..itemsets import Item
+from .api import encode_json, respond, response_headers
 from .snapshot import RuleSnapshot
 from .store import RuleStore
 
 __all__ = ["RuleServer"]
 
 
-class _BadRequest(ValueError):
-    """A malformed query string (answered with a 400, not a traceback)."""
-
-
-def _parse_items(raw: str, parameter: str) -> tuple[Item, ...]:
-    """Parse a comma-separated item list (``"1,2,3"``) from a query value."""
-    try:
-        items = tuple(int(token) for token in raw.split(",") if token.strip() != "")
-    except ValueError:
-        raise _BadRequest(
-            f"{parameter} must be comma-separated integers, got {raw!r}"
-        ) from None
-    if not items:
-        raise _BadRequest(f"{parameter} must name at least one item")
-    return items
-
-
-def _parse_positive_int(raw: str, parameter: str) -> int:
-    try:
-        value = int(raw)
-    except ValueError:
-        raise _BadRequest(f"{parameter} must be an integer, got {raw!r}") from None
-    if value < 1:
-        raise _BadRequest(f"{parameter} must be positive, got {value}")
-    return value
-
-
 class _RuleRequestHandler(BaseHTTPRequestHandler):
     server_version = "repro-serve/1.0"
     protocol_version = "HTTP/1.1"
+    # The stdlib handler writes headers and body as separate TCP segments;
+    # with Nagle on, the body segment can sit behind the peer's delayed ACK
+    # for ~40ms on every keep-alive request after the first.  TCP_NODELAY
+    # makes the threaded front end's latency reflect its work, not a timer.
+    disable_nagle_algorithm = True
 
     # The owning _RuleHTTPServer carries the store; typed for clarity.
     server: "_RuleHTTPServer"
@@ -74,68 +51,16 @@ class _RuleRequestHandler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         parsed = urlsplit(self.path)
         query = {key: values[-1] for key, values in parse_qs(parsed.query).items()}
-        try:
-            status, payload = self._route(parsed.path, query)
-        except _BadRequest as exc:
-            status, payload = 400, {"error": str(exc)}
-        except EmptyDatabaseError:
-            status, payload = 503, {"status": "empty", "version": None}
-        body = json.dumps(payload, allow_nan=False).encode("ascii")
+        status, payload = respond(self.server.rule_store, parsed.path, query)
+        body = encode_json(payload)
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(body)))
+        # The client may have requested close; honour what the stdlib parsed
+        # from the request headers rather than forcing keep-alive back on.
+        keep_alive = not self.close_connection
+        for name, value in response_headers(body, keep_alive=keep_alive):
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
-
-    def _route(self, path: str, query: dict[str, str]) -> tuple[int, dict]:
-        store = self.server.rule_store
-        if path == "/health":
-            if not store.has_snapshot:
-                return 503, {"status": "empty", "version": None}
-            snapshot = store.snapshot()
-            return 200, {
-                "status": "ok",
-                "version": snapshot.version,
-                "database_size": snapshot.database_size,
-                "rules": snapshot.rule_count,
-                "itemsets": snapshot.itemset_count,
-                "min_support": snapshot.min_support,
-                "min_confidence": snapshot.min_confidence,
-                "publications": store.publications,
-            }
-        if path == "/rules":
-            snapshot = store.snapshot()
-            limit = None
-            if "limit" in query:
-                limit = _parse_positive_int(query["limit"], "limit")
-            return 200, snapshot.as_dict(limit=limit)
-        if path == "/recommend":
-            snapshot = store.snapshot()
-            if "basket" not in query:
-                raise _BadRequest("recommend needs a basket (e.g. ?basket=1,2,3)")
-            basket = _parse_items(query["basket"], "basket")
-            k = _parse_positive_int(query.get("k", "5"), "k")
-            return 200, {
-                "version": snapshot.version,
-                "basket": list(basket),
-                "recommendations": [
-                    recommendation.as_dict()
-                    for recommendation in snapshot.recommend(basket, k=k)
-                ],
-            }
-        if path == "/itemset":
-            snapshot = store.snapshot()
-            if "items" not in query:
-                raise _BadRequest("itemset needs items (e.g. ?items=1,2)")
-            items = _parse_items(query["items"], "items")
-            return 200, {
-                "version": snapshot.version,
-                "items": sorted(set(items)),
-                "support_count": snapshot.support_count(items),
-                "support": snapshot.support(items),
-                "large": snapshot.is_large(items),
-            }
-        return 404, {"error": f"unknown endpoint {path!r}"}
 
     def log_message(self, format: str, *args: object) -> None:  # noqa: A002
         """Silence per-request stderr logging (the CLI prints its own banner)."""

@@ -111,3 +111,15 @@ class RuleStore:
     def on_publish(self, listener: Callable[[RuleSnapshot], None]) -> None:
         """Register *listener* to run (on the writer thread) per publication."""
         self._listeners.append(listener)
+
+    def remove_listener(self, listener: Callable[[RuleSnapshot], None]) -> None:
+        """Unregister a :meth:`on_publish` listener (no-op when absent).
+
+        Front ends subscribe their cache invalidation to the store; a closed
+        front end unhooks itself here so a long-lived store feeding many
+        server generations does not accumulate dead callbacks.
+        """
+        try:
+            self._listeners.remove(listener)
+        except ValueError:
+            pass

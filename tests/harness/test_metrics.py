@@ -5,7 +5,13 @@ from __future__ import annotations
 import pytest
 
 from repro import AprioriMiner
-from repro.harness.metrics import ComparisonRecord, RunRecord, speedup
+from repro.harness.metrics import (
+    ComparisonRecord,
+    LatencySummary,
+    RunRecord,
+    percentile,
+    speedup,
+)
 
 
 class TestSpeedup:
@@ -73,3 +79,64 @@ class TestComparisonRecord:
         assert as_dict["baseline"] == "dhp"
         assert as_dict["speedup"] == pytest.approx(4.0)
         assert as_dict["candidate_ratio"] == pytest.approx(0.03)
+
+
+class TestPercentile:
+    def test_nearest_rank_returns_observed_samples(self):
+        samples = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0]
+        assert percentile(samples, 0.50) == 5.0
+        assert percentile(samples, 0.99) == 10.0
+        assert percentile(samples, 0.0) == 1.0
+        assert percentile(samples, 1.0) == 10.0
+
+    def test_single_sample(self):
+        assert percentile([42.0], 0.99) == 42.0
+
+    def test_never_interpolates(self):
+        # A tail gap must return a real observation, not an invented value.
+        samples = [1.0] * 98 + [100.0, 1000.0]
+        assert percentile(samples, 0.99) in samples
+
+    def test_rejects_empty_and_bad_fraction(self):
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+        with pytest.raises(ValueError):
+            percentile([1.0], 1.5)
+
+
+class TestLatencySummary:
+    def test_from_samples(self):
+        latencies = [0.001 * (index + 1) for index in range(100)]  # 1..100ms
+        summary = LatencySummary.from_samples(latencies, wall_seconds=2.0)
+        assert summary.requests == 100
+        assert summary.queries == 100
+        assert summary.p50_ms == pytest.approx(50.0)
+        assert summary.p99_ms == pytest.approx(99.0)
+        assert summary.max_ms == pytest.approx(100.0)
+        assert summary.requests_per_second == pytest.approx(50.0)
+
+    def test_batched_queries_scale_the_rate(self):
+        summary = LatencySummary.from_samples(
+            [0.01] * 10, wall_seconds=1.0, queries_per_request=16
+        )
+        assert summary.requests == 10
+        assert summary.queries == 160
+        assert summary.queries_per_second == pytest.approx(160.0)
+        assert summary.requests_per_second == pytest.approx(10.0)
+
+    def test_empty_run_is_all_zeros(self):
+        summary = LatencySummary.from_samples([], wall_seconds=5.0)
+        assert summary.requests == 0
+        assert summary.queries_per_second == 0.0
+        assert summary.p99_ms == 0.0
+
+    def test_rejects_bad_queries_per_request(self):
+        with pytest.raises(ValueError):
+            LatencySummary.from_samples([0.01], 1.0, queries_per_request=0)
+
+    def test_as_dict_round_trips_the_reported_fields(self):
+        summary = LatencySummary.from_samples([0.002, 0.004], wall_seconds=1.0)
+        as_dict = summary.as_dict()
+        assert as_dict["requests"] == 2
+        assert as_dict["p50_ms"] == pytest.approx(2.0)
+        assert as_dict["queries_per_second"] == pytest.approx(2.0)

@@ -1,0 +1,114 @@
+"""Unit tests for the shared front-end API (parsing + header normalization).
+
+Both front ends build every response through :mod:`repro.serve.api`; these
+tests pin the normalized header contract — charset-qualified Content-Type
+on success *and* error bodies, exact Content-Length, explicit Connection
+disposition — that used to drift when the threaded server hand-rolled its
+headers.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import RuleMaintainer, RuleStore
+from repro.serve.api import (
+    JSON_CONTENT_TYPE,
+    BadRequest,
+    encode_json,
+    parse_items,
+    parse_positive_int,
+    reason_phrase,
+    respond,
+    response_headers,
+)
+
+
+class TestParsing:
+    def test_parse_items(self):
+        assert parse_items("1,2,3", "basket") == (1, 2, 3)
+        assert parse_items("7", "basket") == (7,)
+
+    def test_parse_items_tolerates_blank_tokens(self):
+        assert parse_items("1,,2,", "basket") == (1, 2)
+
+    def test_parse_items_rejects_garbage(self):
+        with pytest.raises(BadRequest, match="basket"):
+            parse_items("1,zebra", "basket")
+        with pytest.raises(BadRequest, match="at least one"):
+            parse_items(",", "basket")
+
+    def test_parse_positive_int(self):
+        assert parse_positive_int("5", "k") == 5
+        with pytest.raises(BadRequest, match="positive"):
+            parse_positive_int("0", "k")
+        with pytest.raises(BadRequest, match="integer"):
+            parse_positive_int("five", "k")
+
+
+class TestEncodeJson:
+    def test_strict_json(self):
+        with pytest.raises(ValueError):
+            encode_json({"x": float("nan")})
+
+    def test_utf8_bytes(self):
+        assert encode_json({"a": 1}) == b'{"a": 1}'
+
+
+class TestResponseHeaders:
+    def test_charset_and_exact_length(self):
+        body = encode_json({"error": "bad"})
+        headers = dict(response_headers(body, keep_alive=True))
+        assert headers["Content-Type"] == JSON_CONTENT_TYPE
+        assert "charset=utf-8" in headers["Content-Type"]
+        assert headers["Content-Length"] == str(len(body))
+
+    def test_connection_disposition_is_explicit(self):
+        body = b"{}"
+        assert dict(response_headers(body, keep_alive=True))["Connection"] == "keep-alive"
+        assert dict(response_headers(body, keep_alive=False))["Connection"] == "close"
+
+    def test_extra_headers_come_before_connection(self):
+        body = b"{}"
+        headers = response_headers(
+            body, keep_alive=False, extra=[("Retry-After", "2")]
+        )
+        names = [name for name, _ in headers]
+        assert names == ["Content-Type", "Content-Length", "Retry-After", "Connection"]
+
+
+class TestReasonPhrase:
+    @pytest.mark.parametrize(
+        ("status", "phrase"),
+        [(200, "OK"), (400, "Bad Request"), (429, "Too Many Requests"), (503, "Service Unavailable")],
+    )
+    def test_standard_codes(self, status, phrase):
+        assert reason_phrase(status) == phrase
+
+
+class TestRespond:
+    @pytest.fixture
+    def store(self, small_database):
+        maintainer = RuleMaintainer(0.3, 0.5)
+        maintainer.initialise(small_database)
+        store = RuleStore()
+        store.attach(maintainer)
+        return store
+
+    def test_bad_request_becomes_400_json(self, store):
+        status, payload = respond(store, "/recommend", {})
+        assert status == 400
+        assert "basket" in payload["error"]
+        json.dumps(payload, allow_nan=False)
+
+    def test_empty_store_becomes_503(self):
+        status, payload = respond(RuleStore(), "/rules", {})
+        assert status == 503
+        assert payload["status"] == "empty"
+
+    def test_ok_routes_pass_through(self, store):
+        status, payload = respond(store, "/health", {})
+        assert status == 200
+        assert payload["status"] == "ok"

@@ -1,0 +1,200 @@
+"""Async front end under concurrent load with interleaved publications.
+
+The serving guarantees this module hammers:
+
+* **Batch atomicity** — a batched ``POST /recommend`` is answered from one
+  snapshot read, so a publication landing mid-batch must never split the
+  response: every basket's recommendations must match the snapshot of the
+  version the response claims.
+* **Cache freshness** — the response cache is keyed by snapshot version and
+  cleared on publish, so no response may ever pair version ``V`` with
+  content computed from a different version (and after the last publish,
+  responses must converge to the final version).
+* **Rate-limit contract under load** — a limited client gets a 429 with a
+  parseable ``Retry-After`` and is admitted again after waiting it out.
+
+The expectation table is built from the published snapshots themselves: a
+listener registered *before* the writer starts records every immutable
+snapshot by version, and each response is checked against the recorded
+snapshot of the version it claims — byte-level equality, not heuristics.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+
+import pytest
+
+from repro import AsyncRuleServer, RuleMaintainer, RuleStore, TransactionDatabase
+
+MIN_SUPPORT = 0.15
+MIN_CONFIDENCE = 0.4
+PUBLICATIONS = 8
+CLIENT_THREADS = 4
+BASKETS = ([1], [2], [1, 2], [2, 3], [1, 2, 3], [3, 4])
+K = 4
+
+
+@pytest.fixture
+def stress_setup():
+    """A maintainer-backed store, a snapshot registry, and a running server."""
+    rows = [
+        sorted({1 + (i % 4), 2 + (i % 3), 3 + (i % 5)})
+        for i in range(120)
+    ]
+    maintainer = RuleMaintainer(MIN_SUPPORT, MIN_CONFIDENCE)
+    maintainer.initialise(TransactionDatabase(rows, name="async-stress"))
+    store = RuleStore()
+    snapshots = {}
+    # Registered before attach so version 0 and every later publication is
+    # recorded; snapshots are immutable, so holding them is safe.
+    store.on_publish(lambda snapshot: snapshots.setdefault(snapshot.version, snapshot))
+    store.attach(maintainer)
+    with AsyncRuleServer(store) as server:
+        yield {
+            "server": server,
+            "store": store,
+            "maintainer": maintainer,
+            "snapshots": snapshots,
+        }
+
+
+def expected_payload(snapshot, basket: list[int]) -> list[dict]:
+    return [entry.as_dict() for entry in snapshot.recommend(tuple(basket), k=K)]
+
+
+class TestInterleavedPublications:
+    def test_no_response_mixes_versions_and_cache_never_stale(self, stress_setup):
+        server = stress_setup["server"]
+        snapshots = stress_setup["snapshots"]
+        maintainer = stress_setup["maintainer"]
+
+        stop = threading.Event()
+        failures: list[str] = []
+
+        def check(version: int, basket: list[int], recommendations: list[dict]) -> None:
+            snapshot = snapshots.get(version)
+            if snapshot is None:
+                failures.append(f"response claims unpublished version {version}")
+                return
+            if recommendations != expected_payload(snapshot, basket):
+                failures.append(
+                    f"version {version} basket {basket}: recommendations do not "
+                    f"match that version's snapshot (stale cache or torn batch)"
+                )
+
+        def client(worker: int) -> None:
+            connection = http.client.HTTPConnection(
+                server.host, server.port, timeout=10
+            )
+            try:
+                turn = worker
+                while not stop.is_set():
+                    if turn % 2 == 0:
+                        # Batched POST: every basket must share one version.
+                        body = json.dumps({"baskets": list(BASKETS), "k": K}).encode()
+                        connection.request(
+                            "POST", "/recommend", body=body,
+                            headers={"Content-Type": "application/json"},
+                        )
+                        response = connection.getresponse()
+                        payload = json.loads(response.read().decode("utf-8"))
+                        if response.status != 200:
+                            failures.append(f"batch POST -> {response.status}")
+                            break
+                        for entry in payload["results"]:
+                            check(
+                                payload["version"],
+                                entry["basket"],
+                                entry["recommendations"],
+                            )
+                    else:
+                        basket = BASKETS[turn % len(BASKETS)]
+                        target = ",".join(map(str, basket))
+                        connection.request("GET", f"/recommend?basket={target}&k={K}")
+                        response = connection.getresponse()
+                        payload = json.loads(response.read().decode("utf-8"))
+                        if response.status != 200:
+                            failures.append(f"GET -> {response.status}")
+                            break
+                        check(payload["version"], payload["basket"], payload["recommendations"])
+                    turn += 1
+            except (OSError, http.client.HTTPException) as exc:
+                failures.append(f"worker {worker} transport error: {exc!r}")
+            finally:
+                connection.close()
+
+        threads = [
+            threading.Thread(target=client, args=(worker,), name=f"hammer-{worker}")
+            for worker in range(CLIENT_THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        # The writer publishes while the clients hammer.
+        for index in range(PUBLICATIONS):
+            maintainer.add_transactions(
+                [[1 + index % 3, 2 + index % 4, 5], [2, 3 + index % 3]],
+                label=f"live-{index}",
+            )
+            time.sleep(0.02)
+        time.sleep(0.1)  # let clients observe the final version
+        stop.set()
+        for thread in threads:
+            thread.join()
+
+        assert not failures, failures[:5]
+        assert len(snapshots) == PUBLICATIONS + 1
+
+        # After the dust settles every response must be the final version,
+        # and a repeat of it must be served from the (repopulated) cache.
+        final = stress_setup["store"].snapshot()
+        connection = http.client.HTTPConnection(server.host, server.port, timeout=10)
+        try:
+            for _ in range(2):
+                connection.request("GET", f"/recommend?basket=1,2&k={K}")
+                response = connection.getresponse()
+                payload = json.loads(response.read().decode("utf-8"))
+                assert payload["version"] == final.version
+                assert payload["recommendations"] == expected_payload(final, [1, 2])
+        finally:
+            connection.close()
+        cache = server.cache.stats()
+        assert cache["invalidations"] >= PUBLICATIONS
+        assert cache["hits"] >= 1
+
+
+class TestRateLimitUnderLoad:
+    def test_429_retry_after_is_parseable_and_sufficient(self, stress_setup):
+        store = stress_setup["store"]
+        with AsyncRuleServer(store, rate_limit=5.0, rate_burst=2.0) as server:
+            connection = http.client.HTTPConnection(server.host, server.port, timeout=10)
+            try:
+                limited = None
+                for _ in range(10):
+                    connection.request(
+                        "GET", "/recommend?basket=1", headers={"X-Client-Id": "flood"}
+                    )
+                    response = connection.getresponse()
+                    payload = json.loads(response.read().decode("utf-8"))
+                    if response.status == 429:
+                        limited = (dict(response.getheaders()), payload)
+                        break
+                assert limited is not None, "burst of 10 never hit the limiter"
+                headers, payload = limited
+                # The header is RFC delay-seconds (integral, >= 1); the body
+                # carries the exact fractional wait.
+                assert int(headers["Retry-After"]) >= 1
+                exact = payload["retry_after_seconds"]
+                assert 0 < exact <= 1.0
+                time.sleep(exact + 0.05)
+                connection.request(
+                    "GET", "/recommend?basket=1", headers={"X-Client-Id": "flood"}
+                )
+                response = connection.getresponse()
+                response.read()
+                assert response.status == 200, "waiting out Retry-After must admit"
+            finally:
+                connection.close()

@@ -1,0 +1,116 @@
+"""Unit tests for the async front end's bounded LRU response cache."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.serve.cache import DEFAULT_CACHE_SIZE, ResponseCache
+
+
+class TestBasics:
+    def test_miss_then_hit(self):
+        cache = ResponseCache(4)
+        assert cache.get("a") is None
+        cache.put("a", {"x": 1})
+        assert cache.get("a") == {"x": 1}
+
+    def test_default_capacity(self):
+        assert ResponseCache().stats()["capacity"] == DEFAULT_CACHE_SIZE
+
+    def test_rejects_negative_capacity(self):
+        with pytest.raises(ValueError):
+            ResponseCache(-1)
+
+
+class TestLru:
+    def test_evicts_least_recently_used(self):
+        cache = ResponseCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh a; b becomes LRU
+        cache.put("c", 3)
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+
+    def test_put_refreshes_existing_key(self):
+        cache = ResponseCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # refresh + replace, not a second entry
+        cache.put("c", 3)
+        assert cache.get("a") == 10
+        assert cache.get("b") is None
+
+    def test_size_never_exceeds_capacity(self):
+        cache = ResponseCache(3)
+        for index in range(10):
+            cache.put(index, index)
+        assert len(cache) == 3
+        assert cache.stats()["evictions"] == 7
+
+
+class TestZeroCapacity:
+    def test_capacity_zero_disables_caching(self):
+        cache = ResponseCache(0)
+        cache.put("a", 1)
+        assert cache.get("a") is None
+        assert len(cache) == 0
+
+
+class TestInvalidation:
+    def test_clear_empties_and_counts(self):
+        cache = ResponseCache(8)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.get("a") is None
+        assert cache.stats()["invalidations"] == 1
+
+
+class TestStats:
+    def test_hit_miss_accounting(self):
+        cache = ResponseCache(4)
+        cache.get("a")
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("a")
+        stats = cache.stats()
+        assert stats["hits"] == 2
+        assert stats["misses"] == 1
+        assert stats["size"] == 1
+
+
+class TestThreadSafety:
+    def test_concurrent_put_get_clear_is_consistent(self):
+        """Hammer one cache from several threads; bounded size, no wreckage.
+
+        The cache is written from request handlers *and* cleared from the
+        maintainer's publish hook (a different thread), so mixed operations
+        must never corrupt the LRU order or overshoot the bound.
+        """
+        cache = ResponseCache(16)
+        errors: list[BaseException] = []
+
+        def worker(seed: int) -> None:
+            try:
+                for index in range(500):
+                    key = (seed * 500 + index) % 40
+                    cache.put(key, index)
+                    cache.get(key)
+                    if index % 97 == 0:
+                        cache.clear()
+                    assert len(cache) <= 16
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(seed,)) for seed in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(cache) <= 16

@@ -162,3 +162,74 @@ class TestRouting:
         for path in ("/health", "/rules", "/recommend?basket=1", "/itemset?items=1"):
             payload = get_json(served["server"].url + path)
             json.dumps(payload, allow_nan=False)
+
+
+class TestHeaderNormalization:
+    """The threaded front end serves the shared normalized header set.
+
+    Before the headers were centralised in ``repro.serve.api``, error bodies
+    went out without a charset and no response carried an explicit
+    ``Connection: keep-alive`` — these tests read the raw headers off the
+    socket so a regression cannot hide behind urllib's tolerant parsing.
+    """
+
+    def _raw(self, served, path: str):
+        import http.client
+
+        server = served["server"]
+        connection = http.client.HTTPConnection(server.host, server.port, timeout=10)
+        try:
+            connection.request("GET", path)
+            response = connection.getresponse()
+            body = response.read()
+            return response, body
+        finally:
+            connection.close()
+
+    def test_success_headers(self, served):
+        response, body = self._raw(served, "/health")
+        assert response.status == 200
+        assert response.getheader("Content-Type") == "application/json; charset=utf-8"
+        assert response.getheader("Content-Length") == str(len(body))
+        assert response.getheader("Connection") == "keep-alive"
+
+    def test_error_body_headers_match_success(self, served):
+        """A 400 carries the same charset/length/connection contract as a 200."""
+        response, body = self._raw(served, "/recommend?basket=zebra")
+        assert response.status == 400
+        assert response.getheader("Content-Type") == "application/json; charset=utf-8"
+        assert response.getheader("Content-Length") == str(len(body))
+        assert response.getheader("Connection") == "keep-alive"
+        assert "basket" in json.loads(body.decode("utf-8"))["error"]
+
+    def test_connection_survives_an_error_response(self, served):
+        """Keep-alive is honoured across a 400: the same socket serves again."""
+        import http.client
+
+        server = served["server"]
+        connection = http.client.HTTPConnection(server.host, server.port, timeout=10)
+        try:
+            connection.request("GET", "/recommend?basket=zebra")
+            error = connection.getresponse()
+            error.read()
+            assert error.status == 400
+            connection.request("GET", "/health")
+            ok = connection.getresponse()
+            payload = json.loads(ok.read().decode("utf-8"))
+            assert ok.status == 200
+            assert payload["status"] == "ok"
+        finally:
+            connection.close()
+
+    def test_client_requested_close_is_honoured(self, served):
+        import http.client
+
+        server = served["server"]
+        connection = http.client.HTTPConnection(server.host, server.port, timeout=10)
+        try:
+            connection.request("GET", "/health", headers={"Connection": "close"})
+            response = connection.getresponse()
+            response.read()
+            assert response.getheader("Connection") == "close"
+        finally:
+            connection.close()

@@ -1,0 +1,114 @@
+"""Unit tests for the per-client token-bucket rate limiter."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.ratelimit import RateLimiter, TokenBucket
+
+
+class FakeClock:
+    """A controllable monotonic clock."""
+
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_burst_is_available_immediately(self):
+        bucket = TokenBucket(rate=1.0, burst=3.0, now=0.0)
+        assert bucket.acquire(0.0) == 0.0
+        assert bucket.acquire(0.0) == 0.0
+        assert bucket.acquire(0.0) == 0.0
+        assert bucket.acquire(0.0) > 0.0
+
+    def test_refills_at_rate(self):
+        bucket = TokenBucket(rate=2.0, burst=1.0, now=0.0)
+        assert bucket.acquire(0.0) == 0.0
+        assert bucket.acquire(0.0) > 0.0
+        # 2 tokens/s: one token back after 0.5s.
+        assert bucket.acquire(0.5) == 0.0
+
+    def test_retry_after_is_exact(self):
+        bucket = TokenBucket(rate=4.0, burst=1.0, now=0.0)
+        assert bucket.acquire(0.0) == 0.0
+        retry_after = bucket.acquire(0.0)
+        # Empty bucket at 4 tokens/s: a full token is 0.25s away.
+        assert retry_after == pytest.approx(0.25)
+
+    def test_tokens_cap_at_burst(self):
+        bucket = TokenBucket(rate=10.0, burst=2.0, now=0.0)
+        # A long idle period must not bank more than the burst.
+        assert bucket.acquire(60.0) == 0.0
+        assert bucket.acquire(60.0) == 0.0
+        assert bucket.acquire(60.0) > 0.0
+
+
+class TestRateLimiter:
+    def test_validates_parameters(self):
+        with pytest.raises(ValueError):
+            RateLimiter(0.0)
+        with pytest.raises(ValueError):
+            RateLimiter(-1.0)
+        with pytest.raises(ValueError):
+            RateLimiter(5.0, burst=0.5)
+        with pytest.raises(ValueError):
+            RateLimiter(5.0, max_clients=0)
+
+    def test_default_burst_covers_at_least_one_request(self):
+        clock = FakeClock()
+        limiter = RateLimiter(0.1, clock=clock)  # rate < 1: burst clamps to 1
+        assert limiter.check("c") == 0.0
+        assert limiter.check("c") > 0.0
+
+    def test_clients_are_limited_independently(self):
+        clock = FakeClock()
+        limiter = RateLimiter(1.0, burst=1.0, clock=clock)
+        assert limiter.check("alice") == 0.0
+        assert limiter.check("alice") > 0.0
+        assert limiter.check("bob") == 0.0  # fresh bucket, unaffected
+
+    def test_retry_after_then_allowed(self):
+        clock = FakeClock()
+        limiter = RateLimiter(2.0, burst=1.0, clock=clock)
+        assert limiter.check("c") == 0.0
+        retry_after = limiter.check("c")
+        assert retry_after == pytest.approx(0.5)
+        clock.advance(retry_after)
+        assert limiter.check("c") == 0.0
+
+    def test_client_map_is_bounded(self):
+        clock = FakeClock()
+        limiter = RateLimiter(1.0, max_clients=3, clock=clock)
+        for client in ("a", "b", "c", "d"):
+            limiter.check(client)
+        stats = limiter.stats()
+        assert stats["clients"] == 3
+        assert stats["evicted"] == 1
+
+    def test_eviction_drops_least_recently_seen(self):
+        clock = FakeClock()
+        limiter = RateLimiter(1.0, burst=1.0, max_clients=2, clock=clock)
+        assert limiter.check("a") == 0.0
+        assert limiter.check("b") == 0.0
+        assert limiter.check("a") > 0.0  # refreshes a; b becomes LRU
+        limiter.check("c")  # evicts b
+        # b's bucket was dropped: it gets a fresh burst despite just spending it.
+        assert limiter.check("b") == 0.0
+
+    def test_stats_counters(self):
+        clock = FakeClock()
+        limiter = RateLimiter(1.0, burst=1.0, clock=clock)
+        limiter.check("c")
+        limiter.check("c")
+        stats = limiter.stats()
+        assert stats["allowed"] == 1
+        assert stats["limited"] == 1
+        assert stats["rate"] == 1.0
+        assert stats["burst"] == 1.0

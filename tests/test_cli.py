@@ -592,6 +592,59 @@ class TestServe:
         assert code == 2
         assert "--min-confidence" in capsys.readouterr().err
 
+    def test_async_flags_need_the_async_frontend(self, workload_files, capsys):
+        """The async-only knobs must error under --frontend threaded, not no-op."""
+        for flag, value in (
+            ("--cache-size", "64"),
+            ("--rate-limit", "100"),
+            ("--max-connections", "32"),
+        ):
+            code = main(
+                [
+                    "serve",
+                    str(workload_files["database_path"]),
+                    "--min-support", "0.2",
+                    flag, value,
+                ]
+            )
+            assert code == 2
+            err = capsys.readouterr().err
+            assert flag in err
+            assert "--frontend async" in err
+
+    def test_rate_burst_needs_rate_limit(self, workload_files, capsys):
+        code = main(
+            [
+                "serve",
+                str(workload_files["database_path"]),
+                "--min-support", "0.2",
+                "--frontend", "async",
+                "--rate-burst", "10",
+            ]
+        )
+        assert code == 2
+        assert "--rate-burst needs --rate-limit" in capsys.readouterr().err
+
+    def test_async_flag_values_are_validated(self, workload_files, capsys):
+        base = [
+            "serve",
+            str(workload_files["database_path"]),
+            "--min-support", "0.2",
+            "--frontend", "async",
+        ]
+        assert main(base + ["--cache-size", "-1"]) == 2
+        assert "--cache-size must be >= 0" in capsys.readouterr().err
+        assert main(base + ["--rate-limit", "0"]) == 2
+        assert "--rate-limit must be positive" in capsys.readouterr().err
+        assert main(base + ["--rate-limit", "5", "--rate-burst", "0.5"]) == 2
+        assert "--rate-burst must be >= 1" in capsys.readouterr().err
+        # --max-connections is typed positive_int, so argparse itself
+        # refuses zero with the usual usage-error exit.
+        with pytest.raises(SystemExit) as excinfo:
+            main(base + ["--max-connections", "0"])
+        assert excinfo.value.code == 2
+        assert "positive integer" in capsys.readouterr().err
+
     def test_occupied_port_fails_cleanly(self, workload_files, capsys):
         import socket
 
