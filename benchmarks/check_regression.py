@@ -1,8 +1,9 @@
 """Benchmark-regression gate: fresh BENCH artifacts vs committed baselines.
 
-CI regenerates ``BENCH_serving.json`` and ``BENCH_backends.json`` on every
-run (``REPRO_BENCH_ARTIFACT=1``); this script compares the throughput
-numbers of that fresh run against the baselines committed in git and fails
+CI regenerates ``BENCH_serving.json``, ``BENCH_backends.json`` and
+``BENCH_maintenance.json`` on every run (``REPRO_BENCH_ARTIFACT=1``); this
+script compares the throughput numbers of that fresh run against the
+baselines committed in git and fails
 (exit 1) when a metric fell below ``tolerance × baseline`` — a generous
 band, because shared CI runners are noisy and the gate exists to catch
 *collapses* (an accidentally quadratic code path, a lost index), not
@@ -57,12 +58,19 @@ METRICS: dict[str, tuple[tuple[str, ...], ...]] = {
     ),
     "BENCH_backends.json": (
         ("vertical_speedup_vs_horizontal",),
+        ("kernels", "speedup_numpy_vs_bigint"),
+        ("snapshot_open", "speedup_v2_open_vs_v1"),
+    ),
+    "BENCH_maintenance.json": (
+        ("index_maintenance", "speedup_delta_vs_rebuild"),
+        ("deletion_validation", "validation_speedup_vs_rebuild"),
+        ("session_kernels", "speedup_numpy_vs_bigint"),
     ),
 }
 
 #: Sections whose rows carry an ``assertion_active`` flag; a false flag on
 #: either side downgrades that section's metrics to SKIP.
-GATED_SECTIONS = ("closed_loop", "open_loop")
+GATED_SECTIONS = ("closed_loop", "open_loop", "kernels", "snapshot_open")
 
 
 @dataclass(frozen=True)

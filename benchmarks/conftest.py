@@ -153,8 +153,8 @@ def print_report(title: str, rows: list[dict[str, object]], columns: list[str] |
     print(format_table(rows, columns=columns, title=title))
 
 
-def serving_artifact_path() -> "Path | None":
-    """Where ``BENCH_serving.json`` lands, or None to skip writing it.
+def bench_artifact_path(filename: str) -> "Path | None":
+    """Where the named ``BENCH_*.json`` artifact lands, or None to skip it.
 
     ``REPRO_BENCH_ARTIFACT=1`` selects the repo root; any other value names
     the *directory* (the env var is shared across benchmark modules, so each
@@ -165,32 +165,50 @@ def serving_artifact_path() -> "Path | None":
     if not value:
         return None
     if value == "1":
-        return Path(__file__).resolve().parents[1] / "BENCH_serving.json"
+        return Path(__file__).resolve().parents[1] / filename
     path = Path(value)
-    if path.name != "BENCH_serving.json":
-        return path.with_name("BENCH_serving.json")
+    if path.name != filename:
+        return path.with_name(filename)
     return path
 
 
-def update_serving_artifact(section: str, payload: dict) -> None:
-    """Merge *payload* under *section* into ``BENCH_serving.json``.
+def update_bench_artifact(
+    filename: str, benchmark: str, section: str | None, payload: dict
+) -> None:
+    """Merge *payload* into the named artifact without clobbering siblings.
 
-    Shared by the in-process serving benchmarks and the load-harness
-    benchmark so every serving measurement lands in one document with the
-    run's scale stamped on it.
+    Several benchmark modules contribute sections to one document (the
+    backends artifact holds the engine race plus the kernel and snapshot
+    rows; the serving artifact holds every serving measurement), so writes
+    are read-merge-write: an existing document of the same ``benchmark``
+    kind keeps its other sections.  ``section=None`` merges *payload* at the
+    top level (the artifact's historical flat shape); a name nests it.
     """
-    artifact = serving_artifact_path()
+    artifact = bench_artifact_path(filename)
     if artifact is None:
         return
-    document: dict = {"benchmark": "serving", "scale": BENCH_SCALE}
+    document: dict = {"benchmark": benchmark, "scale": BENCH_SCALE}
     if artifact.exists():
         try:
             existing = json.loads(artifact.read_text(encoding="ascii"))
         except (OSError, ValueError):
             existing = {}
-        if existing.get("benchmark") == "serving":
+        if existing.get("benchmark") == benchmark:
             document = existing
     document["scale"] = BENCH_SCALE
-    document[section] = payload
+    if section is None:
+        document.update(payload)
+    else:
+        document[section] = payload
     artifact.parent.mkdir(parents=True, exist_ok=True)
     artifact.write_text(json.dumps(document, indent=2) + "\n", encoding="ascii")
+
+
+def serving_artifact_path() -> "Path | None":
+    """Where ``BENCH_serving.json`` lands, or None to skip writing it."""
+    return bench_artifact_path("BENCH_serving.json")
+
+
+def update_serving_artifact(section: str, payload: dict) -> None:
+    """Merge *payload* under *section* into ``BENCH_serving.json``."""
+    update_bench_artifact("BENCH_serving.json", "serving", section, payload)

@@ -25,10 +25,7 @@ baseline untouched.
 
 from __future__ import annotations
 
-import json
-import os
 import time
-from pathlib import Path
 
 import pytest
 
@@ -37,28 +34,18 @@ from repro.mining.backends import BACKEND_NAMES
 from repro.mining.candidates import apriori_gen
 from repro.mining.result import required_support_count
 
-from .conftest import BENCH_SCALE, print_report, timing_asserts_enabled
+from .conftest import (
+    BENCH_SCALE,
+    print_report,
+    timing_asserts_enabled,
+    update_bench_artifact,
+)
 
 #: Support level of the counting race — low enough that C_2 is a real pool.
 COUNT_SUPPORT = 0.01
 #: Minimum speed-up of the vertical engine over the horizontal hash-tree
 #: scan on the counting-dominated phase.
 MIN_VERTICAL_SPEEDUP = 1.5
-
-
-def _artifact_path() -> Path | None:
-    """Where the baseline artifact lands, or None to skip writing it.
-
-    Controlled by ``REPRO_BENCH_ARTIFACT``: unset/empty skips the write (so
-    routine test runs don't dirty the committed baseline), ``1`` selects the
-    default repo-root ``BENCH_backends.json``, anything else is the path.
-    """
-    value = os.environ.get("REPRO_BENCH_ARTIFACT", "")
-    if not value:
-        return None
-    if value == "1":
-        return Path(__file__).resolve().parents[1] / "BENCH_backends.json"
-    return Path(value)
 
 #: Shard count used for the partitioned engine in this comparison.
 SHARDS = 4
@@ -132,10 +119,14 @@ def test_backend_comparison(benchmark, figure2_workload):
     counting = timings["counting"]
     speedup = counting["horizontal"] / max(counting["vertical"], 1e-9)
 
-    artifact = _artifact_path()
-    if artifact is not None:
-        payload = {
-            "benchmark": "backends_comparison",
+    # Merged (not overwritten) at the top level: the kernel race and the
+    # snapshot-open benchmark in test_kernels.py contribute sibling sections
+    # to the same document.
+    update_bench_artifact(
+        "BENCH_backends.json",
+        "backends_comparison",
+        None,
+        {
             "workload": figure2_workload.name,
             "scale": BENCH_SCALE,
             "transactions": len(database),
@@ -149,8 +140,8 @@ def test_backend_comparison(benchmark, figure2_workload):
                 name: round(value, 6) for name, value in timings["mining"].items()
             },
             "vertical_speedup_vs_horizontal": round(speedup, 3),
-        }
-        artifact.write_text(json.dumps(payload, indent=2) + "\n", encoding="ascii")
+        },
+    )
 
     print_report(
         f"counting backends on {figure2_workload.name} "

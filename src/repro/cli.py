@@ -44,6 +44,12 @@ shell, each as a subcommand:
     per-client token-bucket rate limiting via ``--rate-limit`` /
     ``--rate-burst``, and bounded-connection backpressure via
     ``--max-connections``).
+``snapshot inspect | migrate``
+    Operate on binary snapshot files: ``inspect`` prints the header fields of
+    a v1 or v2 snapshot without loading the transactions (exit 2 on a corrupt
+    or unrecognised file); ``migrate`` rewrites a v1 record-stream snapshot as
+    the memory-mappable v2 format with the lane section included, so serving
+    tiers reopen it in O(1).
 ``session init | apply | status | checkpoint``
     The durable flavour of ``maintain``: a
     :class:`~repro.core.session.MaintenanceSession` persisted to a session
@@ -80,14 +86,25 @@ from .core.session import (
     save_state,
 )
 from .datagen.synthetic import SyntheticConfig, SyntheticDataGenerator
-from .db.store import load_database, save_database
+from .db.store import (
+    inspect_snapshot,
+    load_database,
+    migrate_snapshot,
+    save_database,
+)
 from .db.transaction_db import shard_bounds
 from .db.update import UpdateBatch
 from .errors import ReproError
 from .harness.reporting import format_table
 from .harness.runner import compare_update_strategies
 from .mining.apriori import AprioriMiner
-from .mining.backends import BACKEND_NAMES, DEFAULT_SHARDS, EXECUTOR_NAMES, MiningOptions
+from .mining.backends import (
+    BACKEND_NAMES,
+    DEFAULT_SHARDS,
+    EXECUTOR_NAMES,
+    KERNEL_NAMES,
+    MiningOptions,
+)
 from .mining.dhp import DhpMiner, DhpOptions
 from .mining.rules import generate_rules
 
@@ -153,6 +170,7 @@ def _mining_options(args: argparse.Namespace) -> MiningOptions:
         shards=args.shards,
         executor=args.executor,
         workers=args.workers,
+        kernel=args.kernel,
     )
 
 
@@ -405,6 +423,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 ("--shards", args.shards),
                 ("--executor", args.executor),
                 ("--workers", args.workers),
+                ("--kernel", args.kernel),
             )
             if value is not None
         ]
@@ -459,6 +478,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                     shards=DEFAULT_SHARDS if args.shards is None else args.shards,
                     executor=args.executor or "threads",
                     workers=args.workers,
+                    kernel=args.kernel,
                 )
             ),
         )
@@ -535,6 +555,27 @@ def _cmd_session_checkpoint(args: argparse.Namespace) -> int:
     print(
         f"checkpointed {args.session_dir} at batch {seq} "
         f"({pending} journaled batch(es) compacted into the snapshot)"
+    )
+    return 0
+
+
+def _cmd_snapshot_inspect(args: argparse.Namespace) -> int:
+    info = inspect_snapshot(Path(args.snapshot))
+    for key, value in info.as_dict().items():
+        print(f"{key}: {value}")
+    return 0
+
+
+def _cmd_snapshot_migrate(args: argparse.Namespace) -> int:
+    info = migrate_snapshot(Path(args.source), Path(args.destination))
+    lanes = (
+        f"{info.distinct_items} item lanes x {info.lane_words} words"
+        if info.lanes_present
+        else "no lane section"
+    )
+    print(
+        f"migrated {args.source} -> {args.destination} (format v{info.format_version}, "
+        f"{info.transactions} transactions, {lanes}, {info.byte_size} bytes)"
     )
     return 0
 
@@ -845,6 +886,14 @@ def build_parser() -> argparse.ArgumentParser:
             help="cap on the partitioned backend's concurrent lanes "
             "(default: one per shard)",
         )
+        subparser.add_argument(
+            "--kernel",
+            choices=list(KERNEL_NAMES),
+            default=None,
+            help="bitmap kernel for the vertical counting core: pure-Python "
+            "big integers, numpy uint64 lanes, or auto (numpy when "
+            "installed; default: bigint)",
+        )
 
     generate = commands.add_parser("generate", help="generate a synthetic Tx.Iy.Dm.dn workload")
     generate.add_argument("database", help="output file for the original database DB")
@@ -944,6 +993,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers",
         type=positive_int,
         help="cap on the partitioned backend's concurrent lanes (database mode)",
+    )
+    serve.add_argument(
+        "--kernel",
+        choices=list(KERNEL_NAMES),
+        help="bitmap kernel for the vertical counting core (database mode; "
+        "default bigint)",
     )
     serve.add_argument("--host", default="127.0.0.1", help="bind address")
     serve.add_argument(
@@ -1048,6 +1103,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     session_checkpoint.add_argument("session_dir", help="existing session directory")
     session_checkpoint.set_defaults(handler=_cmd_session_checkpoint)
+
+    snapshot = commands.add_parser(
+        "snapshot",
+        help="inspect or migrate binary snapshot files (v1 record stream, "
+        "v2 memory-mappable)",
+    )
+    snapshot_commands = snapshot.add_subparsers(dest="snapshot_command", required=True)
+
+    snapshot_inspect = snapshot_commands.add_parser(
+        "inspect",
+        help="print a snapshot's header fields without loading the "
+        "transactions (exit 2 on a corrupt or unrecognised file)",
+    )
+    snapshot_inspect.add_argument("snapshot", help="snapshot file to inspect")
+    snapshot_inspect.set_defaults(handler=_cmd_snapshot_inspect)
+
+    snapshot_migrate = snapshot_commands.add_parser(
+        "migrate",
+        help="rewrite a v1 snapshot as the memory-mappable v2 format "
+        "(lane section included, so reopening is O(1))",
+    )
+    snapshot_migrate.add_argument("source", help="v1 snapshot file to migrate")
+    snapshot_migrate.add_argument("destination", help="output v2 snapshot file")
+    snapshot_migrate.set_defaults(handler=_cmd_snapshot_migrate)
 
     rules = commands.add_parser("rules", help="derive strong rules from a saved state")
     rules.add_argument("state", help="itemset state file")

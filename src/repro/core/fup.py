@@ -99,6 +99,7 @@ class FupUpdater:
             shards=self.options.shards,
             executor=self.options.executor,
             workers=self.options.workers,
+            kernel=self.options.kernel,
         )
 
     # ------------------------------------------------------------------ #
@@ -207,6 +208,7 @@ class _FupRun:
             shards=options.shards,
             executor=options.executor,
             workers=options.workers,
+            kernel=options.kernel,
         )
         self.interleaved_scans = self.backend.supports_transaction_pruning
         self.original_db = original

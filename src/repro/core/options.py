@@ -15,6 +15,7 @@ from ..mining.backends import (
     DEFAULT_EXECUTOR,
     DEFAULT_SHARDS,
     EXECUTOR_NAMES,
+    KERNEL_NAMES,
     HorizontalBackend,
     MiningOptions,
 )
@@ -65,6 +66,10 @@ class FupOptions:
     workers:
         Cap on the ``"partitioned"`` engine's concurrent lanes (``None``:
         one per shard).
+    kernel:
+        Bitmap kernel for the vertical counting core (see
+        :data:`repro.mining.backends.KERNEL_NAMES`): ``"bigint"``,
+        ``"numpy"``, ``"auto"``, or ``None`` for the default.
     """
 
     prune_candidates_by_increment: bool = True
@@ -76,6 +81,7 @@ class FupOptions:
     shards: int = DEFAULT_SHARDS
     executor: str = DEFAULT_EXECUTOR
     workers: int | None = None
+    kernel: str | None = None
 
     def __post_init__(self) -> None:
         if self.hash_table_size < 1:
@@ -94,6 +100,11 @@ class FupOptions:
             )
         if self.workers is not None and self.workers < 1:
             raise ValueError(f"workers must be positive, got {self.workers}")
+        if self.kernel is not None and self.kernel not in KERNEL_NAMES:
+            raise ValueError(
+                f"unknown kernel {self.kernel!r}; "
+                f"expected one of {', '.join(KERNEL_NAMES)}"
+            )
 
     def mining_options(self) -> "MiningOptions":
         """The engine-selection slice of these options as a MiningOptions."""
@@ -102,6 +113,7 @@ class FupOptions:
             shards=self.shards,
             executor=self.executor,
             workers=self.workers,
+            kernel=self.kernel,
         )
 
     @classmethod
@@ -116,6 +128,7 @@ class FupOptions:
             shards=mining.shards,
             executor=mining.executor,
             workers=mining.workers,
+            kernel=mining.kernel,
             **overrides,
         )
 

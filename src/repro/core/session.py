@@ -69,7 +69,7 @@ try:
 except ImportError:  # pragma: no cover - non-POSIX platform
     fcntl = None  # type: ignore[assignment]
 
-from ..db.store import load_database, save_database
+from ..db.store import load_database, write_snapshot
 from ..db.transaction_db import TransactionDatabase
 from ..db.update import UpdateBatch
 from ..errors import ReproError, StorageError
@@ -341,6 +341,7 @@ class SessionStatus:
     shards: int
     executor: str
     workers: int | None
+    kernel: str | None
     checkpoint_interval: int
 
     @property
@@ -365,6 +366,7 @@ class SessionStatus:
             "shards": self.shards,
             "executor": self.executor,
             "workers": self.workers,
+            "kernel": self.kernel,
             "checkpoint_interval": self.checkpoint_interval,
         }
 
@@ -505,7 +507,12 @@ class MaintenanceSession:
         checkpoint_seq = int(manifest["checkpoint_seq"])
         snapshot_path = directory / f"snapshot-{checkpoint_seq}.bin"
         state_path = directory / f"state-{checkpoint_seq}.json"
-        database = load_database(snapshot_path, binary=True)
+        # Sessions checkpointed before format v2 hold a v1 snapshot here;
+        # load_database sniffs the magic, so both open transparently — a v2
+        # file memory-maps in O(1) with its vertical index wrapped under the
+        # session's configured kernel.
+        kernel = manifest.get("kernel") or None
+        database = load_database(snapshot_path, binary=True, kernel=kernel)
         # Set the name explicitly: load_database's filename-stem fallback
         # would otherwise rename an unnamed database to "snapshot-<seq>".
         database.name = str(manifest.get("name", ""))
@@ -528,6 +535,8 @@ class MaintenanceSession:
                 workers=(
                     int(manifest["workers"]) if manifest.get("workers") else None
                 ),
+                # Pre-kernel manifests carry no entry: default kernel.
+                kernel=kernel,
             ),
         )
         # Seeding the sequence with the checkpoint seq makes the maintainer's
@@ -652,6 +661,7 @@ class MaintenanceSession:
             shards=maintainer.fup_options.shards,
             executor=maintainer.fup_options.executor,
             workers=maintainer.fup_options.workers,
+            kernel=maintainer.fup_options.kernel,
             checkpoint_interval=self._checkpoint_interval,
         )
 
@@ -681,6 +691,7 @@ class MaintenanceSession:
             shards=int(manifest["shards"]),
             executor=str(manifest.get("executor", "threads")),
             workers=(int(manifest["workers"]) if manifest.get("workers") else None),
+            kernel=manifest.get("kernel") or None,
             checkpoint_interval=int(manifest["checkpoint_interval"]),
         )
 
@@ -756,7 +767,10 @@ class MaintenanceSession:
         state_path = directory / f"state-{seq}.json"
 
         snapshot_tmp = snapshot_path.with_suffix(".bin.tmp")
-        save_database(self._maintainer.database, snapshot_tmp, binary=True)
+        # Format v2 with the lane section always present: recovery and the
+        # serving tier then reopen the snapshot via mmap in O(1) instead of
+        # parsing it, whatever backend the session counts with.
+        write_snapshot(self._maintainer.database, snapshot_tmp, include_lanes=True)
         _atomic_replace(snapshot_tmp, snapshot_path)
 
         state_tmp = state_path.with_suffix(".json.tmp")
@@ -787,6 +801,7 @@ class MaintenanceSession:
             "shards": maintainer.fup_options.shards,
             "executor": maintainer.fup_options.executor,
             "workers": maintainer.fup_options.workers,
+            "kernel": maintainer.fup_options.kernel,
             "checkpoint_interval": self._checkpoint_interval,
             "checkpoint_seq": checkpoint_seq,
             "database_size": len(maintainer.database),

@@ -123,7 +123,9 @@ class TransactionDatabase:
     """
 
     __slots__ = (
-        "_transactions",
+        "_tx",
+        "_tx_loader",
+        "_tx_count",
         "_vertical",
         "_partitions",
         "_item_counts",
@@ -137,9 +139,11 @@ class TransactionDatabase:
         transactions: Iterable[Iterable[Item]] = (),
         name: str = "",
     ) -> None:
-        self._transactions: list[Transaction] = [
+        self._tx: list[Transaction] | None = [
             _canonical_transaction(raw, tid) for tid, raw in enumerate(transactions)
         ]
+        self._tx_loader = None
+        self._tx_count = 0
         self._vertical: VerticalIndex | None = None
         self._partitions: dict[int, list["TransactionDatabase"]] = {}
         self._item_counts: Counter[Item] | None = None
@@ -148,10 +152,48 @@ class TransactionDatabase:
         self.name = name
 
     # ------------------------------------------------------------------ #
+    # Lazy materialization (memory-mapped snapshots)
+    # ------------------------------------------------------------------ #
+    @property
+    def _transactions(self) -> list[Transaction]:
+        """The transaction list, materializing a pending lazy loader first.
+
+        Databases opened from a memory-mapped snapshot carry a loader
+        instead of the list, so opening is O(1); the first operation that
+        genuinely needs the rows (iteration, mutation, fingerprinting) pays
+        the one-off parse here.  Size queries and vertical counting never
+        trigger it.
+        """
+        transactions = self._tx
+        if transactions is None:
+            self._tx = transactions = list(self._tx_loader())
+            self._tx_loader = None
+        return transactions
+
+    @_transactions.setter
+    def _transactions(self, transactions: list[Transaction]) -> None:
+        self._tx = transactions
+        self._tx_loader = None
+
+    @classmethod
+    def _lazy(cls, loader, count: int, name: str = "") -> "TransactionDatabase":
+        """Internal: a database whose rows materialize on first real use."""
+        database = cls(name=name)
+        database._tx = None
+        database._tx_loader = loader
+        database._tx_count = count
+        return database
+
+    @property
+    def transactions_loaded(self) -> bool:
+        """False while a lazily-opened snapshot has not materialized its rows."""
+        return self._tx is not None
+
+    # ------------------------------------------------------------------ #
     # Container protocol
     # ------------------------------------------------------------------ #
     def __len__(self) -> int:
-        return len(self._transactions)
+        return self._tx_count if self._tx is None else len(self._tx)
 
     def __iter__(self) -> Iterator[Transaction]:
         return iter(self._transactions)
@@ -357,7 +399,7 @@ class TransactionDatabase:
     @property
     def size(self) -> int:
         """Number of transactions (``D`` in the paper's notation)."""
-        return len(self._transactions)
+        return len(self)
 
     def transactions(self) -> Sequence[Transaction]:
         """Return a read-only view (the underlying list) of the transactions."""
@@ -455,7 +497,7 @@ class TransactionDatabase:
         needed = set(candidate)
         return sum(1 for transaction in self._transactions if needed.issubset(transaction))
 
-    def vertical(self) -> VerticalIndex:
+    def vertical(self, kernel: str | None = None) -> VerticalIndex:
         """Return the cached vertical (TID-bitset) representation.
 
         The result maps each item to an ``int`` bitmask in which bit ``t`` is
@@ -467,9 +509,16 @@ class TransactionDatabase:
         instead of being rebuilt — an update costs work proportional to the
         update, never to the database.  Treat the returned mapping as a
         read-only live view of this database.
+
+        *kernel* names the bitmap kernel the caller wants to count with
+        (see :mod:`repro.kernels`); an already-built index under a different
+        kernel is converted **in place** (one repack, cheaper than a rebuild)
+        so subsequent callers share it.  ``None`` keeps whatever is there.
         """
         if self._vertical is None:
-            self._vertical = VerticalIndex.build(self._transactions)
+            self._vertical = VerticalIndex.build(self._transactions, kernel=kernel)
+        elif kernel is not None:
+            self._vertical = self._vertical.with_kernel(kernel)
         return self._vertical
 
     @property

@@ -1,7 +1,7 @@
 """The incrementally-maintained vertical (item → TID-bitmask) index.
 
-The vertical layout — per item, an ``int`` bitmask in which bit ``t`` is set
-when transaction ``t`` contains the item — is the data structure behind the
+The vertical layout — per item, a bitmap in which bit ``t`` is set when
+transaction ``t`` contains the item — is the data structure behind the
 library's fastest counting engine.  Rebuilding it from scratch costs a full
 pass over every transaction, which is exactly the kind of re-derivation the
 paper's FUP algorithm exists to avoid; this module therefore applies FUP's
@@ -12,26 +12,29 @@ object that is *maintained by delta*:
   old size — O(Σ|tᵢ|) work for an increment of transactions ``tᵢ``, never a
   function of the database size;
 * **delete_tids** compacts the deleted TID bits out of every mask with
-  segment-wise bitmask arithmetic (shift/mask/OR of whole masks, each a
-  C-speed big-int operation over D/64 machine words) — deletions are the
-  hard case because every surviving bit above a deleted position must slide
-  down to keep bit ``t`` meaning "transaction ``t``";
+  segment-wise bitmask arithmetic — deletions are the hard case because
+  every surviving bit above a deleted position must slide down to keep bit
+  ``t`` meaning "transaction ``t``";
 * **concatenate** merges two already-built indexes by shifting the second
   operand's masks by the first operand's size;
 * **slice** (and through it :meth:`TransactionDatabase.partition`) derives a
-  child index from the parent's masks with one shift-and-mask per item
-  instead of re-scanning the child's transactions;
-* **copy** clones the mask table (the masks themselves are immutable ints
-  and are shared).
+  child index from the parent's masks instead of re-scanning the child's
+  transactions;
+* **copy** clones the underlying table.
+
+The *physical* bitmap representation lives behind the
+:class:`~repro.kernels.base.BitmapKernel` seam: big-int masks by default,
+numpy ``uint64`` lanes when the ``numpy`` kernel is selected (see
+:mod:`repro.kernels`).  This class validates arguments, implements the
+read-only :class:`collections.abc.Mapping` protocol (item → big-int mask,
+whatever the kernel), and delegates the bit arithmetic — so every consumer
+of the previous plain-``dict`` vertical representation keeps working
+unchanged regardless of kernel.
 
 :class:`~repro.db.transaction_db.TransactionDatabase` owns one of these and
 keeps it current through every mutation, so a k-batch maintenance session
 builds the index once and then pays only O(Σ dᵢ) for all subsequent batches
 — the paper's Figure-2 claim applied to our own data structures.
-
-The class implements the read-only :class:`collections.abc.Mapping` protocol
-(item → mask), so every consumer of the previous plain-``dict`` vertical
-representation keeps working unchanged.
 """
 
 from __future__ import annotations
@@ -41,10 +44,13 @@ from collections.abc import Mapping
 from typing import Iterable, Iterator, Sequence
 
 from ..itemsets import Item, Itemset
+from ..kernels import BitmapKernel, kernel_class, resolve_kernel_name
 
 Transaction = tuple[Item, ...]
 
 __all__ = ["VerticalIndex"]
+
+_PAYLOAD_VERSION = 2
 
 
 class VerticalIndex(Mapping):
@@ -53,27 +59,71 @@ class VerticalIndex(Mapping):
     Invariant: for every item, bit ``t`` of its mask is set exactly when
     transaction ``t`` of the indexed sequence contains the item, and items
     appearing in no transaction carry no entry at all (so two indexes over
-    equal transaction sequences compare equal).  ``size`` is the number of
-    indexed transactions — one more than the highest usable bit position.
+    equal transaction sequences compare equal — even across kernels, since
+    the Mapping protocol always speaks canonical big-int masks).  ``size``
+    is the number of indexed transactions — one more than the highest
+    usable bit position.
     """
 
-    __slots__ = ("_masks", "_size")
+    __slots__ = ("_store",)
 
-    def __init__(self, masks: dict[Item, int] | None = None, size: int = 0) -> None:
+    def __init__(
+        self,
+        masks: dict[Item, int] | None = None,
+        size: int = 0,
+        kernel: str | None = None,
+    ) -> None:
         if size < 0:
             raise ValueError(f"size must be non-negative, got {size}")
-        self._masks: dict[Item, int] = {} if masks is None else masks
-        self._size = size
+        cls = kernel_class(kernel)
+        self._store: BitmapKernel = cls.from_masks(masks or {}, size)
 
     @classmethod
-    def build(cls, transactions: Sequence[Transaction]) -> "VerticalIndex":
+    def _wrap(cls, store: BitmapKernel) -> "VerticalIndex":
+        index = cls.__new__(cls)
+        index._store = store
+        return index
+
+    @classmethod
+    def build(
+        cls, transactions: Sequence[Transaction], kernel: str | None = None
+    ) -> "VerticalIndex":
         """Build the index from scratch in one pass over *transactions*."""
-        masks: dict[Item, int] = {}
-        for tid, transaction in enumerate(transactions):
-            bit = 1 << tid
-            for item in transaction:
-                masks[item] = masks.get(item, 0) | bit
-        return cls(masks, len(transactions))
+        return cls._wrap(kernel_class(kernel).build(transactions))
+
+    @classmethod
+    def from_lanes(
+        cls,
+        items: Sequence[Item],
+        lanes: bytes | memoryview,
+        size: int,
+        kernel: str | None = None,
+    ) -> "VerticalIndex":
+        """Build the index from a canonical lane buffer (snapshot v2 layout).
+
+        The numpy kernel wraps the buffer zero-copy (first mutation copies);
+        the big-int kernel parses it once.
+        """
+        return cls._wrap(kernel_class(kernel).from_lanes(items, lanes, size))
+
+    # ------------------------------------------------------------------ #
+    # Kernel plumbing
+    # ------------------------------------------------------------------ #
+    @property
+    def kernel(self) -> str:
+        """Registry name of the kernel holding this index's bitmaps."""
+        return self._store.name
+
+    def with_kernel(self, kernel: str | None) -> "VerticalIndex":
+        """This index re-packed under *kernel* (``self`` if already there)."""
+        cls = kernel_class(kernel)
+        if isinstance(self._store, cls):
+            return self
+        return self._wrap(cls.from_masks(self._store.masks(), self._store.size))
+
+    def export_lanes(self) -> tuple[list[Item], int, bytes]:
+        """Canonical lane form ``(sorted items, words, uint64 buffer)``."""
+        return self._store.export_lanes()
 
     # ------------------------------------------------------------------ #
     # Mapping protocol (read side)
@@ -81,66 +131,66 @@ class VerticalIndex(Mapping):
     @property
     def size(self) -> int:
         """Number of indexed transactions (bit positions in use)."""
-        return self._size
+        return self._store.size
 
     def __getitem__(self, item: Item) -> int:
-        return self._masks[item]
+        if item not in self._store:
+            raise KeyError(item)
+        return self._store.mask(item)
 
     def __iter__(self) -> Iterator[Item]:
-        return iter(self._masks)
+        return self._store.items()
 
     def __len__(self) -> int:
-        return len(self._masks)
+        return len(self._store)
+
+    def __contains__(self, item: object) -> bool:
+        return item in self._store
 
     def get(self, item: Item, default: int = 0) -> int:
         """Mask of *item*, or *default* when the item appears nowhere."""
-        return self._masks.get(item, default)
+        return self._store.mask(item) if item in self._store else default
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"<VerticalIndex items={len(self._masks)} size={self._size}>"
+        return (
+            f"<VerticalIndex kernel={self._store.name} "
+            f"items={len(self._store)} size={self._store.size}>"
+        )
 
     # ------------------------------------------------------------------ #
     # Counting queries
     # ------------------------------------------------------------------ #
     def support(self, candidate: Itemset) -> int:
-        """Number of indexed transactions containing every item of *candidate*."""
-        bits = -1  # all-ones: the identity of bitwise AND
-        for item in candidate:
-            item_bits = self._masks.get(item)
-            if not item_bits:
-                return 0
-            bits &= item_bits
-            if not bits:
-                return 0
-        # An empty candidate would leave ``bits == -1``; treat it as
-        # contained in every transaction, matching set.issubset semantics.
-        return self._size if bits < 0 else bits.bit_count()
+        """Number of indexed transactions containing every item of *candidate*.
+
+        An empty candidate counts as contained in every transaction,
+        matching ``set.issubset`` semantics.
+        """
+        return self._store.support(candidate)
+
+    def count_candidates(self, candidates: Sequence[Itemset]) -> dict[Itemset, int]:
+        """Batched :meth:`support` over a whole candidate pool.
+
+        One call per candidate *level* is the kernel seam's hot path: the
+        numpy kernel vectorizes the entire pool, while the big-int kernel
+        loops — both return exactly ``{c: support(c) for c in candidates}``.
+        """
+        return self._store.count_candidates(candidates)
 
     def item_counts(self) -> Counter[Item]:
         """Per-item support counts (one popcount per item)."""
-        return Counter({item: mask.bit_count() for item, mask in self._masks.items()})
+        return self._store.item_counts()
 
     # ------------------------------------------------------------------ #
     # Delta maintenance (mutating)
     # ------------------------------------------------------------------ #
     def append(self, transaction: Transaction) -> None:
         """OR one new transaction's bits in at position ``size``."""
-        bit = 1 << self._size
-        masks = self._masks
-        for item in transaction:
-            masks[item] = masks.get(item, 0) | bit
-        self._size += 1
+        self._store.append(transaction)
 
     def extend(self, transactions: Iterable[Transaction]) -> None:
         """OR an increment's bits in, shifted past the current size."""
-        masks = self._masks
-        tid = self._size
-        for transaction in transactions:
-            bit = 1 << tid
-            for item in transaction:
-                masks[item] = masks.get(item, 0) | bit
-            tid += 1
-        self._size = tid
+        self._store.extend(transactions)
 
     def delete_tids(self, tids: Sequence[int]) -> None:
         """Compact the given TID bits out of every mask.
@@ -157,98 +207,64 @@ class VerticalIndex(Mapping):
         """
         if not tids:
             return
-        # Kept segments between deletions: (start, window-mask, width).
-        segments: list[tuple[int, int, int]] = []
-        previous = 0
+        size = self._store.size
+        previous = -1
         for tid in tids:
-            if tid < previous:
+            if tid <= previous:
                 raise ValueError(f"tids must be strictly increasing, got {list(tids)!r}")
-            if tid >= self._size:
-                raise ValueError(f"tid {tid} out of range for size {self._size}")
-            if tid > previous:
-                width = tid - previous
-                segments.append((previous, (1 << width) - 1, width))
-            previous = tid + 1
-        tail_start = previous  # everything at or above this survives unbounded
-
-        masks = self._masks
-        if not segments:
-            # Contiguous prefix deletion (the sliding-window case): every
-            # mask compacts with a single shift.
-            self._masks = {
-                item: shifted
-                for item, mask in masks.items()
-                if (shifted := mask >> tail_start)
-            }
-        elif len(segments) == 1 and segments[0][0] == 0:
-            # One contiguous deleted range: keep the low window, slide the
-            # tail down — two shifts and an OR per mask.
-            _, window, width = segments[0]
-            self._masks = {
-                item: compacted
-                for item, mask in masks.items()
-                if (compacted := (mask & window) | ((mask >> tail_start) << width))
-            }
-        else:
-            first_deleted = 1 << tids[0]
-            for item in list(masks):
-                mask = masks[item]
-                if mask < first_deleted:
-                    continue  # every set bit sits below the first deletion
-                compacted = 0
-                offset = 0
-                for start, window, width in segments:
-                    compacted |= ((mask >> start) & window) << offset
-                    offset += width
-                compacted |= (mask >> tail_start) << offset
-                if compacted:
-                    masks[item] = compacted
-                else:
-                    del masks[item]
-        self._size -= len(tids)
+            if tid >= size:
+                raise ValueError(f"tid {tid} out of range for size {size}")
+            previous = tid
+        self._store.delete_tids(tids)
 
     # ------------------------------------------------------------------ #
     # Process-boundary export
     # ------------------------------------------------------------------ #
-    def to_payload(self) -> tuple[dict[Item, int], int]:
-        """Export the index as plain picklable data (mask table, size).
+    def to_payload(self) -> dict:
+        """Export the index as plain picklable data.
 
         The payload is what crosses a process boundary when a shard is
         shipped to a counting worker: rebuilding the index on the far side
-        via :meth:`from_payload` is O(items) dictionary construction, never a
-        re-scan of the shard's transactions.
+        via :meth:`from_payload` never re-scans the shard's transactions.
+        The numpy kernel ships its lanes as one contiguous buffer instead
+        of pickling per-item big-ints.
         """
-        return dict(self._masks), self._size
+        return {
+            "version": _PAYLOAD_VERSION,
+            "kernel": self._store.name,
+            "data": self._store.to_payload(),
+        }
 
     @classmethod
-    def from_payload(cls, payload: tuple[dict[Item, int], int]) -> "VerticalIndex":
-        """Rebuild an index from :meth:`to_payload` data."""
-        masks, size = payload
-        return cls(dict(masks), size)
+    def from_payload(cls, payload: dict | tuple) -> "VerticalIndex":
+        """Rebuild an index from :meth:`to_payload` data.
+
+        Accepts the legacy ``(masks, size)`` tuple shape for payloads
+        produced before the kernel seam existed.
+        """
+        if isinstance(payload, tuple):  # pre-kernel payload shape
+            masks, size = payload
+            return cls(dict(masks), size)
+        store = kernel_class(payload["kernel"]).from_payload(payload["data"])
+        return cls._wrap(store)
 
     # ------------------------------------------------------------------ #
     # Derivation (non-mutating)
     # ------------------------------------------------------------------ #
     def copy(self) -> "VerticalIndex":
-        """Independent clone (mask table copied; the int masks are shared)."""
-        return VerticalIndex(dict(self._masks), self._size)
+        """Independent clone under the same kernel."""
+        return self._wrap(self._store.copy())
 
     def concatenate(self, other: "VerticalIndex") -> "VerticalIndex":
         """Index of ``self's transactions + other's transactions``."""
-        masks = dict(self._masks)
-        shift = self._size
-        for item, mask in other._masks.items():
-            masks[item] = masks.get(item, 0) | (mask << shift)
-        return VerticalIndex(masks, self._size + other._size)
+        other_store = other._store
+        if type(other_store) is not type(self._store):
+            other_store = type(self._store).from_masks(
+                other_store.masks(), other_store.size
+            )
+        return self._wrap(self._store.concatenate(other_store))
 
     def slice(self, start: int, stop: int | None = None) -> "VerticalIndex":
         """Index of transactions ``[start:stop)`` (list-slicing semantics)."""
-        start, stop, _ = slice(start, stop).indices(self._size)
-        width = max(0, stop - start)
-        window = (1 << width) - 1
-        masks: dict[Item, int] = {}
-        for item, mask in self._masks.items():
-            part = (mask >> start) & window
-            if part:
-                masks[item] = part
-        return VerticalIndex(masks, width)
+        start, stop, _ = slice(start, stop).indices(self._store.size)
+        return self._wrap(self._store.slice(start, stop))

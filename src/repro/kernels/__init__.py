@@ -1,0 +1,80 @@
+"""Pluggable bitmap kernels behind the vertical counting engine.
+
+The registry resolves user-facing kernel names to implementations:
+
+* ``"bigint"`` — pure-stdlib big-int masks, always available, the default;
+* ``"numpy"`` — uint64 lane-packed arrays, requires numpy, errors without it;
+* ``"auto"`` — ``"numpy"`` when numpy imports, else falls back to ``"bigint"``.
+
+``None`` means "no preference" and resolves to the default.  Resolution is
+intentionally eager (``resolve_kernel_name`` at option/backend construction
+time) so that a pickled backend shipped to a worker process counts with the
+same kernel as its parent instead of re-deciding per host.
+"""
+
+from __future__ import annotations
+
+from .base import BitmapKernel, lane_words
+from .bigint import BigIntKernel
+
+__all__ = [
+    "DEFAULT_KERNEL",
+    "KERNEL_NAMES",
+    "BitmapKernel",
+    "BigIntKernel",
+    "kernel_class",
+    "lane_words",
+    "numpy_available",
+    "resolve_kernel_name",
+]
+
+#: Names accepted by ``--kernel`` and the option dataclasses.
+KERNEL_NAMES: tuple[str, ...] = ("bigint", "numpy", "auto")
+
+DEFAULT_KERNEL = "bigint"
+
+_numpy_ok: bool | None = None
+
+
+def numpy_available() -> bool:
+    """True when numpy imports in this interpreter (memoized)."""
+    global _numpy_ok
+    if _numpy_ok is None:
+        try:
+            import numpy  # noqa: F401
+        except ImportError:
+            _numpy_ok = False
+        else:
+            _numpy_ok = True
+    return _numpy_ok
+
+
+def resolve_kernel_name(name: str | None) -> str:
+    """Resolve a user-facing kernel name to a concrete implementation name.
+
+    ``None`` → the default kernel; ``"auto"`` → ``"numpy"`` when available,
+    else the default.  An explicit ``"numpy"`` without numpy installed is an
+    error — silent fallback there would misreport what a benchmark measured.
+    """
+    if name is None:
+        return DEFAULT_KERNEL
+    if name not in KERNEL_NAMES:
+        raise ValueError(f"unknown kernel {name!r}, expected one of {KERNEL_NAMES}")
+    if name == "auto":
+        return "numpy" if numpy_available() else DEFAULT_KERNEL
+    if name == "numpy" and not numpy_available():
+        raise ValueError(
+            "kernel 'numpy' requested but numpy is not installed; "
+            "install the [numpy] extra or use --kernel auto for a fallback"
+        )
+    return name
+
+
+def kernel_class(name: str | None) -> type[BitmapKernel]:
+    """The kernel implementation class for *name* (after resolution)."""
+    resolved = resolve_kernel_name(name)
+    if resolved == "bigint":
+        return BigIntKernel
+    from .lanes import LaneKernel
+
+    return LaneKernel

@@ -1,0 +1,195 @@
+"""The bitmap-kernel contract behind the vertical index.
+
+A *kernel* owns the physical representation of an item → TID-bitmap table
+and everything that touches it: delta maintenance (append/extend/delete),
+derivation (slice/concatenate/copy), support counting (single candidate and
+batched per-level pools), and the import/export paths that cross process
+boundaries (:meth:`BitmapKernel.to_payload`) and land in memory-mappable
+snapshots (:meth:`BitmapKernel.export_lanes`).
+
+:class:`~repro.db.vertical_index.VerticalIndex` is a thin veneer over one
+kernel instance — it validates arguments, implements the Mapping protocol,
+and delegates the heavy lifting here.  Two implementations exist:
+
+* :class:`~repro.kernels.bigint.BigIntKernel` — one arbitrary-precision
+  Python ``int`` per item, bit ``t`` set when transaction ``t`` contains the
+  item.  Pure stdlib, always available, the zero-regression default.
+* :class:`~repro.kernels.lanes.LaneKernel` — every item's bitmap packed
+  into fixed-width ``uint64`` lanes of one 2-D numpy array, counting whole
+  candidate levels per call with vectorized AND + popcount.
+
+**Pinned invariant — kernels are observationally equivalent.**  For the
+same logical transaction sequence, every kernel must report identical
+items, masks, supports and counts through every mutation path; the
+equivalence suite (``tests/kernels``, ``tests/property``) asserts it, so
+engines and sessions may switch kernels freely without changing results.
+
+Canonical interchange forms (kernel-independent):
+
+* **masks** — ``dict[item, int]`` of big-int bitmaps, items with empty
+  bitmaps absent.  The reference representation; equality is defined on it.
+* **lanes** — a row-major ``uint64[items × words]`` little-endian buffer
+  plus its sorted item-id list, ``words = ceil(size / 64)``.  The zero-copy
+  representation used by the v2 snapshot format.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import Counter
+from typing import TYPE_CHECKING, ClassVar, Iterable, Iterator, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..itemsets import Item, Itemset
+
+Transaction = tuple  # tuple[Item, ...]; kept loose to avoid import cycles
+
+__all__ = ["BitmapKernel", "lane_words"]
+
+
+def lane_words(size: int) -> int:
+    """Number of 64-bit lane words covering *size* transaction bits."""
+    return (size + 63) >> 6
+
+
+class BitmapKernel(ABC):
+    """One item → TID-bitmap table plus the operations the index needs.
+
+    Instances are mutable stores: the ``VerticalIndex`` that owns a kernel
+    drives its whole life cycle and never shares it.  ``size`` — the number
+    of indexed transactions — is tracked by the kernel because every
+    physical operation (shift geometry, lane widths) depends on it.
+    """
+
+    #: Registry name of the implementation (``"bigint"`` / ``"numpy"``).
+    name: ClassVar[str] = ""
+
+    __slots__ = ()
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    @abstractmethod
+    def build(cls, transactions: Sequence[Transaction]) -> "BitmapKernel":
+        """Build the table in one pass over *transactions*."""
+
+    @classmethod
+    @abstractmethod
+    def from_masks(cls, masks: dict["Item", int], size: int) -> "BitmapKernel":
+        """Build the table from canonical big-int masks (zero masks dropped)."""
+
+    @classmethod
+    @abstractmethod
+    def from_payload(cls, payload: object) -> "BitmapKernel":
+        """Rebuild a table from :meth:`to_payload` data (same kernel only)."""
+
+    @classmethod
+    @abstractmethod
+    def from_lanes(
+        cls, items: Sequence["Item"], lanes: bytes | memoryview, size: int
+    ) -> "BitmapKernel":
+        """Build the table from a canonical lane buffer (see :meth:`export_lanes`).
+
+        *lanes* holds ``len(items) × lane_words(size)`` little-endian
+        ``uint64`` words, row-major, rows ordered like *items*.  Kernels that
+        can wrap the buffer zero-copy may do so; the buffer must then stay
+        valid (and is treated as read-only) for the kernel's lifetime.
+        """
+
+    # ------------------------------------------------------------------ #
+    # Read side
+    # ------------------------------------------------------------------ #
+    @property
+    @abstractmethod
+    def size(self) -> int:
+        """Number of indexed transactions (bit positions in use)."""
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Number of items with a non-empty bitmap."""
+
+    @abstractmethod
+    def items(self) -> Iterator["Item"]:
+        """Iterate over the items with a non-empty bitmap."""
+
+    @abstractmethod
+    def __contains__(self, item: object) -> bool: ...
+
+    @abstractmethod
+    def mask(self, item: "Item") -> int:
+        """Canonical big-int bitmap of *item* (``0`` when absent)."""
+
+    @abstractmethod
+    def masks(self) -> dict["Item", int]:
+        """The whole table in canonical ``dict[item, int]`` form (a copy)."""
+
+    @abstractmethod
+    def item_counts(self) -> Counter:
+        """Per-item support counts (one popcount per item)."""
+
+    @abstractmethod
+    def support(self, candidate: "Itemset") -> int:
+        """Transactions containing every item of *candidate* (empty → ``size``)."""
+
+    @abstractmethod
+    def count_candidates(self, candidates: Sequence["Itemset"]) -> dict:
+        """Batched :meth:`support` over a candidate pool — one call per level.
+
+        Semantics are exactly ``{c: self.support(c) for c in candidates}``;
+        implementations are free to reorder and batch the work.
+        """
+
+    # ------------------------------------------------------------------ #
+    # Delta maintenance (mutating)
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def append(self, transaction: Transaction) -> None:
+        """OR one new transaction's bits in at position ``size``."""
+
+    @abstractmethod
+    def extend(self, transactions: Iterable[Transaction]) -> None:
+        """OR an increment's bits in, shifted past the current size."""
+
+    @abstractmethod
+    def delete_tids(self, tids: Sequence[int]) -> None:
+        """Compact the given TID bits out of every bitmap.
+
+        *tids* arrive validated (strictly increasing, within ``range(size)``)
+        from the owning index.
+        """
+
+    # ------------------------------------------------------------------ #
+    # Derivation (non-mutating)
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def copy(self) -> "BitmapKernel":
+        """Independent clone."""
+
+    @abstractmethod
+    def concatenate(self, other: "BitmapKernel") -> "BitmapKernel":
+        """Table of ``self's transactions + other's transactions`` (same kernel)."""
+
+    @abstractmethod
+    def slice(self, start: int, stop: int) -> "BitmapKernel":
+        """Table of transactions ``[start:stop)`` (bounds pre-normalised)."""
+
+    # ------------------------------------------------------------------ #
+    # Interchange
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def to_payload(self) -> object:
+        """Picklable data for :meth:`from_payload` across a process boundary."""
+
+    @abstractmethod
+    def export_lanes(self) -> tuple[list, int, bytes]:
+        """Canonical lane form: ``(sorted items, words, row-major uint64 buffer)``.
+
+        The buffer holds ``len(items) × words`` little-endian 64-bit words;
+        row ``i`` is the bitmap of ``items[i]``.  This is the byte layout the
+        v2 snapshot format stores verbatim, so any kernel can reopen any
+        kernel's snapshot.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} items={len(self)} size={self.size}>"

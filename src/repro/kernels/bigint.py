@@ -1,0 +1,226 @@
+"""The arbitrary-precision big-int bitmap kernel (stdlib, always available).
+
+This is the library's original vertical representation extracted behind the
+:class:`~repro.kernels.base.BitmapKernel` seam: one Python ``int`` per item,
+bit ``t`` set when transaction ``t`` contains the item.  Every operation is
+a whole-mask big-int expression — C-speed per 30-digit limb — so the kernel
+has no dependencies and no setup cost, which keeps it the default.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Iterator, Sequence
+
+from .base import BitmapKernel, Transaction, lane_words
+
+__all__ = ["BigIntKernel"]
+
+
+class BigIntKernel(BitmapKernel):
+    """Item → big-int bitmap table."""
+
+    name = "bigint"
+
+    __slots__ = ("_masks", "_size")
+
+    def __init__(self, masks: dict | None = None, size: int = 0) -> None:
+        self._masks: dict = {} if masks is None else masks
+        self._size = size
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def build(cls, transactions: Sequence[Transaction]) -> "BigIntKernel":
+        masks: dict = {}
+        for tid, transaction in enumerate(transactions):
+            bit = 1 << tid
+            for item in transaction:
+                masks[item] = masks.get(item, 0) | bit
+        return cls(masks, len(transactions))
+
+    @classmethod
+    def from_masks(cls, masks: dict, size: int) -> "BigIntKernel":
+        return cls({item: mask for item, mask in masks.items() if mask}, size)
+
+    @classmethod
+    def from_payload(cls, payload: object) -> "BigIntKernel":
+        masks, size = payload  # type: ignore[misc]
+        return cls(dict(masks), int(size))
+
+    @classmethod
+    def from_lanes(
+        cls, items: Sequence, lanes: bytes | memoryview, size: int
+    ) -> "BigIntKernel":
+        words = lane_words(size)
+        row_bytes = words * 8
+        view = memoryview(lanes)
+        masks: dict = {}
+        for row, item in enumerate(items):
+            mask = int.from_bytes(view[row * row_bytes : (row + 1) * row_bytes], "little")
+            if mask:
+                masks[item] = mask
+        return cls(masks, size)
+
+    # ------------------------------------------------------------------ #
+    # Read side
+    # ------------------------------------------------------------------ #
+    @property
+    def size(self) -> int:
+        return self._size
+
+    def __len__(self) -> int:
+        return len(self._masks)
+
+    def items(self) -> Iterator:
+        return iter(self._masks)
+
+    def __contains__(self, item: object) -> bool:
+        return item in self._masks
+
+    def mask(self, item) -> int:
+        return self._masks.get(item, 0)
+
+    def masks(self) -> dict:
+        return dict(self._masks)
+
+    def item_counts(self) -> Counter:
+        return Counter({item: mask.bit_count() for item, mask in self._masks.items()})
+
+    def support(self, candidate) -> int:
+        bits = -1  # all-ones: the identity of bitwise AND
+        for item in candidate:
+            item_bits = self._masks.get(item)
+            if not item_bits:
+                return 0
+            bits &= item_bits
+            if not bits:
+                return 0
+        # An empty candidate leaves ``bits == -1``: contained in every
+        # transaction, matching set.issubset semantics.
+        return self._size if bits < 0 else bits.bit_count()
+
+    def count_candidates(self, candidates: Sequence) -> dict:
+        masks = self._masks
+        counts: dict = {}
+        for candidate in candidates:
+            bits = -1
+            for item in candidate:
+                item_bits = masks.get(item)
+                if not item_bits:
+                    bits = 0
+                    break
+                bits &= item_bits
+                if not bits:
+                    break
+            # ``(0).bit_count()`` is already 0, so no zero-guard is needed;
+            # only the empty-candidate sentinel (-1) needs special casing.
+            counts[candidate] = self._size if bits < 0 else bits.bit_count()
+        return counts
+
+    # ------------------------------------------------------------------ #
+    # Delta maintenance
+    # ------------------------------------------------------------------ #
+    def append(self, transaction: Transaction) -> None:
+        bit = 1 << self._size
+        masks = self._masks
+        for item in transaction:
+            masks[item] = masks.get(item, 0) | bit
+        self._size += 1
+
+    def extend(self, transactions: Iterable[Transaction]) -> None:
+        masks = self._masks
+        tid = self._size
+        for transaction in transactions:
+            bit = 1 << tid
+            for item in transaction:
+                masks[item] = masks.get(item, 0) | bit
+            tid += 1
+        self._size = tid
+
+    def delete_tids(self, tids: Sequence[int]) -> None:
+        # Kept segments between deletions: (start, window-mask, width).
+        segments: list[tuple[int, int, int]] = []
+        previous = 0
+        for tid in tids:
+            if tid > previous:
+                width = tid - previous
+                segments.append((previous, (1 << width) - 1, width))
+            previous = tid + 1
+        tail_start = previous  # everything at or above this survives unbounded
+
+        masks = self._masks
+        if not segments:
+            # Contiguous prefix deletion (the sliding-window case): every
+            # mask compacts with a single shift.
+            self._masks = {
+                item: shifted
+                for item, mask in masks.items()
+                if (shifted := mask >> tail_start)
+            }
+        elif len(segments) == 1 and segments[0][0] == 0:
+            # One contiguous deleted range: keep the low window, slide the
+            # tail down — two shifts and an OR per mask.
+            _, window, width = segments[0]
+            self._masks = {
+                item: compacted
+                for item, mask in masks.items()
+                if (compacted := (mask & window) | ((mask >> tail_start) << width))
+            }
+        else:
+            first_deleted = 1 << tids[0]
+            for item in list(masks):
+                mask = masks[item]
+                if mask < first_deleted:
+                    continue  # every set bit sits below the first deletion
+                compacted = 0
+                offset = 0
+                for start, window, width in segments:
+                    compacted |= ((mask >> start) & window) << offset
+                    offset += width
+                compacted |= (mask >> tail_start) << offset
+                if compacted:
+                    masks[item] = compacted
+                else:
+                    del masks[item]
+        self._size -= len(tids)
+
+    # ------------------------------------------------------------------ #
+    # Derivation
+    # ------------------------------------------------------------------ #
+    def copy(self) -> "BigIntKernel":
+        return BigIntKernel(dict(self._masks), self._size)
+
+    def concatenate(self, other: BitmapKernel) -> "BigIntKernel":
+        masks = dict(self._masks)
+        shift = self._size
+        for item, mask in other.masks().items():
+            masks[item] = masks.get(item, 0) | (mask << shift)
+        return BigIntKernel(masks, self._size + other.size)
+
+    def slice(self, start: int, stop: int) -> "BigIntKernel":
+        width = max(0, stop - start)
+        window = (1 << width) - 1
+        masks: dict = {}
+        for item, mask in self._masks.items():
+            part = (mask >> start) & window
+            if part:
+                masks[item] = part
+        return BigIntKernel(masks, width)
+
+    # ------------------------------------------------------------------ #
+    # Interchange
+    # ------------------------------------------------------------------ #
+    def to_payload(self) -> object:
+        return dict(self._masks), self._size
+
+    def export_lanes(self) -> tuple[list, int, bytes]:
+        items = sorted(self._masks)
+        words = lane_words(self._size)
+        row_bytes = words * 8
+        buffer = bytearray(len(items) * row_bytes)
+        for row, item in enumerate(items):
+            chunk = self._masks[item].to_bytes(row_bytes, "little")
+            buffer[row * row_bytes : (row + 1) * row_bytes] = chunk
+        return items, words, bytes(buffer)

@@ -1,0 +1,460 @@
+"""The numpy lane-packed bitmap kernel.
+
+Every item's TID bitmap lives as a row of fixed-width ``uint64`` *lanes* in
+one 2-D array: bit ``t`` of the item's bitmap is bit ``t & 63`` of lane word
+``t >> 6``.  The hot path — counting a whole candidate level — becomes a
+handful of vectorized array operations instead of a Python loop per
+candidate:
+
+* candidate rows are gathered with ``np.take`` into preallocated scratch,
+* intersections are whole-block ``np.bitwise_and`` with ``out=``,
+* supports are a vectorized popcount (``np.bitwise_count`` on numpy ≥ 2.0,
+  a SWAR bit-twiddling fallback otherwise) plus a row sum.
+
+Two layouts of the same level are used adaptively.  Apriori's join step
+emits candidates in runs sharing their first ``k-1`` items, so the shared
+prefix of each run can be intersected **once** and broadcast against the
+gathered partner rows — eliminating ``k-1`` of every ``k`` gathers when
+runs are long (the level-2 pool over L1 is one run per frequent item).
+That trade only wins when the gathers it saves are expensive, i.e. when
+the lane matrix has spilled the CPU caches (wide lanes or deep levels);
+small matrices are gather-cheap and the per-run dispatch overhead
+dominates instead, so those levels use the plain gather path, chunked
+along the *candidate* axis (~0.5 MB of scratch) so each block's gather,
+AND, popcount and row-sum all run cache-resident in a handful of numpy
+calls.
+
+Mutation economics: ``extend`` ORs the increment's lanes in place (one
+vector OR per touched item), while the rare compaction paths — deletions,
+slicing, concatenation — delegate to the big-int kernel's segment machinery
+and repack, trading a conversion pass for a single audited implementation
+of the tricky cross-word bit arithmetic.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from itertools import chain
+from operator import itemgetter
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from .base import BitmapKernel, Transaction, lane_words
+from .bigint import BigIntKernel
+
+__all__ = ["LaneKernel"]
+
+_U64 = np.dtype("<u8")
+
+#: Scratch budget for one counting block: 2**16 words = 0.5 MB, measured
+#: fastest on the Fig-2 workload (stays inside L2 alongside the gathers).
+_BLOCK_WORDS = 1 << 16
+
+#: Tighter budget for the candidate-axis gather path, which keeps *two*
+#: blocks live (accumulator + gathered partner): 2**15 words each keeps the
+#: pair inside L2, the measured sweet spot on the Fig-2 counting race.
+_GATHER_BLOCK_WORDS = 1 << 15
+
+#: Use the shared-prefix broadcast layout when the mean run length of the
+#: candidate pool reaches this many partners per prefix.
+_MIN_RUN_FOR_PREFIX = 8
+
+#: ... and only when the lanes are at least this wide (roughly the point
+#: where the matrix stops being cache-resident and the gather the prefix
+#: trick eliminates starts costing real memory bandwidth).  Deeper levels
+#: (k ≥ 3) always qualify: there the trick saves k-1 gathers, not one.
+_PREFIX_MIN_WORDS = 1 << 10
+
+if hasattr(np, "bitwise_count"):
+
+    def _popcount_inplace(block: np.ndarray) -> np.ndarray:
+        """Replace every uint64 word of *block* with its popcount."""
+        np.bitwise_count(block, out=block)
+        return block
+
+else:  # pragma: no cover - exercised only on numpy < 2.0
+    _M1 = np.uint64(0x5555555555555555)
+    _M2 = np.uint64(0x3333333333333333)
+    _M4 = np.uint64(0x0F0F0F0F0F0F0F0F)
+    _H01 = np.uint64(0x0101010101010101)
+    _S1, _S2, _S4, _S56 = (np.uint64(s) for s in (1, 2, 4, 56))
+
+    def _popcount_inplace(block: np.ndarray) -> np.ndarray:
+        """SWAR popcount (Hamming weight) for platforms without bitwise_count."""
+        x = block
+        x -= (x >> _S1) & _M1
+        x = (x & _M2) + ((x >> _S2) & _M2)
+        x += x >> _S4
+        x &= _M4
+        x *= _H01  # wraps mod 2**64 by design; the top byte is the count
+        x >>= _S56
+        if x is not block:
+            block[...] = x
+        return block
+
+
+def _prefix_runs(row_matrix: np.ndarray) -> np.ndarray:
+    """Start indices of the consecutive runs sharing their first k-1 rows."""
+    n = len(row_matrix)
+    prefixes = row_matrix[:, :-1]
+    new_run = np.empty(n, dtype=bool)
+    new_run[0] = True
+    np.any(prefixes[1:] != prefixes[:-1], axis=1, out=new_run[1:])
+    return np.flatnonzero(new_run)
+
+
+class LaneKernel(BitmapKernel):
+    """Item → uint64-lane bitmap table backed by one 2-D numpy array.
+
+    Invariants: the ``i``-th inserted item of ``_rows`` owns row ``i`` of
+    ``_lanes`` (so ``list(_rows)`` is row-ordered); only the live region
+    ``_lanes[:len(_rows), :lane_words(_size)]`` may hold non-zero words;
+    every live row is non-empty.  The array may be a read-only zero-copy
+    view over an external buffer (a memory-mapped snapshot, a pickled
+    payload) — the first mutation copies it into owned memory.
+    """
+
+    name = "numpy"
+
+    __slots__ = ("_rows", "_lanes", "_size", "_scratch")
+
+    def __init__(self, rows: dict, lanes: np.ndarray, size: int) -> None:
+        self._rows: dict = rows  # item -> row index, insertion-ordered
+        self._lanes: np.ndarray = lanes
+        self._size = size
+        self._scratch: dict = {}
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def build(cls, transactions: Sequence[Transaction]) -> "LaneKernel":
+        # Accumulating big-int masks first is faster than per-bit array
+        # stores: the Python pass is unavoidable either way, and the
+        # conversion to lanes is one bulk to_bytes per item.
+        return cls.from_masks(*BigIntKernel.build(transactions).to_payload())
+
+    @classmethod
+    def from_masks(cls, masks: dict, size: int) -> "LaneKernel":
+        live = [(item, mask) for item, mask in masks.items() if mask]
+        words = lane_words(size)
+        lanes = np.zeros((len(live), words), dtype=_U64)
+        row_bytes = words * 8
+        rows: dict = {}
+        for row, (item, mask) in enumerate(live):
+            rows[item] = row
+            lanes[row] = np.frombuffer(mask.to_bytes(row_bytes, "little"), dtype=_U64)
+        return cls(rows, lanes, size)
+
+    @classmethod
+    def from_payload(cls, payload: object) -> "LaneKernel":
+        items, size, buffer = payload  # type: ignore[misc]
+        return cls.from_lanes(items, buffer, size)
+
+    @classmethod
+    def from_lanes(
+        cls, items: Sequence, lanes: bytes | memoryview, size: int
+    ) -> "LaneKernel":
+        words = lane_words(size)
+        array = np.frombuffer(lanes, dtype=_U64, count=len(items) * words)
+        array = array.reshape(len(items), words)
+        rows = {item: row for row, item in enumerate(items)}
+        return cls(rows, array, size)
+
+    # ------------------------------------------------------------------ #
+    # Read side
+    # ------------------------------------------------------------------ #
+    @property
+    def size(self) -> int:
+        return self._size
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def items(self) -> Iterator:
+        return iter(self._rows)
+
+    def __contains__(self, item: object) -> bool:
+        return item in self._rows
+
+    @property
+    def _words(self) -> int:
+        return lane_words(self._size)
+
+    def mask(self, item) -> int:
+        row = self._rows.get(item)
+        if row is None:
+            return 0
+        return int.from_bytes(self._lanes[row, : self._words].tobytes(), "little")
+
+    def masks(self) -> dict:
+        words = self._words
+        lanes = self._lanes
+        return {
+            item: int.from_bytes(lanes[row, :words].tobytes(), "little")
+            for item, row in self._rows.items()
+        }
+
+    def item_counts(self) -> Counter:
+        if not self._rows:
+            return Counter()
+        live = np.array(self._lanes[: len(self._rows), : self._words])
+        counts = _popcount_inplace(live).sum(axis=1)
+        return Counter(dict(zip(self._rows, counts.tolist())))
+
+    def support(self, candidate) -> int:
+        items = tuple(candidate)
+        if not items:
+            return self._size
+        rows = self._rows
+        try:
+            indices = [rows[item] for item in items]
+        except KeyError:
+            return 0
+        words = self._words
+        lanes = self._lanes
+        acc = np.array(lanes[indices[0], :words])
+        for row in indices[1:]:
+            np.bitwise_and(acc, lanes[row, :words], out=acc)
+        return int(_popcount_inplace(acc).sum())
+
+    # ------------------------------------------------------------------ #
+    # Batched counting — the hot path
+    # ------------------------------------------------------------------ #
+    def count_candidates(self, candidates: Sequence) -> dict:
+        counts: dict = {}
+        by_length: dict[int, list] = {}
+        for candidate in candidates:
+            by_length.setdefault(len(candidate), []).append(candidate)
+        for length, pool in by_length.items():
+            if length == 0:
+                for candidate in pool:
+                    counts[candidate] = self._size
+            else:
+                self._count_level(pool, length, counts)
+        return counts
+
+    def _count_level(self, pool: list, k: int, counts: dict) -> None:
+        rows = self._rows
+        n = len(pool)
+        try:
+            # itemgetter resolves the whole flattened pool in one C call;
+            # a KeyError (candidate naming an unseen item) falls back to the
+            # per-item lookup that can record the miss.
+            flat = (
+                itemgetter(*chain.from_iterable(pool))(rows)
+                if n * k > 1
+                else (rows[pool[0][0]],)
+            )
+        except KeyError:
+            row_matrix = np.fromiter(
+                (rows.get(item, -1) for item in chain.from_iterable(pool)),
+                dtype=np.intp,
+                count=n * k,
+            ).reshape(n, k)
+            missing = (row_matrix < 0).any(axis=1)
+            for candidate, bad in zip(pool, missing.tolist()):
+                if bad:
+                    counts[candidate] = 0
+            keep = ~missing
+            pool = [c for c, ok in zip(pool, keep.tolist()) if ok]
+            row_matrix = row_matrix[keep]
+            n = len(pool)
+        else:
+            row_matrix = np.fromiter(flat, dtype=np.intp, count=n * k).reshape(n, k)
+        if not n:
+            return
+        if not self._size:
+            for candidate in pool:
+                counts[candidate] = 0
+            return
+
+        if k >= 2 and (k >= 3 or self._words >= _PREFIX_MIN_WORDS):
+            # Candidate pools arrive grouped by shared prefix already
+            # (apriori_gen joins within prefix blocks and callers sort), so
+            # try run detection on the given order first and only pay a
+            # lexsort when the pool turns out to be shuffled.
+            run_starts = _prefix_runs(row_matrix)
+            if n / len(run_starts) >= _MIN_RUN_FOR_PREFIX:
+                result = self._count_prefix_runs(row_matrix, run_starts)
+                counts.update(zip(pool, result.tolist()))
+                return
+            order = np.lexsort(row_matrix.T[::-1])
+            sorted_rm = row_matrix[order]
+            run_starts = _prefix_runs(sorted_rm)
+            if n / len(run_starts) >= _MIN_RUN_FOR_PREFIX:
+                sorted_res = self._count_prefix_runs(sorted_rm, run_starts)
+                result = np.empty(n, dtype=_U64)
+                result[order] = sorted_res
+                counts.update(zip(pool, result.tolist()))
+                return
+
+        result = self._count_gather(row_matrix)
+        counts.update(zip(pool, result.tolist()))
+
+    def _block(self, shape: tuple[int, int], tag: str = "a") -> np.ndarray:
+        key = (shape, tag)
+        scratch = self._scratch.get(key)
+        if scratch is None:
+            if len(self._scratch) > 6:
+                self._scratch.clear()
+            scratch = self._scratch[key] = np.empty(shape, dtype=_U64)
+        return scratch
+
+    def _count_gather(self, row_matrix: np.ndarray) -> np.ndarray:
+        """One gather per candidate item; works for any candidate pool.
+
+        Chunked along the candidate axis: each block gathers ~0.5 MB of
+        candidate rows into reused scratch, so the whole gather → AND →
+        popcount → row-sum sequence for a block runs cache-resident and the
+        numpy dispatch cost is amortised over hundreds of candidates.
+        """
+        n, k = row_matrix.shape
+        words = self._words
+        lanes = self._lanes
+        result = np.empty(n, dtype=_U64)
+        block_rows = max(1, min(n, _GATHER_BLOCK_WORDS // max(words, 1)))
+        columns = [np.ascontiguousarray(row_matrix[:, j]) for j in range(k)]
+        acc = self._block((block_rows, words))
+        gathered = self._block((block_rows, words), "b") if k > 1 else None
+        for start in range(0, n, block_rows):
+            stop = min(n, start + block_rows)
+            chunk = stop - start
+            block = acc[:chunk]
+            np.take(lanes[:, :words], columns[0][start:stop], axis=0, out=block)
+            for column in columns[1:]:
+                partner = gathered[:chunk]
+                np.take(lanes[:, :words], column[start:stop], axis=0, out=partner)
+                np.bitwise_and(block, partner, out=block)
+            result[start:stop] = _popcount_inplace(block).sum(axis=1, dtype=np.uint64)
+        return result
+
+    def _count_prefix_runs(
+        self, sorted_rm: np.ndarray, run_starts: np.ndarray
+    ) -> np.ndarray:
+        """Intersect each run's shared ``k-1`` prefix once, broadcast over partners."""
+        n, k = sorted_rm.shape
+        words = self._words
+        lanes = self._lanes
+        result = np.zeros(n, dtype=_U64)
+        bounds = np.append(run_starts, n)
+        prefix_row = np.empty(words, dtype=_U64)
+        for start, stop in zip(bounds[:-1].tolist(), bounds[1:].tolist()):
+            prefix = sorted_rm[start, : k - 1]
+            partners = np.ascontiguousarray(sorted_rm[start:stop, k - 1])
+            run = stop - start
+            np.copyto(prefix_row, lanes[prefix[0], :words])
+            for row in prefix[1:].tolist():
+                np.bitwise_and(prefix_row, lanes[row, :words], out=prefix_row)
+            block_words = max(1, _BLOCK_WORDS // run)
+            for offset in range(0, words, block_words):
+                width = min(block_words, words - offset)
+                gathered = self._block((run, width))
+                np.take(
+                    lanes[:, offset : offset + width], partners, axis=0, out=gathered
+                )
+                np.bitwise_and(
+                    gathered, prefix_row[offset : offset + width], out=gathered
+                )
+                result[start:stop] += _popcount_inplace(gathered).sum(
+                    axis=1, dtype=np.uint64
+                )
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Delta maintenance
+    # ------------------------------------------------------------------ #
+    def _ensure_capacity(self, rows_needed: int, words_needed: int) -> None:
+        lanes = self._lanes
+        row_cap, word_cap = lanes.shape
+        if lanes.flags.writeable and row_cap >= rows_needed and words_needed <= word_cap:
+            return
+        new_rows = row_cap if row_cap >= rows_needed else max(rows_needed, row_cap * 2, 8)
+        new_words = (
+            word_cap if word_cap >= words_needed else max(words_needed, word_cap * 2, 4)
+        )
+        grown = np.zeros((new_rows, new_words), dtype=_U64)
+        live_rows, live_words = len(self._rows), self._words
+        grown[:live_rows, :live_words] = lanes[:live_rows, :live_words]
+        self._lanes = grown
+
+    def _row_for(self, item) -> int:
+        row = self._rows.get(item)
+        if row is None:
+            row = len(self._rows)
+            self._rows[item] = row
+        return row
+
+    def append(self, transaction: Transaction) -> None:
+        items = tuple(transaction)
+        self._ensure_capacity(len(self._rows) + len(items), lane_words(self._size + 1))
+        word = self._size >> 6
+        bit = np.uint64(1 << (self._size & 63))
+        lanes = self._lanes
+        for item in items:
+            lanes[self._row_for(item), word] |= bit
+        self._size += 1
+
+    def extend(self, transactions: Iterable[Transaction]) -> None:
+        increment = BigIntKernel.build(list(transactions))
+        if not increment.size:
+            return
+        inc_masks, inc_size = increment.to_payload()
+        self._ensure_capacity(
+            len(self._rows) + len(inc_masks), lane_words(self._size + inc_size)
+        )
+        word0 = self._size >> 6
+        shift = self._size & 63
+        span = lane_words(shift + inc_size)
+        lanes = self._lanes
+        for item, mask in inc_masks.items():
+            chunk = np.frombuffer((mask << shift).to_bytes(span * 8, "little"), dtype=_U64)
+            lanes[self._row_for(item), word0 : word0 + span] |= chunk
+        self._size += inc_size
+
+    def _repack(self, masks: dict, size: int) -> None:
+        rebuilt = LaneKernel.from_masks(masks, size)
+        self._rows = rebuilt._rows
+        self._lanes = rebuilt._lanes
+        self._size = rebuilt._size
+        self._scratch.clear()
+
+    def delete_tids(self, tids: Sequence[int]) -> None:
+        # Compaction means sliding every surviving bit across word
+        # boundaries — delegate to the big-int segment machinery (the one
+        # audited implementation of that arithmetic) and repack the lanes.
+        compacted = BigIntKernel.from_masks(self.masks(), self._size)
+        compacted.delete_tids(tids)
+        self._repack(*compacted.to_payload())
+
+    # ------------------------------------------------------------------ #
+    # Derivation
+    # ------------------------------------------------------------------ #
+    def copy(self) -> "LaneKernel":
+        live = np.array(self._lanes[: len(self._rows), : self._words])
+        return LaneKernel(dict(self._rows), live, self._size)
+
+    def concatenate(self, other: BitmapKernel) -> "LaneKernel":
+        merged = BigIntKernel.from_masks(self.masks(), self._size).concatenate(
+            BigIntKernel.from_masks(other.masks(), other.size)
+        )
+        return LaneKernel.from_masks(*merged.to_payload())
+
+    def slice(self, start: int, stop: int) -> "LaneKernel":
+        window = BigIntKernel.from_masks(self.masks(), self._size).slice(start, stop)
+        return LaneKernel.from_masks(*window.to_payload())
+
+    # ------------------------------------------------------------------ #
+    # Interchange
+    # ------------------------------------------------------------------ #
+    def to_payload(self) -> object:
+        live = self._lanes[: len(self._rows), : self._words]
+        return list(self._rows), self._size, np.ascontiguousarray(live).tobytes()
+
+    def export_lanes(self) -> tuple[list, int, bytes]:
+        items = sorted(self._rows)
+        words = self._words
+        order = np.fromiter((self._rows[item] for item in items), dtype=np.intp)
+        live = np.ascontiguousarray(self._lanes[order][:, :words])
+        return items, words, live.tobytes()

@@ -90,6 +90,7 @@ class AprioriMiner:
                     shards=getattr(self.backend, "shards", DEFAULT_SHARDS),
                     executor=getattr(self.backend, "executor", DEFAULT_EXECUTOR),
                     workers=getattr(self.backend, "workers", None),
+                    kernel=getattr(self.backend, "kernel", None),
                 )
                 if self.backend.name in BACKEND_NAMES
                 else None

@@ -27,6 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ...errors import ReproError
+from ...kernels import KERNEL_NAMES
 from .base import CountingBackend, TransactionSource
 from .horizontal import HorizontalBackend
 from .partitioned import DEFAULT_SHARDS, PartitionedBackend, split_into_shards
@@ -43,6 +44,7 @@ __all__ = [
     "MiningOptions",
     "BACKEND_NAMES",
     "EXECUTOR_NAMES",
+    "KERNEL_NAMES",
     "DEFAULT_SHARDS",
     "DEFAULT_EXECUTOR",
     "make_backend",
@@ -67,6 +69,7 @@ def make_backend(
     shards: int = DEFAULT_SHARDS,
     executor: str = DEFAULT_EXECUTOR,
     workers: int | None = None,
+    kernel: str | None = None,
 ) -> CountingBackend:
     """Build a counting engine from a name (or pass an instance through).
 
@@ -85,6 +88,11 @@ def make_backend(
     workers:
         Cap on the ``"partitioned"`` engine's concurrent lanes (``None``:
         one per shard).
+    kernel:
+        Bitmap kernel for the ``"vertical"`` engine — also the default
+        inner engine of ``"partitioned"`` (:data:`KERNEL_NAMES`):
+        ``"bigint"``, ``"numpy"``, or ``"auto"``.  ``None`` keeps the
+        default; the horizontal engine ignores it.
     """
     if isinstance(backend, CountingBackend):
         return backend
@@ -95,7 +103,11 @@ def make_backend(
             f"unknown counting backend {backend!r}; expected one of {', '.join(BACKEND_NAMES)}"
         ) from None
     if factory is PartitionedBackend:
-        return PartitionedBackend(shards=shards, executor=executor, workers=workers)
+        return PartitionedBackend(
+            shards=shards, executor=executor, workers=workers, kernel=kernel
+        )
+    if factory is VerticalBackend:
+        return VerticalBackend(kernel=kernel)
     return factory()
 
 
@@ -117,12 +129,17 @@ class MiningOptions:
     workers:
         Cap on the ``"partitioned"`` engine's concurrent lanes (``None``:
         one per shard).
+    kernel:
+        Bitmap kernel for the vertical counting core (see
+        :data:`KERNEL_NAMES`): ``"bigint"``, ``"numpy"``, ``"auto"``, or
+        ``None`` for the default.
     """
 
     backend: str = HorizontalBackend.name
     shards: int = DEFAULT_SHARDS
     executor: str = DEFAULT_EXECUTOR
     workers: int | None = None
+    kernel: str | None = None
 
     def __post_init__(self) -> None:
         if self.backend not in BACKEND_NAMES:
@@ -139,6 +156,11 @@ class MiningOptions:
             )
         if self.workers is not None and self.workers < 1:
             raise ValueError(f"workers must be positive, got {self.workers}")
+        if self.kernel is not None and self.kernel not in KERNEL_NAMES:
+            raise ReproError(
+                f"unknown kernel {self.kernel!r}; "
+                f"expected one of {', '.join(KERNEL_NAMES)}"
+            )
 
     def make_backend(self) -> CountingBackend:
         """Construct the configured engine."""
@@ -147,4 +169,5 @@ class MiningOptions:
             shards=self.shards,
             executor=self.executor,
             workers=self.workers,
+            kernel=self.kernel,
         )

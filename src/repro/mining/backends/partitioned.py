@@ -48,6 +48,7 @@ from ...itemsets import Item, Itemset
 from .base import CountingBackend, TransactionSource
 from .horizontal import HorizontalBackend
 from .process_pool import DEFAULT_EXECUTOR, EXECUTOR_NAMES, ShardWorkerPool
+from .vertical import VerticalBackend
 
 __all__ = ["PartitionedBackend", "split_into_shards"]
 
@@ -79,8 +80,9 @@ class PartitionedBackend(CountingBackend):
         Partition count the database is split into.
     inner:
         The engine counting each shard (default: the horizontal hash-tree
-        scan).  In process mode the inner engine is pickled to the workers,
-        so it must be picklable — the registry engines all are.
+        scan, or the vertical engine when *kernel* is given).  In process
+        mode the inner engine is pickled to the workers, so it must be
+        picklable — the registry engines all are.
     executor:
         ``"threads"`` (default) or ``"processes"`` — see the module
         docstring for the trade-off.
@@ -89,6 +91,11 @@ class PartitionedBackend(CountingBackend):
         per shard.  With fewer lanes than shards, shard ``i`` runs on lane
         ``i % workers`` (process mode pins that mapping, so per-worker shard
         caches stay warm).
+    kernel:
+        Bitmap kernel for the per-shard counting core.  Selecting a kernel
+        implies a vertical inner engine (unless *inner* is given
+        explicitly); the kernel name is resolved here, so pickled workers
+        count with the same kernel as the parent.
 
     A process-mode backend owns worker processes; it is a context manager,
     and :meth:`close` releases the workers explicitly (garbage collection
@@ -104,6 +111,7 @@ class PartitionedBackend(CountingBackend):
         inner: CountingBackend | None = None,
         executor: str = DEFAULT_EXECUTOR,
         workers: int | None = None,
+        kernel: str | None = None,
     ) -> None:
         if shards < 1:
             raise ValueError(f"shards must be positive, got {shards}")
@@ -114,7 +122,10 @@ class PartitionedBackend(CountingBackend):
         if workers is not None and workers < 1:
             raise ValueError(f"workers must be positive, got {workers}")
         self.shards = shards
-        self.inner = inner if inner is not None else HorizontalBackend()
+        if inner is None:
+            inner = VerticalBackend(kernel) if kernel is not None else HorizontalBackend()
+        self.inner = inner
+        self.kernel = getattr(self.inner, "kernel", None)
         self.executor = executor
         self.workers = workers
         self._pool: ShardWorkerPool | None = None
@@ -149,7 +160,7 @@ class PartitionedBackend(CountingBackend):
         # partitioned engine is legal, if exotic): ship the configuration,
         # respawn lanes on demand on the far side.
         state = {slot: getattr(self, slot) for slot in
-                 ("shards", "inner", "executor", "workers")}
+                 ("shards", "inner", "executor", "workers", "kernel")}
         return state
 
     def __setstate__(self, state: dict) -> None:

@@ -34,6 +34,7 @@ from .backends import (
     DEFAULT_EXECUTOR,
     DEFAULT_SHARDS,
     EXECUTOR_NAMES,
+    KERNEL_NAMES,
     CountingBackend,
     HorizontalBackend,
     make_backend,
@@ -74,6 +75,9 @@ class DhpOptions:
     #: Cap on the ``"partitioned"`` engine's concurrent lanes (``None``: one
     #: per shard).
     workers: int | None = None
+    #: Bitmap kernel for the vertical counting core (``"bigint"``,
+    #: ``"numpy"``, ``"auto"``, or ``None`` for the default).
+    kernel: str | None = None
 
     def __post_init__(self) -> None:
         if self.hash_table_size < 1:
@@ -94,20 +98,26 @@ class DhpOptions:
             )
         if self.workers is not None and self.workers < 1:
             raise ValueError(f"workers must be positive, got {self.workers}")
+        if self.kernel is not None and self.kernel not in KERNEL_NAMES:
+            raise ValueError(
+                f"unknown kernel {self.kernel!r}; "
+                f"expected one of {', '.join(KERNEL_NAMES)}"
+            )
 
     @classmethod
     def from_mining(cls, mining, **overrides) -> "DhpOptions":
         """DHP options carrying a MiningOptions engine selection.
 
-        The single place the backend/shards/executor/workers quadruple is
-        projected onto this class — new engine knobs are threaded here once
-        instead of at every call site.
+        The single place the engine-selection tuple is projected onto this
+        class — new engine knobs are threaded here once instead of at every
+        call site.
         """
         return cls(
             backend=mining.backend,
             shards=mining.shards,
             executor=mining.executor,
             workers=mining.workers,
+            kernel=mining.kernel,
             **overrides,
         )
 
@@ -147,6 +157,7 @@ class DhpMiner:
             shards=self.options.shards,
             executor=self.options.executor,
             workers=self.options.workers,
+            kernel=self.options.kernel,
         )
 
     # ------------------------------------------------------------------ #

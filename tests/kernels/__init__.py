@@ -1,0 +1,1 @@
+"""Unit tests for the pluggable bitmap-kernel seam."""

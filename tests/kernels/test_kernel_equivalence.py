@@ -1,0 +1,244 @@
+"""The pinned kernel invariant: every kernel is observationally equivalent.
+
+``repro.kernels.base`` pins it in prose; this module pins it in asserts.
+Every test that takes a ``kernel`` parameter runs once per *available*
+kernel (the numpy kernel only when numpy imports), comparing each kernel's
+observable behaviour — masks, supports, batched counts, mutation results,
+interchange forms — against the always-available big-int reference.  The
+suite passes unchanged on a numpy-free interpreter: the parametrization
+simply shrinks to the big-int kernel and the registry tests assert the
+degraded resolution behaviour instead.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+import repro.kernels as kernels_module
+from repro import VerticalIndex
+from repro.kernels import (
+    DEFAULT_KERNEL,
+    KERNEL_NAMES,
+    BigIntKernel,
+    BitmapKernel,
+    kernel_class,
+    lane_words,
+    numpy_available,
+    resolve_kernel_name,
+)
+
+AVAILABLE = ["bigint"] + (["numpy"] if numpy_available() else [])
+
+ROWS = [
+    (1, 2, 3),
+    (2, 3),
+    (),
+    (1, 5, 9),
+    (2, 9),
+    (1, 2, 3, 5),
+    (7,),
+    (1, 2),
+]
+
+CANDIDATES = [
+    (),  # empty itemset: support == database size
+    (1,),
+    (2,),
+    (42,),  # never seen
+    (1, 2),
+    (2, 3),
+    (1, 42),  # one known item, one unknown
+    (1, 2, 3),
+    (1, 2, 3, 5),
+]
+
+
+def reference_supports(rows, candidates):
+    return {
+        candidate: sum(
+            1 for row in rows if all(item in row for item in candidate)
+        )
+        for candidate in candidates
+    }
+
+
+@pytest.fixture(params=AVAILABLE)
+def kernel(request) -> str:
+    return request.param
+
+
+class TestRegistry:
+    def test_kernel_names_are_stable(self):
+        assert KERNEL_NAMES == ("bigint", "numpy", "auto")
+        assert DEFAULT_KERNEL == "bigint"
+
+    def test_none_resolves_to_default(self):
+        assert resolve_kernel_name(None) == DEFAULT_KERNEL
+
+    def test_unknown_name_is_an_error(self):
+        with pytest.raises(ValueError, match="unknown kernel"):
+            resolve_kernel_name("simd")
+
+    def test_auto_prefers_numpy_when_available(self):
+        expected = "numpy" if numpy_available() else DEFAULT_KERNEL
+        assert resolve_kernel_name("auto") == expected
+
+    def test_explicit_numpy_without_numpy_is_an_error(self, monkeypatch):
+        monkeypatch.setattr(kernels_module, "_numpy_ok", False)
+        with pytest.raises(ValueError, match="numpy is not installed"):
+            resolve_kernel_name("numpy")
+        # ... while "auto" degrades silently, by design.
+        assert resolve_kernel_name("auto") == DEFAULT_KERNEL
+
+    def test_kernel_class_mapping(self):
+        assert kernel_class("bigint") is BigIntKernel
+        assert kernel_class(None) is BigIntKernel
+        if numpy_available():
+            from repro.kernels.lanes import LaneKernel
+
+            assert kernel_class("numpy") is LaneKernel
+            assert kernel_class("auto") is LaneKernel
+
+    def test_kernel_classes_declare_their_registry_name(self):
+        for name in AVAILABLE:
+            cls = kernel_class(name)
+            assert issubclass(cls, BitmapKernel)
+            assert cls.name == name
+
+    def test_lane_words_geometry(self):
+        assert lane_words(0) == 0
+        assert lane_words(1) == 1
+        assert lane_words(64) == 1
+        assert lane_words(65) == 2
+
+
+class TestObservationalEquivalence:
+    def test_masks_match_reference(self, kernel):
+        store = kernel_class(kernel).build(ROWS)
+        assert store.masks() == BigIntKernel.build(ROWS).masks()
+        assert store.size == len(ROWS)
+        assert sorted(store.items()) == sorted(BigIntKernel.build(ROWS).masks())
+
+    def test_supports_match_brute_force(self, kernel):
+        store = kernel_class(kernel).build(ROWS)
+        expected = reference_supports(ROWS, CANDIDATES)
+        for candidate, support in expected.items():
+            assert store.support(candidate) == support, candidate
+        assert store.count_candidates(CANDIDATES) == expected
+
+    def test_count_candidates_of_empty_pool(self, kernel):
+        assert kernel_class(kernel).build(ROWS).count_candidates([]) == {}
+
+    def test_item_counts(self, kernel):
+        store = kernel_class(kernel).build(ROWS)
+        assert store.item_counts() == BigIntKernel.build(ROWS).item_counts()
+
+    def test_empty_database(self, kernel):
+        store = kernel_class(kernel).build([])
+        assert store.size == 0
+        assert len(store) == 0
+        assert store.support((1,)) == 0
+        assert store.count_candidates([(1,), ()]) == {(1,): 0, (): 0}
+
+    def test_mutations_track_the_reference(self, kernel):
+        store = kernel_class(kernel).build(ROWS)
+        reference = BigIntKernel.build(ROWS)
+        for mutate in (
+            lambda s: s.append((2, 5, 9)),
+            lambda s: s.extend([(1, 9), (), (64, 65)]),
+            lambda s: s.delete_tids([0, 3, 6]),
+            lambda s: s.extend([(2,)] * 70),  # crosses a 64-bit word boundary
+            lambda s: s.delete_tids(list(range(0, s.size, 2))),
+        ):
+            mutate(store)
+            mutate(reference)
+            assert store.masks() == reference.masks()
+            assert store.size == reference.size
+
+    def test_derivations_track_the_reference(self, kernel):
+        store = kernel_class(kernel).build(ROWS)
+        reference = BigIntKernel.build(ROWS)
+        assert store.slice(2, 6).masks() == reference.slice(2, 6).masks()
+        other = kernel_class(kernel).build([(2, 3), (9,)])
+        merged = store.concatenate(other)
+        assert merged.masks() == reference.concatenate(
+            BigIntKernel.build([(2, 3), (9,)])
+        ).masks()
+        assert merged.size == len(ROWS) + 2
+
+    def test_copy_is_independent(self, kernel):
+        store = kernel_class(kernel).build(ROWS)
+        clone = store.copy()
+        clone.append((1, 2, 3))
+        assert store.size == len(ROWS)
+        assert clone.size == len(ROWS) + 1
+        assert store.masks() == BigIntKernel.build(ROWS).masks()
+
+    def test_payload_pickles_across_process_boundaries(self, kernel):
+        store = kernel_class(kernel).build(ROWS)
+        payload = pickle.loads(pickle.dumps(store.to_payload()))
+        revived = kernel_class(kernel).from_payload(payload)
+        assert revived.masks() == store.masks()
+        assert revived.size == store.size
+
+    def test_lane_interchange_is_kernel_agnostic(self, kernel):
+        """Any kernel can reopen any kernel's exported lane buffer."""
+        source = kernel_class(kernel).build(ROWS)
+        items, words, buffer = source.export_lanes()
+        assert items == sorted(items)
+        assert words == lane_words(source.size)
+        assert len(buffer) == len(items) * words * 8
+        for target_name in AVAILABLE:
+            revived = kernel_class(target_name).from_lanes(
+                items, buffer, source.size
+            )
+            assert revived.masks() == source.masks()
+
+    def test_from_lanes_buffer_survives_mutation(self, kernel):
+        """A kernel wrapping a read-only buffer must copy before mutating."""
+        source = kernel_class(kernel).build(ROWS)
+        items, _, buffer = source.export_lanes()
+        revived = kernel_class(kernel).from_lanes(items, bytes(buffer), source.size)
+        revived.append((1, 2))
+        revived.extend([(3,)])
+        expected = BigIntKernel.build(ROWS)
+        expected.append((1, 2))
+        expected.extend([(3,)])
+        assert revived.masks() == expected.masks()
+
+
+class TestVerticalIndexSeam:
+    def test_build_records_the_kernel(self, kernel):
+        index = VerticalIndex.build(ROWS, kernel=kernel)
+        assert index.kernel == kernel
+        assert index.size == len(ROWS)
+
+    def test_indexes_compare_equal_across_kernels(self):
+        indexes = [VerticalIndex.build(ROWS, kernel=name) for name in AVAILABLE]
+        for index in indexes[1:]:
+            assert index == indexes[0]
+            assert dict(index) == dict(indexes[0])
+
+    def test_with_kernel_repacks_without_changing_content(self, kernel):
+        index = VerticalIndex.build(ROWS, kernel="bigint")
+        repacked = index.with_kernel(kernel)
+        assert repacked.kernel == kernel
+        assert dict(repacked) == dict(index)
+        assert index.with_kernel("bigint") is index  # already there: no-op
+
+    def test_payload_round_trip_preserves_kernel(self, kernel):
+        index = VerticalIndex.build(ROWS, kernel=kernel)
+        revived = VerticalIndex.from_payload(
+            pickle.loads(pickle.dumps(index.to_payload()))
+        )
+        assert revived.kernel == kernel
+        assert dict(revived) == dict(index)
+
+    def test_count_candidates_matches_across_kernels(self, kernel):
+        index = VerticalIndex.build(ROWS, kernel=kernel)
+        reference = VerticalIndex.build(ROWS, kernel="bigint")
+        assert index.count_candidates(CANDIDATES) == reference.count_candidates(
+            CANDIDATES
+        )

@@ -1,0 +1,136 @@
+"""Property tests for the bitmap-kernel seam and the v2 snapshot format.
+
+Two invariants from PR 7 get the hypothesis treatment here:
+
+* **kernel equivalence** — for any transaction sequence and any interleaving
+  of mutations/derivations, the numpy lane kernel and the big-int kernel
+  expose bit-for-bit identical indexes, and a full FUP/FUP2 maintenance
+  session ends in the same mined state whichever kernel counts; and
+* **snapshot fidelity** — any database round-trips exactly through snapshot
+  v2 (with and without its lane section), agreeing with the v1 binary
+  format it supersedes.
+
+The cross-kernel properties skip on a numpy-free interpreter — with one
+kernel available there is nothing to compare; the unit suite still covers
+the big-int kernel's own behaviour there.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    AprioriMiner,
+    FupOptions,
+    RuleMaintainer,
+    TransactionDatabase,
+    UpdateBatch,
+    VerticalIndex,
+    load_database,
+    save_database,
+)
+from repro.db.store import open_snapshot, write_snapshot
+from repro.kernels import numpy_available
+
+from .strategies import build_database, increment_lists, transaction_lists, transactions
+
+needs_two_kernels = pytest.mark.skipif(
+    not numpy_available(), reason="only one kernel available without numpy"
+)
+
+#: One random step of the kernel-equivalence interleaving.  Deletions pick
+#: victims by position modulo the current size, so they scatter arbitrarily.
+operations = st.one_of(
+    st.tuples(st.just("append"), transactions),
+    st.tuples(st.just("extend"), st.lists(transactions, max_size=6)),
+    st.tuples(
+        st.just("delete"), st.lists(st.integers(min_value=0, max_value=300), max_size=8)
+    ),
+    st.tuples(st.just("slice"), st.tuples(st.integers(0, 80), st.integers(0, 80))),
+    st.tuples(st.just("concatenate"), st.lists(transactions, max_size=6)),
+)
+
+
+def apply_operation(index: VerticalIndex, name: str, payload) -> VerticalIndex:
+    if name == "append":
+        index.append(payload)
+    elif name == "extend":
+        index.extend(payload)
+    elif name == "delete":
+        tids = sorted({tid % index.size for tid in payload}) if index.size else []
+        index.delete_tids(tids)
+    elif name == "slice":
+        start, stop = payload
+        index = index.slice(min(start, stop), max(start, stop))
+    else:
+        index = index.concatenate(VerticalIndex.build(payload, kernel=index.kernel))
+    return index
+
+
+@needs_two_kernels
+@settings(max_examples=50, deadline=None)
+@given(initial=transaction_lists, ops=st.lists(operations, max_size=10))
+def test_kernels_agree_through_any_mutation_interleaving(initial, ops):
+    rows = [tuple(row) for row in initial]
+    bigint = VerticalIndex.build(rows, kernel="bigint")
+    lanes = VerticalIndex.build(rows, kernel="numpy")
+    assert dict(lanes) == dict(bigint)
+    for name, payload in ops:
+        bigint = apply_operation(bigint, name, payload)
+        lanes = apply_operation(lanes, name, payload)
+        assert lanes.kernel == "numpy"
+        assert lanes.size == bigint.size
+        assert dict(lanes) == dict(bigint)
+        assert lanes.item_counts() == bigint.item_counts()
+
+
+@needs_two_kernels
+@settings(max_examples=25, deadline=None)
+@given(
+    rows=transaction_lists,
+    increment=increment_lists,
+    second=increment_lists,
+    min_support=st.sampled_from([0.1, 0.25, 0.5]),
+)
+def test_maintenance_session_ends_identically_per_kernel(
+    rows, increment, second, min_support
+):
+    """A mixed FUP/FUP2 session (inserts + deletions) is kernel-independent."""
+    supports = {}
+    for kernel in ("bigint", "numpy"):
+        maintainer = RuleMaintainer(
+            min_support,
+            0.5,
+            fup_options=FupOptions(backend="vertical", kernel=kernel),
+        )
+        maintainer.initialise(build_database(rows))
+        maintainer.apply(UpdateBatch.from_iterables(insertions=increment))
+        deletions = [list(t) for t in maintainer.database.transactions()[:2]]
+        maintainer.apply(
+            UpdateBatch.from_iterables(insertions=second, deletions=deletions)
+        )
+        supports[kernel] = maintainer.result.lattice.supports()
+        final_rows = maintainer.database.transactions()
+    assert supports["numpy"] == supports["bigint"]
+    # ... and both equal a from-scratch re-mine of the final database.
+    remined = AprioriMiner(min_support).mine(TransactionDatabase(final_rows))
+    assert supports["bigint"] == remined.lattice.supports()
+
+
+@settings(max_examples=50, deadline=None)
+@given(rows=st.lists(transactions, min_size=0, max_size=60), lanes=st.booleans())
+def test_snapshot_v2_round_trips_any_database(tmp_path_factory, rows, lanes):
+    tmp_path = tmp_path_factory.mktemp("snapshots")
+    database = TransactionDatabase(rows)
+    v1_path = tmp_path / "snap.v1"
+    v2_path = tmp_path / "snap.v2"
+    save_database(database, v1_path, binary=True)
+    write_snapshot(database, v2_path, include_lanes=lanes)
+
+    from_v1 = load_database(v1_path, binary=True)
+    from_v2 = open_snapshot(v2_path)
+    assert from_v2.transactions() == database.transactions()
+    assert from_v2.transactions() == from_v1.transactions()
+    assert dict(from_v2.vertical()) == dict(from_v1.vertical())

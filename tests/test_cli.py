@@ -758,3 +758,107 @@ class TestServe:
         finally:
             process.terminate()
             process.wait(timeout=30)
+
+
+class TestSnapshotCommands:
+    def test_inspect_v1_then_migrate_then_inspect_v2(
+        self, tmp_path, workload_files, capsys
+    ):
+        v1_path = tmp_path / "snap.v1"
+        v2_path = tmp_path / "snap.v2"
+        save_database(workload_files["original"], v1_path, binary=True)
+
+        assert main(["snapshot", "inspect", str(v1_path)]) == 0
+        out = capsys.readouterr().out
+        assert "format_version: 1" in out
+        assert f"transactions: {len(workload_files['original'])}" in out
+        assert "lanes_present: False" in out
+
+        assert main(["snapshot", "migrate", str(v1_path), str(v2_path)]) == 0
+        out = capsys.readouterr().out
+        assert "format v2" in out
+        assert "item lanes" in out
+
+        assert main(["snapshot", "inspect", str(v2_path)]) == 0
+        out = capsys.readouterr().out
+        assert "format_version: 2" in out
+        assert "lanes_present: True" in out
+
+        migrated = load_database(v2_path)
+        assert (
+            migrated.transactions() == workload_files["original"].transactions()
+        )
+
+    def test_inspect_corrupt_snapshot_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "corrupt.v2"
+        path.write_bytes(b"REPROSN2" + b"\x07" * 16)  # magic, truncated header
+        assert main(["snapshot", "inspect", str(path)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_inspect_missing_file_exits_2(self, tmp_path, capsys):
+        assert main(["snapshot", "inspect", str(tmp_path / "absent.v2")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_migrating_a_v2_snapshot_exits_2(self, tmp_path, workload_files, capsys):
+        from repro.db.store import write_snapshot
+
+        v2_path = tmp_path / "snap.v2"
+        write_snapshot(workload_files["original"], v2_path)
+        assert (
+            main(["snapshot", "migrate", str(v2_path), str(tmp_path / "again.v2")])
+            == 2
+        )
+        assert "already snapshot format" in capsys.readouterr().err
+
+
+class TestKernelFlag:
+    def test_mine_with_explicit_kernel_matches_default(
+        self, tmp_path, workload_files, capsys
+    ):
+        from repro.kernels import numpy_available
+
+        kernel = "numpy" if numpy_available() else "bigint"
+        state_default = tmp_path / "default.json"
+        state_kernel = tmp_path / "kernel.json"
+        base = ["mine", str(workload_files["database_path"]), "--min-support", "0.1"]
+        assert main(base + ["--state", str(state_default)]) == 0
+        assert (
+            main(
+                base
+                + ["--backend", "vertical", "--kernel", kernel, "--state", str(state_kernel)]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert load_state(state_kernel)[0].supports() == load_state(state_default)[0].supports()
+
+    def test_kernel_choices_are_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["mine", "db.txt", "--min-support", "0.1", "--kernel", "simd"]
+            )
+
+    def test_session_manifest_records_kernel(self, tmp_path, workload_files, capsys):
+        session_dir = tmp_path / "session"
+        assert (
+            main(
+                [
+                    "session", "init", str(session_dir),
+                    str(workload_files["database_path"]),
+                    "--min-support", "0.1",
+                    "--min-confidence", "0.5",
+                    "--backend", "vertical",
+                    "--kernel", "auto",
+                ]
+            )
+            == 0
+        )
+        assert main(["session", "status", str(session_dir)]) == 0
+        out = capsys.readouterr().out
+        # The manifest records the *requested* name — resolution happens at
+        # backend construction, so a numpy-free host can still recover an
+        # "auto" session.
+        assert "kernel: auto" in out
+
+        manifest = json.loads((session_dir / "session.json").read_text())
+        assert manifest["kernel"] == "auto"
