@@ -1,0 +1,351 @@
+"""Lock-discipline / race checkers (RPR001–RPR003).
+
+The serving tier is lock-free by design: readers follow the maintenance
+session through :func:`~repro.core.session.MaintenanceSession.peek` and
+``read_session_state`` and must never reach the writer-locked surface
+(``_open_locked``, ``fcntl.flock``), or they would either block the writer
+or deadlock behind it (``docs/architecture.md`` pins this).  Likewise,
+module-level mutable state written from function bodies is shared across
+the serving threads without a lock, and any blocking call inside an
+``async def`` coroutine stalls the whole event loop.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .framework import (
+    Checker,
+    Finding,
+    ImportMap,
+    Project,
+    Rule,
+    ScopedVisitor,
+    SourceModule,
+    dotted_name,
+)
+
+__all__ = ["ConcurrencyChecker"]
+
+RULE_READER_LOCKS = Rule(
+    "RPR001",
+    "serve-reaches-writer-lock",
+    "Serve-side reader modules must not reach the writer-locked session "
+    "APIs (_open_locked, _acquire_lock, fcntl.flock/lockf, "
+    "MaintenanceSession.open); readers follow snapshots lock-free.",
+)
+RULE_MODULE_STATE = Rule(
+    "RPR002",
+    "module-state-write",
+    "Module-level mutable state must not be written from function bodies "
+    "(global rebinding or container mutation): it races across serving "
+    "threads and breaks process-pool workers that re-import the module.",
+)
+RULE_BLOCKING_ASYNC = Rule(
+    "RPR003",
+    "blocking-call-in-coroutine",
+    "Blocking calls (time.sleep, fsync/rename, subprocess, sync socket "
+    "I/O, builtin open) inside an `async def` stall the entire event loop.",
+)
+
+#: Names that belong to the writer-locked session surface.
+_WRITER_NAMES = frozenset({"_open_locked", "_acquire_lock", "flock", "lockf"})
+
+#: Qualified callables that block the calling thread.
+_BLOCKING_CALLS = frozenset(
+    {
+        "time.sleep",
+        "os.fsync",
+        "os.fdatasync",
+        "os.replace",
+        "os.rename",
+        "os.system",
+        "subprocess.run",
+        "subprocess.call",
+        "subprocess.check_call",
+        "subprocess.check_output",
+        "subprocess.Popen",
+        "socket.create_connection",
+        "urllib.request.urlopen",
+        "open",
+    }
+)
+
+_MUTABLE_FACTORIES = frozenset(
+    {
+        "list",
+        "dict",
+        "set",
+        "bytearray",
+        "collections.defaultdict",
+        "collections.Counter",
+        "collections.deque",
+        "collections.OrderedDict",
+    }
+)
+
+_MUTATOR_METHODS = frozenset(
+    {
+        "add",
+        "append",
+        "appendleft",
+        "clear",
+        "discard",
+        "extend",
+        "insert",
+        "pop",
+        "popitem",
+        "popleft",
+        "remove",
+        "setdefault",
+        "update",
+    }
+)
+
+
+def _module_level_mutables(tree: ast.Module, imports: ImportMap) -> set[str]:
+    """Names bound at module import time to a mutable container."""
+
+    def value_is_mutable(value: ast.AST) -> bool:
+        if isinstance(value, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(value, ast.Call):
+            resolved = imports.resolve(value.func)
+            return resolved in _MUTABLE_FACTORIES
+        return False
+
+    names: set[str] = set()
+
+    def scan(statements: list[ast.stmt]) -> None:
+        for statement in statements:
+            if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue
+            if isinstance(statement, ast.Assign) and value_is_mutable(statement.value):
+                for target in statement.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+            elif isinstance(statement, ast.AnnAssign) and statement.value is not None:
+                if value_is_mutable(statement.value) and isinstance(statement.target, ast.Name):
+                    names.add(statement.target.id)
+            # Descend into module-level control flow (if TYPE_CHECKING etc.).
+            for attr in ("body", "orelse", "finalbody"):
+                nested = getattr(statement, attr, None)
+                if nested:
+                    scan(nested)
+
+    scan(tree.body)
+    return names
+
+
+def _binding_names(target: ast.AST) -> Iterator[str]:
+    """Names actually (re)bound by an assignment target.
+
+    ``x = ...`` and ``x, y = ...`` bind; ``x[k] = ...`` and ``x.attr = ...``
+    mutate an existing object and bind nothing.
+    """
+    if isinstance(target, ast.Name):
+        yield target.id
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from _binding_names(element)
+    elif isinstance(target, ast.Starred):
+        yield from _binding_names(target.value)
+
+
+def _local_bindings(function: ast.AST) -> set[str]:
+    """Every name the function (or anything nested in it) binds locally."""
+    bound: set[str] = set()
+    for node in ast.walk(function):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            args = node.args
+            for arg in (
+                list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+            ):
+                bound.add(arg.arg)
+            if args.vararg:
+                bound.add(args.vararg.arg)
+            if args.kwarg:
+                bound.add(args.kwarg.arg)
+        elif isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                bound.update(_binding_names(target))
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            bound.update(_binding_names(node.target))
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if item.optional_vars is not None:
+                    bound.update(_binding_names(item.optional_vars))
+        elif isinstance(node, ast.NamedExpr) and isinstance(node.target, ast.Name):
+            bound.add(node.target.id)
+        elif isinstance(node, ast.ExceptHandler) and node.name:
+            bound.add(node.name)
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                bound.add(alias.asname or alias.name.partition(".")[0])
+        elif isinstance(node, ast.comprehension):
+            bound.update(_binding_names(node.target))
+    return bound
+
+
+class _ConcurrencyVisitor(ScopedVisitor):
+    def __init__(self, module: SourceModule, imports: ImportMap, in_serve: bool) -> None:
+        super().__init__(module)
+        self.imports = imports
+        self.in_serve = in_serve
+        self.mutables = _module_level_mutables(module.tree, imports)  # type: ignore[arg-type]
+        self.findings: list[Finding] = []
+        self._locals_cache: dict[ast.AST, set[str]] = {}
+
+    def _emit(self, rule: Rule, node: ast.AST, message: str) -> None:
+        self.findings.append(
+            Finding(
+                code=rule.code,
+                message=message,
+                path=self.module.relpath,
+                line=getattr(node, "lineno", 1),
+                column=getattr(node, "col_offset", 0),
+                symbol=self.qualname(),
+            )
+        )
+
+    # -- RPR002: global rebinding ---------------------------------------- #
+    def visit_Global(self, node: ast.Global) -> None:
+        for name in node.names:
+            self._emit(
+                RULE_MODULE_STATE,
+                node,
+                f"function rebinds module-level name '{name}' via `global`",
+            )
+
+    # -- shared dispatch -------------------------------------------------- #
+    def handle_node(self, node: ast.AST) -> None:
+        if self.in_serve:
+            self._check_reader_locks(node)
+        if self.current_function is not None:
+            self._check_module_state_mutation(node)
+        if self.in_async and isinstance(node, ast.Call):
+            self._check_blocking_call(node)
+
+    # -- RPR001 ------------------------------------------------------------ #
+    def _check_reader_locks(self, node: ast.AST) -> None:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.partition(".")[0] == "fcntl":
+                    self._emit(
+                        RULE_READER_LOCKS, node, "serve-side module imports fcntl"
+                    )
+        elif isinstance(node, ast.ImportFrom):
+            if node.module and node.module.partition(".")[0] == "fcntl":
+                self._emit(RULE_READER_LOCKS, node, "serve-side module imports fcntl")
+            elif node.module:
+                for alias in node.names:
+                    if alias.name in _WRITER_NAMES:
+                        self._emit(
+                            RULE_READER_LOCKS,
+                            node,
+                            f"serve-side module imports writer-locked API "
+                            f"'{alias.name}'",
+                        )
+        elif isinstance(node, ast.Attribute):
+            if node.attr in _WRITER_NAMES:
+                self._emit(
+                    RULE_READER_LOCKS,
+                    node,
+                    f"serve-side code reaches writer-locked API '{node.attr}'",
+                )
+            elif node.attr == "open":
+                receiver = dotted_name(node.value)
+                if receiver is not None and receiver.endswith("MaintenanceSession"):
+                    self._emit(
+                        RULE_READER_LOCKS,
+                        node,
+                        "serve-side code opens the writer-locked "
+                        "MaintenanceSession; follow snapshots via peek()/"
+                        "read_session_state() instead",
+                    )
+        elif isinstance(node, ast.Name) and node.id in _WRITER_NAMES:
+            self._emit(
+                RULE_READER_LOCKS,
+                node,
+                f"serve-side code references writer-locked API '{node.id}'",
+            )
+
+    # -- RPR002: container mutation ---------------------------------------- #
+    def _function_locals(self) -> set[str]:
+        function = self.function_stack[0]
+        cached = self._locals_cache.get(function)
+        if cached is None:
+            cached = _local_bindings(function)
+            self._locals_cache[function] = cached
+        return cached
+
+    def _is_module_mutable(self, name_node: ast.AST) -> str | None:
+        if not isinstance(name_node, ast.Name):
+            return None
+        name = name_node.id
+        if name not in self.mutables:
+            return None
+        if name in self._function_locals():
+            return None  # shadowed by a local binding
+        return name
+
+    def _check_module_state_mutation(self, node: ast.AST) -> None:
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr in _MUTATOR_METHODS:
+                name = self._is_module_mutable(node.func.value)
+                if name is not None:
+                    self._emit(
+                        RULE_MODULE_STATE,
+                        node,
+                        f"function mutates module-level container '{name}' "
+                        f"via .{node.func.attr}()",
+                    )
+        elif isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                if isinstance(target, ast.Subscript):
+                    name = self._is_module_mutable(target.value)
+                    if name is not None:
+                        self._emit(
+                            RULE_MODULE_STATE,
+                            node,
+                            f"function writes into module-level container "
+                            f"'{name}' by subscript",
+                        )
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                if isinstance(target, ast.Subscript):
+                    name = self._is_module_mutable(target.value)
+                    if name is not None:
+                        self._emit(
+                            RULE_MODULE_STATE,
+                            node,
+                            f"function deletes from module-level container "
+                            f"'{name}'",
+                        )
+
+    # -- RPR003 ------------------------------------------------------------ #
+    def _check_blocking_call(self, node: ast.Call) -> None:
+        resolved = self.imports.resolve(node.func)
+        if resolved in _BLOCKING_CALLS:
+            self._emit(
+                RULE_BLOCKING_ASYNC,
+                node,
+                f"blocking call '{resolved}' inside async def "
+                f"'{self.current_function.name}'",  # type: ignore[union-attr]
+            )
+
+
+class ConcurrencyChecker(Checker):
+    rules = (RULE_READER_LOCKS, RULE_MODULE_STATE, RULE_BLOCKING_ASYNC)
+
+    def check(self, module: SourceModule, project: Project) -> Iterator[Finding]:
+        if module.tree is None:
+            return
+        imports = ImportMap(module.tree)
+        in_serve = "serve" in module.parts
+        visitor = _ConcurrencyVisitor(module, imports, in_serve)
+        visitor.visit(module.tree)
+        yield from visitor.findings

@@ -1,0 +1,182 @@
+"""Durability checkers (RPR010–RPR012).
+
+The crash-safety story of the maintenance session rests on one protocol
+(``docs/architecture.md``): every durable byte is staged to a ``*_tmp``
+path, fsynced, atomically renamed over the final name by
+``core/session.py::_atomic_replace``, and the directory entry is fsynced
+after the rename.  Journal appends fsync inside ``_Journal``.  Any rename
+or fsync *outside* those audited helpers is a new, unaudited durability
+path — exactly the class of change these rules exist to catch.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .framework import (
+    Checker,
+    Finding,
+    ImportMap,
+    Project,
+    Rule,
+    ScopedVisitor,
+    SourceModule,
+    dotted_name,
+)
+
+__all__ = ["DurabilityChecker"]
+
+RULE_RENAME = Rule(
+    "RPR010",
+    "unaudited-atomic-rename",
+    "os.replace/os.rename must only be called from the audited "
+    "core/session.py::_atomic_replace helper (fsync file, rename, fsync "
+    "directory); ad-hoc renames skip the directory fsync.",
+)
+RULE_FSYNC = Rule(
+    "RPR011",
+    "unaudited-fsync",
+    "os.fsync must only be called from the audited helpers in "
+    "core/session.py (_fsync_file, _fsync_directory, _Journal); scattered "
+    "fsyncs hide which writes are actually durable.",
+)
+RULE_TMP_STAGING = Rule(
+    "RPR012",
+    "checkpoint-write-not-staged",
+    "Durable writes inside MaintenanceSession must target a *_tmp staging "
+    "path (then _atomic_replace) — or go through _Journal; writing the "
+    "final path directly can tear on crash.",
+)
+
+#: Functions in core/session.py allowed to call os.replace / os.rename.
+_RENAME_AUDITED = frozenset({"_atomic_replace"})
+
+#: Functions in core/session.py allowed to call os.fsync directly.
+_FSYNC_AUDITED = frozenset({"_fsync_file", "_fsync_directory"})
+
+#: Classes in core/session.py whose methods may fsync (the journal owns
+#: its own append/truncate durability).
+_FSYNC_AUDITED_CLASSES = frozenset({"_Journal"})
+
+_WRITE_METHODS = frozenset({"write_text", "write_bytes"})
+_SNAPSHOT_WRITERS = frozenset({"write_snapshot", "save_state"})
+
+
+def _ends_with_tmp(node: ast.AST) -> bool:
+    """True when the expression names a ``*_tmp`` staging path."""
+    dotted = dotted_name(node)
+    if dotted is None:
+        return False
+    return dotted.rpartition(".")[2].endswith("_tmp")
+
+
+class _DurabilityVisitor(ScopedVisitor):
+    def __init__(self, module: SourceModule, imports: ImportMap) -> None:
+        super().__init__(module)
+        self.imports = imports
+        self.is_session_module = module.filename == "session.py"
+        self.findings: list[Finding] = []
+
+    def _emit(self, rule: Rule, node: ast.AST, message: str) -> None:
+        self.findings.append(
+            Finding(
+                code=rule.code,
+                message=message,
+                path=self.module.relpath,
+                line=getattr(node, "lineno", 1),
+                column=getattr(node, "col_offset", 0),
+                symbol=self.qualname(),
+            )
+        )
+
+    def _in_audited_rename_scope(self) -> bool:
+        return (
+            self.is_session_module
+            and self.current_function is not None
+            and self.current_function.name in _RENAME_AUDITED
+        )
+
+    def _in_audited_fsync_scope(self) -> bool:
+        if not self.is_session_module:
+            return False
+        if self.current_function is not None and (
+            self.current_function.name in _FSYNC_AUDITED
+        ):
+            return True
+        return any(cls.name in _FSYNC_AUDITED_CLASSES for cls in self.class_stack)
+
+    def _in_maintenance_session(self) -> bool:
+        return any(cls.name == "MaintenanceSession" for cls in self.class_stack)
+
+    def handle_node(self, node: ast.AST) -> None:
+        if not isinstance(node, ast.Call):
+            return
+        resolved = self.imports.resolve(node.func)
+
+        if resolved in {"os.replace", "os.rename"} and not self._in_audited_rename_scope():
+            self._emit(
+                RULE_RENAME,
+                node,
+                f"'{resolved}' outside the audited _atomic_replace helper",
+            )
+        if resolved in {"os.fsync", "os.fdatasync"} and not self._in_audited_fsync_scope():
+            self._emit(
+                RULE_FSYNC,
+                node,
+                f"'{resolved}' outside the audited fsync helpers",
+            )
+
+        if self._in_maintenance_session():
+            self._check_staged_write(node, resolved)
+
+    # -- RPR012 ------------------------------------------------------------ #
+    def _check_staged_write(self, node: ast.Call, resolved: str | None) -> None:
+        # write_snapshot(db, path) / save_state(state, path): the path
+        # argument (second positional) must be a *_tmp staging name.
+        if resolved is not None and resolved.rpartition(".")[2] in _SNAPSHOT_WRITERS:
+            if len(node.args) >= 2 and not _ends_with_tmp(node.args[1]):
+                self._emit(
+                    RULE_TMP_STAGING,
+                    node,
+                    f"'{resolved.rpartition('.')[2]}' writes a non-staged "
+                    "path (expected a *_tmp name handed to _atomic_replace)",
+                )
+            return
+        if not isinstance(node.func, ast.Attribute):
+            return
+        # path.write_text(...) / path.write_bytes(...)
+        if node.func.attr in _WRITE_METHODS:
+            if not _ends_with_tmp(node.func.value):
+                self._emit(
+                    RULE_TMP_STAGING,
+                    node,
+                    f"'.{node.func.attr}()' on a non-staged path inside "
+                    "MaintenanceSession",
+                )
+            return
+        # path.open("w"/"a"/"r+"): direct writable handles bypass both the
+        # journal's fsync discipline and the staging protocol.
+        if node.func.attr == "open" and node.args:
+            mode = node.args[0]
+            if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+                if any(flag in mode.value for flag in ("w", "a", "+")):
+                    self._emit(
+                        RULE_TMP_STAGING,
+                        node,
+                        f"writable handle ('{mode.value}') opened directly "
+                        "inside MaintenanceSession; route journal writes "
+                        "through _Journal and snapshot writes through *_tmp "
+                        "+ _atomic_replace",
+                    )
+
+
+class DurabilityChecker(Checker):
+    rules = (RULE_RENAME, RULE_FSYNC, RULE_TMP_STAGING)
+
+    def check(self, module: SourceModule, project: Project) -> Iterator[Finding]:
+        if module.tree is None:
+            return
+        visitor = _DurabilityVisitor(module, ImportMap(module.tree))
+        visitor.visit(module.tree)
+        yield from visitor.findings

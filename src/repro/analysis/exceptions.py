@@ -1,0 +1,260 @@
+"""Exception-hygiene checkers (RPR040–RPR043).
+
+Silent failure is the failure mode this project cannot afford: a swallowed
+exception in the feed thread stops snapshot publication without a trace,
+and a swallowed publish-hook error loses cache invalidation.  The rules:
+bare ``except`` never (RPR040); catching ``Exception``/``BaseException``
+obliges you to re-raise or log (RPR041); an ``except: pass`` inside a loop
+drops an error per iteration forever (RPR042); and only the CLI's
+``__main__`` guard may exit the process — library errors travel as
+``ReproError`` and become exit status 2 in one place (RPR043).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .framework import (
+    Checker,
+    Finding,
+    ImportMap,
+    Project,
+    Rule,
+    ScopedVisitor,
+    SourceModule,
+    dotted_name,
+)
+
+__all__ = ["ExceptionHygieneChecker"]
+
+RULE_BARE = Rule(
+    "RPR040",
+    "bare-except",
+    "`except:` catches SystemExit/KeyboardInterrupt too; name the "
+    "exceptions (or catch Exception and log/re-raise).",
+)
+RULE_OVERBROAD = Rule(
+    "RPR041",
+    "overbroad-except-unrecorded",
+    "Catching Exception/BaseException obliges the handler to re-raise or "
+    "log; anything else turns every future bug at this site invisible.",
+)
+RULE_SWALLOWED = Rule(
+    "RPR042",
+    "loop-swallows-errors",
+    "An `except ...: pass` inside a loop (feed threads, publish hooks) "
+    "drops an error on every iteration with no trace; log before "
+    "continuing.",
+)
+RULE_EXIT_TAXONOMY = Rule(
+    "RPR043",
+    "cli-exit-taxonomy",
+    "Only the CLI `__main__` guard may call sys.exit; `_cmd_*` handlers "
+    "return 0/1/2 and library errors raise ReproError (mapped to exit 2 "
+    "in main()).",
+)
+
+_LOG_METHODS = frozenset(
+    {"debug", "info", "warning", "error", "exception", "critical", "log"}
+)
+_LOGGER_NAMES = frozenset({"log", "logger", "_log", "_logger", "logging"})
+_VALID_CLI_RETURNS = frozenset({0, 1, 2})
+
+
+def _catches_broad(handler: ast.ExceptHandler) -> str | None:
+    """'Exception'/'BaseException' when the handler catches one of them."""
+    types: list[ast.expr] = []
+    if handler.type is None:
+        return None  # bare: RPR040's business
+    if isinstance(handler.type, ast.Tuple):
+        types = list(handler.type.elts)
+    else:
+        types = [handler.type]
+    for type_node in types:
+        name = dotted_name(type_node)
+        if name in {"Exception", "BaseException"}:
+            return name
+    return None
+
+
+def _records_error(handler: ast.ExceptHandler) -> bool:
+    """True when the handler re-raises or logs somewhere in its body."""
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, ast.Call):
+            dotted = dotted_name(node.func)
+            if dotted is None:
+                continue
+            head, _, attr = dotted.rpartition(".")
+            if attr in _LOG_METHODS and head.rpartition(".")[2] in _LOGGER_NAMES:
+                return True
+            if dotted in {"traceback.print_exc", "traceback.print_exception"}:
+                return True
+    return False
+
+
+def _body_only_passes(handler: ast.ExceptHandler) -> bool:
+    for statement in handler.body:
+        if isinstance(statement, ast.Pass):
+            continue
+        if isinstance(statement, ast.Continue):
+            continue
+        if isinstance(statement, ast.Expr) and isinstance(statement.value, ast.Constant):
+            continue  # docstring / Ellipsis
+        return False
+    return True
+
+
+def _is_main_guard(node: ast.If) -> bool:
+    test = node.test
+    if not isinstance(test, ast.Compare) or len(test.comparators) != 1:
+        return False
+    left, right = test.left, test.comparators[0]
+    names = set()
+    for side in (left, right):
+        if isinstance(side, ast.Name):
+            names.add(side.id)
+        elif isinstance(side, ast.Constant):
+            names.add(side.value)
+    return "__name__" in names and "__main__" in names
+
+
+class _HygieneVisitor(ScopedVisitor):
+    def __init__(self, module: SourceModule, imports: ImportMap) -> None:
+        super().__init__(module)
+        self.imports = imports
+        self.is_cli = module.filename == "cli.py"
+        self.findings: list[Finding] = []
+        self._scope_markers: list[str] = []  # "function" / "loop"
+        self._main_guard_depth = 0
+
+    def _emit(self, rule: Rule, node: ast.AST, message: str) -> None:
+        self.findings.append(
+            Finding(
+                code=rule.code,
+                message=message,
+                path=self.module.relpath,
+                line=getattr(node, "lineno", 1),
+                column=getattr(node, "col_offset", 0),
+                symbol=self.qualname(),
+            )
+        )
+
+    # -- scope bookkeeping ---------------------------------------------- #
+    def handle_function(self, node: ast.AST) -> None:
+        self._scope_markers.append("function")
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._scope_markers.append("function")  # class body breaks the loop scope
+        super().visit_ClassDef(node)
+        self._scope_markers.pop()
+
+    def _visit_function(self, node) -> None:  # type: ignore[no-untyped-def]
+        super()._visit_function(node)
+        self._scope_markers.pop()
+
+    def _visit_loop(self, node: ast.For | ast.AsyncFor | ast.While) -> None:
+        self._scope_markers.append("loop")
+        self.generic_visit(node)
+        self._scope_markers.pop()
+
+    def visit_For(self, node: ast.For) -> None:
+        self._visit_loop(node)
+
+    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
+        self._visit_loop(node)
+
+    def visit_While(self, node: ast.While) -> None:
+        self._visit_loop(node)
+
+    def visit_If(self, node: ast.If) -> None:
+        if _is_main_guard(node):
+            self._main_guard_depth += 1
+            self.generic_visit(node)
+            self._main_guard_depth -= 1
+        else:
+            self.generic_visit(node)
+
+    def _inside_loop(self) -> bool:
+        for marker in reversed(self._scope_markers):
+            if marker == "loop":
+                return True
+            if marker == "function":
+                return False
+        return False
+
+    # -- the rules ------------------------------------------------------- #
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self._emit(RULE_BARE, node, "bare `except:` clause")
+        else:
+            broad = _catches_broad(node)
+            if broad is not None and not _records_error(node):
+                self._emit(
+                    RULE_OVERBROAD,
+                    node,
+                    f"`except {broad}` neither re-raises nor logs",
+                )
+        if self._inside_loop() and _body_only_passes(node):
+            self._emit(
+                RULE_SWALLOWED,
+                node,
+                "exception swallowed with `pass` inside a loop; log it "
+                "before continuing",
+            )
+        self.generic_visit(node)
+
+    def handle_node(self, node: ast.AST) -> None:
+        if isinstance(node, ast.Call):
+            resolved = self.imports.resolve(node.func)
+            if resolved in {"sys.exit", "exit", "quit", "os._exit"}:
+                if not self._main_guard_depth:
+                    self._emit(
+                        RULE_EXIT_TAXONOMY,
+                        node,
+                        f"'{resolved}' outside the CLI __main__ guard",
+                    )
+        elif isinstance(node, ast.Raise) and node.exc is not None:
+            target = node.exc
+            name = (
+                dotted_name(target.func)
+                if isinstance(target, ast.Call)
+                else dotted_name(target)
+            )
+            if name == "SystemExit" and not self._main_guard_depth:
+                self._emit(
+                    RULE_EXIT_TAXONOMY,
+                    node,
+                    "`raise SystemExit` outside the CLI __main__ guard",
+                )
+        elif (
+            self.is_cli
+            and isinstance(node, ast.Return)
+            and node.value is not None
+            and self.current_function is not None
+            and self.current_function.name.startswith("_cmd_")
+            and isinstance(node.value, ast.Constant)
+            and isinstance(node.value.value, int)
+            and not isinstance(node.value.value, bool)
+            and node.value.value not in _VALID_CLI_RETURNS
+        ):
+            self._emit(
+                RULE_EXIT_TAXONOMY,
+                node,
+                f"CLI handler returns {node.value.value}; the exit "
+                "taxonomy is 0 (ok), 1 (reported failure), 2 (usage/"
+                "input error)",
+            )
+
+
+class ExceptionHygieneChecker(Checker):
+    rules = (RULE_BARE, RULE_OVERBROAD, RULE_SWALLOWED, RULE_EXIT_TAXONOMY)
+
+    def check(self, module: SourceModule, project: Project) -> Iterator[Finding]:
+        if module.tree is None:
+            return
+        visitor = _HygieneVisitor(module, ImportMap(module.tree))
+        visitor.visit(module.tree)
+        yield from visitor.findings

@@ -1,0 +1,281 @@
+"""Kernel-purity checkers (RPR020–RPR021).
+
+The lane kernel's zero-copy startup path hands methods arrays built with
+``numpy.frombuffer`` over an mmap-backed snapshot — read-only views whose
+underlying bytes belong to the file.  Every mutation must first pass
+through the copy-on-write guard (``_ensure_capacity`` checks
+``writeable`` and copies), so any in-place write in a method that never
+calls the guard is a latent crash (or worse, silent snapshot corruption)
+the tests only catch if they happen to exercise the mmap path.  The second
+rule pins the :class:`~repro.kernels.base.BitmapKernel` ABC contract:
+subclass method signatures must not drift from the abstract ones, because
+call sites are written against the ABC.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .framework import (
+    Checker,
+    Finding,
+    ImportMap,
+    Project,
+    Rule,
+    SourceModule,
+    dotted_name,
+    iter_nodes,
+)
+
+__all__ = ["KernelPurityChecker"]
+
+RULE_INPLACE = Rule(
+    "RPR020",
+    "kernel-unguarded-mutation",
+    "Kernel methods must not mutate lane buffers (self._lanes aliases or "
+    "numpy.frombuffer results) in place unless the method first runs the "
+    "_ensure_capacity copy-on-write guard — zero-copy mmap lanes are "
+    "read-only.",
+)
+RULE_SIGNATURE = Rule(
+    "RPR021",
+    "kernel-signature-drift",
+    "BitmapKernel subclass method signatures must match the ABC contract "
+    "(same argument names and arity); call sites are written against the "
+    "abstract interface.",
+)
+
+#: Methods allowed to mutate: the guard itself.
+_GUARD_METHODS = frozenset({"_ensure_capacity"})
+
+#: Binding a name to one of these calls produces a private copy, which is
+#: always safe to mutate.
+_COPY_FACTORIES = frozenset(
+    {
+        "np.array",
+        "np.zeros",
+        "np.empty",
+        "np.ones",
+        "np.ascontiguousarray",
+        "numpy.array",
+        "numpy.zeros",
+        "numpy.empty",
+        "numpy.ones",
+        "numpy.ascontiguousarray",
+    }
+)
+
+_BUFFER_FACTORIES = frozenset({"np.frombuffer", "numpy.frombuffer"})
+
+
+def _is_lanes_attribute(node: ast.AST) -> bool:
+    """True for ``self._lanes`` (or any ``<expr>._lanes``)."""
+    return isinstance(node, ast.Attribute) and node.attr == "_lanes"
+
+
+def _kernel_bases(node: ast.ClassDef) -> bool:
+    for base in node.bases:
+        name = dotted_name(base)
+        if name is not None and name.rpartition(".")[2].endswith("Kernel"):
+            return True
+    return False
+
+
+def _signature(function: ast.FunctionDef | ast.AsyncFunctionDef) -> tuple:
+    args = function.args
+    names = [arg.arg for arg in list(args.posonlyargs) + list(args.args)]
+    return (
+        tuple(names[1:]),  # drop self/cls: binding style is not the contract
+        tuple(arg.arg for arg in args.kwonlyargs),
+        args.vararg.arg if args.vararg else None,
+        args.kwarg.arg if args.kwarg else None,
+    )
+
+
+def _format_signature(signature: tuple) -> str:
+    positional, kwonly, vararg, kwarg = signature
+    parts = list(positional)
+    if vararg:
+        parts.append(f"*{vararg}")
+    elif kwonly:
+        parts.append("*")
+    parts.extend(kwonly)
+    if kwarg:
+        parts.append(f"**{kwarg}")
+    return f"({', '.join(parts)})"
+
+
+def _abstract_contract(project: Project) -> dict[str, tuple]:
+    """Abstract method name → signature, from the ABC source.
+
+    Prefers a ``kernels/base.py`` inside the scanned tree (so fixture
+    projects can ship their own contract); falls back to the installed
+    :mod:`repro.kernels.base`.
+    """
+    module = project.find("kernels/base.py")
+    tree: ast.AST | None = module.tree if module is not None else None
+    if tree is None:
+        try:
+            from pathlib import Path
+
+            from ..kernels import base as kernel_base
+
+            tree = ast.parse(Path(kernel_base.__file__).read_text(encoding="utf-8"))
+        except (ImportError, OSError):
+            return {}
+    contract: dict[str, tuple] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and node.name == "BitmapKernel":
+            for item in node.body:
+                if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                decorators = {
+                    dotted_name(decorator) or "" for decorator in item.decorator_list
+                }
+                if any(name.rpartition(".")[2] == "abstractmethod" for name in decorators):
+                    contract[item.name] = _signature(item)
+    return contract
+
+
+class KernelPurityChecker(Checker):
+    rules = (RULE_INPLACE, RULE_SIGNATURE)
+
+    def check(self, module: SourceModule, project: Project) -> Iterator[Finding]:
+        if module.tree is None:
+            return
+        classes = [
+            node
+            for node in ast.walk(module.tree)
+            if isinstance(node, ast.ClassDef) and _kernel_bases(node)
+        ]
+        if not classes:
+            return
+        imports = ImportMap(module.tree)
+        contract = _abstract_contract(project)
+        for cls in classes:
+            yield from self._check_class(module, cls, imports, contract)
+
+    # ------------------------------------------------------------------ #
+    def _check_class(
+        self,
+        module: SourceModule,
+        cls: ast.ClassDef,
+        imports: ImportMap,
+        contract: dict[str, tuple],
+    ) -> Iterator[Finding]:
+        for item in cls.body:
+            if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if item.name in contract:
+                expected = contract[item.name]
+                actual = _signature(item)
+                if actual != expected:
+                    yield Finding(
+                        code=RULE_SIGNATURE.code,
+                        message=(
+                            f"signature {_format_signature(actual)} drifts from "
+                            f"the BitmapKernel contract "
+                            f"{_format_signature(expected)}"
+                        ),
+                        path=module.relpath,
+                        line=item.lineno,
+                        column=item.col_offset,
+                        symbol=f"{cls.name}.{item.name}",
+                    )
+            if item.name not in _GUARD_METHODS:
+                yield from self._check_mutations(module, cls, item, imports)
+
+    # ------------------------------------------------------------------ #
+    def _check_mutations(
+        self,
+        module: SourceModule,
+        cls: ast.ClassDef,
+        method: ast.FunctionDef | ast.AsyncFunctionDef,
+        imports: ImportMap,
+    ) -> Iterator[Finding]:
+        guard_called = any(
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _GUARD_METHODS
+            for node in ast.walk(method)
+        )
+        if guard_called:
+            return
+
+        aliases: set[str] = set()
+
+        def resolves_qualified(call: ast.Call, names: frozenset[str]) -> bool:
+            resolved = imports.resolve(call.func)
+            if resolved in names:
+                return True
+            dotted = dotted_name(call.func)
+            return dotted in names
+
+        def is_buffer_expr(value: ast.AST) -> bool:
+            if _is_lanes_attribute(value):
+                return True
+            if isinstance(value, ast.Subscript):
+                return is_buffer_expr(value.value)
+            if isinstance(value, ast.Name):
+                return value.id in aliases
+            if isinstance(value, ast.Call):
+                return resolves_qualified(value, _BUFFER_FACTORIES)
+            return False
+
+        def emit(node: ast.AST, what: str) -> Iterator[Finding]:
+            yield Finding(
+                code=RULE_INPLACE.code,
+                message=(
+                    f"in-place mutation of a lane buffer ({what}) in a "
+                    "method that never runs the _ensure_capacity "
+                    "copy-on-write guard"
+                ),
+                path=module.relpath,
+                line=getattr(node, "lineno", method.lineno),
+                column=getattr(node, "col_offset", 0),
+                symbol=f"{cls.name}.{method.name}",
+            )
+
+        for node in iter_nodes(method):
+            # Track alias bindings in statement order.
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name):
+                    if isinstance(node.value, ast.Call) and resolves_qualified(
+                        node.value, _COPY_FACTORIES
+                    ):
+                        aliases.discard(target.id)
+                    elif isinstance(node.value, ast.Call) and isinstance(
+                        node.value.func, ast.Attribute
+                    ) and node.value.func.attr == "copy":
+                        aliases.discard(target.id)
+                    elif is_buffer_expr(node.value):
+                        aliases.add(target.id)
+                    else:
+                        aliases.discard(target.id)
+                    continue
+            # Mutations.
+            if isinstance(node, ast.AugAssign):
+                target = node.target
+                if isinstance(target, ast.Subscript) and is_buffer_expr(target.value):
+                    yield from emit(node, "augmented subscript assignment")
+                elif is_buffer_expr(target):
+                    yield from emit(node, "augmented assignment")
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Subscript) and is_buffer_expr(
+                        target.value
+                    ):
+                        yield from emit(node, "subscript assignment")
+            elif isinstance(node, ast.Call):
+                for keyword in node.keywords:
+                    if keyword.arg == "out" and is_buffer_expr(keyword.value):
+                        yield from emit(node, "out= argument")
+                if isinstance(node.func, ast.Attribute) and node.func.attr in {
+                    "fill",
+                    "sort",
+                    "partition",
+                }:
+                    if is_buffer_expr(node.func.value):
+                        yield from emit(node, f".{node.func.attr}()")

@@ -793,6 +793,29 @@ def _cmd_docs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .analysis import Baseline, render_json, render_text, run_lint
+
+    paths = [Path(entry) for entry in (args.paths or ["src"])]
+    select = None
+    if args.select:
+        select = {
+            code.strip().upper()
+            for part in args.select
+            for code in part.split(",")
+            if code.strip()
+        }
+    baseline = Baseline.load(Path(args.baseline)) if args.baseline else Baseline()
+    report = run_lint(paths, select=select, baseline=baseline)
+    rendered = render_json(report) if args.format == "json" else render_text(report)
+    if args.out:
+        Path(args.out).write_text(rendered, encoding="utf-8")
+        print(f"wrote lint report to {args.out}")
+    else:
+        print(rendered, end="")
+    return 0 if report.clean else 2
+
+
 def _cmd_rules(args: argparse.Namespace) -> int:
     lattice, _ = load_state(args.state)
     rules = generate_rules(lattice, args.min_confidence)
@@ -1193,6 +1216,37 @@ def build_parser() -> argparse.ArgumentParser:
         "--check", help="fail (exit 1) if this file drifted from the parser"
     )
     docs.set_defaults(handler=_cmd_docs)
+
+    lint = commands.add_parser(
+        "lint",
+        help="run the project's static invariant checkers (RPR0xx rules)",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to scan (default: src)",
+    )
+    lint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    lint.add_argument(
+        "--baseline",
+        default="lint-baseline.json",
+        help="grandfathered-findings file; a missing file means an empty "
+        "baseline (default: lint-baseline.json)",
+    )
+    lint.add_argument(
+        "--select",
+        action="append",
+        metavar="RPRNNN[,RPRNNN...]",
+        help="only report these rule codes (comma-separated, repeatable)",
+    )
+    lint.add_argument("--out", help="write the report here instead of stdout")
+    lint.set_defaults(handler=_cmd_lint)
 
     return parser
 

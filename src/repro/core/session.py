@@ -573,14 +573,19 @@ class MaintenanceSession:
             directory, manifest
         )
         journal_path = directory / JOURNAL_NAME
-        if journal_path.exists() and journal_path.stat().st_size > valid_length:
-            # Drop the torn trailing line before appending new records.
-            with journal_path.open("r+b") as handle:
-                handle.truncate(valid_length)
+        torn_tail = (
+            journal_path.exists() and journal_path.stat().st_size > valid_length
+        )
+        journal = _Journal(journal_path)
+        if torn_tail:
+            # Drop the torn trailing line before appending new records —
+            # through the journal's own audited truncate, which also fsyncs
+            # so a crash right here cannot resurrect the torn bytes.
+            journal.truncate_to(valid_length)
         return cls(
             directory=directory,
             maintainer=maintainer,
-            journal=_Journal(journal_path),
+            journal=journal,
             checkpoint_seq=checkpoint_seq,
             applied_seq=applied_seq,
             checkpoint_interval=int(manifest["checkpoint_interval"]),

@@ -154,7 +154,7 @@ def _align(offset: int, alignment: int = _V2_ALIGN) -> int:
     return (offset + alignment - 1) & ~(alignment - 1)
 
 
-def _le_array(typecode: str, values) -> bytes:
+def _le_array(typecode: str, values: Iterable[int]) -> bytes:
     """Values packed as little-endian machine words, whatever the host order."""
     packed = array(typecode, values)
     if sys.byteorder != "little":  # pragma: no cover - big-endian hosts only
@@ -231,7 +231,9 @@ def write_snapshot(
             handle.write(b"\0" * (_V2_HEADER_SIZE - len(header)))
             position = _V2_HEADER_SIZE
             for start, section in zip(
-                section_offsets, (tx_offsets, tx_items, item_ids, lane_bytes)
+                section_offsets,
+                (tx_offsets, tx_items, item_ids, lane_bytes),
+                strict=True,
             ):
                 handle.write(b"\0" * (start - position))
                 handle.write(section)
@@ -241,7 +243,7 @@ def write_snapshot(
     return n_tx
 
 
-def _parse_v2_header(data, path: Path, size: int) -> tuple:
+def _parse_v2_header(data: bytes | memoryview, path: Path, size: int) -> tuple:
     if size < _V2_HEADER_SIZE:
         raise StorageError(f"{path} is truncated: no room for a snapshot header")
     magic, version, flags, n_tx, n_entries, n_items, lane_words, *offsets = (

@@ -48,3 +48,7 @@ class GeneratorConfigError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment harness configuration or execution failure."""
+
+
+class AnalysisError(ReproError):
+    """A static-analysis (``repro lint``) input or configuration failure."""

@@ -67,7 +67,7 @@ def is_canonical(candidate: Sequence[Item]) -> bool:
     return all(
         isinstance(item, int) and not isinstance(item, bool) and item >= 0
         for item in candidate
-    ) and all(a < b for a, b in zip(candidate, candidate[1:]))
+    ) and all(a < b for a, b in zip(candidate, candidate[1:], strict=False))
 
 
 def union(first: Itemset, second: Itemset) -> Itemset:

@@ -38,7 +38,9 @@ _numpy_ok: bool | None = None
 
 def numpy_available() -> bool:
     """True when numpy imports in this interpreter (memoized)."""
-    global _numpy_ok
+    # The module-level memo is deliberate: tests monkeypatch `_numpy_ok` to
+    # force both registry arms, and workers re-probe after fork.
+    global _numpy_ok  # repro: ignore[RPR002]
     if _numpy_ok is None:
         try:
             import numpy  # noqa: F401

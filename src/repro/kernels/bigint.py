@@ -10,9 +10,12 @@ has no dependencies and no setup cost, which keeps it the default.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
 
 from .base import BitmapKernel, Transaction, lane_words
+
+if TYPE_CHECKING:
+    from ..itemsets import Item, Itemset
 
 __all__ = ["BigIntKernel"]
 
@@ -79,7 +82,7 @@ class BigIntKernel(BitmapKernel):
     def __contains__(self, item: object) -> bool:
         return item in self._masks
 
-    def mask(self, item) -> int:
+    def mask(self, item: Item) -> int:
         return self._masks.get(item, 0)
 
     def masks(self) -> dict:
@@ -88,7 +91,7 @@ class BigIntKernel(BitmapKernel):
     def item_counts(self) -> Counter:
         return Counter({item: mask.bit_count() for item, mask in self._masks.items()})
 
-    def support(self, candidate) -> int:
+    def support(self, candidate: Itemset) -> int:
         bits = -1  # all-ones: the identity of bitwise AND
         for item in candidate:
             item_bits = self._masks.get(item)

@@ -36,12 +36,15 @@ from __future__ import annotations
 from collections import Counter
 from itertools import chain
 from operator import itemgetter
-from typing import Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
 
 import numpy as np
 
 from .base import BitmapKernel, Transaction, lane_words
 from .bigint import BigIntKernel
+
+if TYPE_CHECKING:
+    from ..itemsets import Item, Itemset
 
 __all__ = ["LaneKernel"]
 
@@ -182,7 +185,7 @@ class LaneKernel(BitmapKernel):
     def _words(self) -> int:
         return lane_words(self._size)
 
-    def mask(self, item) -> int:
+    def mask(self, item: Item) -> int:
         row = self._rows.get(item)
         if row is None:
             return 0
@@ -201,9 +204,9 @@ class LaneKernel(BitmapKernel):
             return Counter()
         live = np.array(self._lanes[: len(self._rows), : self._words])
         counts = _popcount_inplace(live).sum(axis=1)
-        return Counter(dict(zip(self._rows, counts.tolist())))
+        return Counter(dict(zip(self._rows, counts.tolist(), strict=True)))
 
-    def support(self, candidate) -> int:
+    def support(self, candidate: Itemset) -> int:
         items = tuple(candidate)
         if not items:
             return self._size
@@ -254,11 +257,11 @@ class LaneKernel(BitmapKernel):
                 count=n * k,
             ).reshape(n, k)
             missing = (row_matrix < 0).any(axis=1)
-            for candidate, bad in zip(pool, missing.tolist()):
+            for candidate, bad in zip(pool, missing.tolist(), strict=True):
                 if bad:
                     counts[candidate] = 0
             keep = ~missing
-            pool = [c for c, ok in zip(pool, keep.tolist()) if ok]
+            pool = [c for c, ok in zip(pool, keep.tolist(), strict=True) if ok]
             row_matrix = row_matrix[keep]
             n = len(pool)
         else:
@@ -278,7 +281,7 @@ class LaneKernel(BitmapKernel):
             run_starts = _prefix_runs(row_matrix)
             if n / len(run_starts) >= _MIN_RUN_FOR_PREFIX:
                 result = self._count_prefix_runs(row_matrix, run_starts)
-                counts.update(zip(pool, result.tolist()))
+                counts.update(zip(pool, result.tolist(), strict=True))
                 return
             order = np.lexsort(row_matrix.T[::-1])
             sorted_rm = row_matrix[order]
@@ -287,11 +290,11 @@ class LaneKernel(BitmapKernel):
                 sorted_res = self._count_prefix_runs(sorted_rm, run_starts)
                 result = np.empty(n, dtype=_U64)
                 result[order] = sorted_res
-                counts.update(zip(pool, result.tolist()))
+                counts.update(zip(pool, result.tolist(), strict=True))
                 return
 
         result = self._count_gather(row_matrix)
-        counts.update(zip(pool, result.tolist()))
+        counts.update(zip(pool, result.tolist(), strict=True))
 
     def _block(self, shape: tuple[int, int], tag: str = "a") -> np.ndarray:
         key = (shape, tag)
@@ -340,7 +343,7 @@ class LaneKernel(BitmapKernel):
         result = np.zeros(n, dtype=_U64)
         bounds = np.append(run_starts, n)
         prefix_row = np.empty(words, dtype=_U64)
-        for start, stop in zip(bounds[:-1].tolist(), bounds[1:].tolist()):
+        for start, stop in zip(bounds[:-1].tolist(), bounds[1:].tolist(), strict=True):
             prefix = sorted_rm[start, : k - 1]
             partners = np.ascontiguousarray(sorted_rm[start:stop, k - 1])
             run = stop - start
@@ -379,7 +382,7 @@ class LaneKernel(BitmapKernel):
         grown[:live_rows, :live_words] = lanes[:live_rows, :live_words]
         self._lanes = grown
 
-    def _row_for(self, item) -> int:
+    def _row_for(self, item: Item) -> int:
         row = self._rows.get(item)
         if row is None:
             row = len(self._rows)

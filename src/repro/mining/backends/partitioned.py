@@ -159,9 +159,8 @@ class PartitionedBackend(CountingBackend):
         # A live worker pool cannot cross a process boundary (an inner
         # partitioned engine is legal, if exotic): ship the configuration,
         # respawn lanes on demand on the far side.
-        state = {slot: getattr(self, slot) for slot in
-                 ("shards", "inner", "executor", "workers", "kernel")}
-        return state
+        return {slot: getattr(self, slot) for slot in
+                ("shards", "inner", "executor", "workers", "kernel")}
 
     def __setstate__(self, state: dict) -> None:
         for slot, value in state.items():

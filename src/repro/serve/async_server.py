@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import logging
 import math
 import socket
 import threading
@@ -61,6 +62,8 @@ from .snapshot import RuleSnapshot
 from .store import RuleStore
 
 __all__ = ["AsyncRuleServer", "DEFAULT_MAX_CONNECTIONS"]
+
+_log = logging.getLogger(__name__)
 
 #: Default concurrent-connection bound (the backpressure threshold).
 DEFAULT_MAX_CONNECTIONS = 1024
@@ -376,6 +379,11 @@ class AsyncRuleServer:
             try:
                 status, payload, extra = self._dispatch(request, peer_label)
             except Exception:  # noqa: BLE001 - one bad request must not kill the loop
+                _log.exception(
+                    "unhandled error dispatching %s %s",
+                    request.method,
+                    request.path,
+                )
                 status, payload, extra = 500, {"error": "internal server error"}, ()
             keep_alive = request.keep_alive and status != 500
             self._requests += 1

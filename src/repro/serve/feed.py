@@ -17,6 +17,7 @@ half-state and the writer is never blocked by the server.
 
 from __future__ import annotations
 
+import logging
 import threading
 from pathlib import Path
 
@@ -25,6 +26,8 @@ from ..errors import ReproError
 from .store import RuleStore
 
 __all__ = ["SessionFeed"]
+
+_log = logging.getLogger(__name__)
 
 #: Default seconds between on-disk freshness checks.
 DEFAULT_REFRESH_SECONDS = 1.0
@@ -125,9 +128,11 @@ class SessionFeed:
                 # refresh() already absorbs the session-level races; anything
                 # else (a store listener raising, an engine-shutdown hiccup in
                 # maintainer.close) must not kill the feed thread — a server
-                # serving one stale tick and retrying beats one silently
-                # frozen at whatever version the crash left behind.
-                pass
+                # serving one stale tick and retrying beats one frozen at
+                # whatever version the crash left behind.  But the error must
+                # leave a trace, or a permanently failing refresh looks like
+                # a quiet database.
+                _log.exception("session feed refresh failed; retrying next tick")
             if self._stop.wait(self.interval):
                 return
 

@@ -184,7 +184,7 @@ class RuleSnapshot:
         members = frozenset(basket)
         return [
             rule
-            for rule, antecedent in zip(self.rules, self._antecedent_sets)
+            for rule, antecedent in zip(self.rules, self._antecedent_sets, strict=True)
             if antecedent <= members
         ]
 

@@ -64,7 +64,7 @@ class TestPatternPool:
     def test_correlation_produces_overlap(self):
         pool = self._pool(pool_size=200, correlation=0.9)
         overlaps = 0
-        for previous, current in zip(pool.patterns, pool.patterns[1:]):
+        for previous, current in zip(pool.patterns, pool.patterns[1:], strict=False):
             if set(previous.items) & set(current.items):
                 overlaps += 1
         # With 90% correlation a clear majority of consecutive pairs overlap.

@@ -251,7 +251,7 @@ def test_broken_worker_lane_respawns():
                 os.kill(process.pid, signal.SIGKILL)
         # The first call(s) may surface the breakage; within a few attempts
         # the lanes must have respawned and counting must be correct again.
-        for attempt in range(5):
+        for _attempt in range(5):
             try:
                 assert backend.count_candidates(DATABASE, CANDIDATES) == expected
                 break

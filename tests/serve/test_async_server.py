@@ -191,7 +191,7 @@ class TestBatchRecommend:
         assert len(payload["results"]) == 3
         snapshot = served["store"].snapshot()
         assert payload["version"] == snapshot.version
-        for entry, basket in zip(payload["results"], ([1], [2], [1, 2])):
+        for entry, basket in zip(payload["results"], ([1], [2], [1, 2]), strict=True):
             assert entry["basket"] == basket
             expected = [r.as_dict() for r in snapshot.recommend(tuple(basket), k=3)]
             assert entry["recommendations"] == expected

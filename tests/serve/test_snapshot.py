@@ -167,5 +167,5 @@ class TestSerialization:
 
     def test_rules_round_trip(self, small_database):
         snapshot = snapshot_of(small_database)
-        for entry, rule in zip(snapshot.as_dict()["rules"], snapshot.rules):
+        for entry, rule in zip(snapshot.as_dict()["rules"], snapshot.rules, strict=True):
             assert rule_from_dict(entry) == rule
