@@ -1,0 +1,97 @@
+"""Deterministic at-least-once producer for the pipeline smoke test.
+
+Emits a JSONL event stream whose content is a pure function of ``--seed``
+and ``--events``: running it twice produces byte-identical streams, which is
+what lets the CI job kill it mid-stream (``kill -9``) and then *replay the
+whole stream from the beginning* — the textbook at-least-once producer
+restart — while still knowing exactly what the converged session must look
+like.
+
+``--dup-every N`` makes every Nth line redeliver an earlier event (same key,
+same items), so dedup is exercised even within a single clean pass.
+``--stop-after K`` emits only the first K lines of the logical stream, and
+``--hang`` then parks the process in a sleep loop so the harness can deliver
+a genuine SIGKILL to a live producer instead of racing a clean exit.  Output
+is appended (``--out``) or written to stdout, flushed per line, so a reader
+in follow mode sees every event the moment it is produced and a kill never
+leaves a torn line behind.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+from pathlib import Path
+
+
+def event_lines(events: int, dup_every: int, seed: int) -> list[str]:
+    """The logical stream: *events* JSONL lines, deterministic in *seed*."""
+    rng = random.Random(seed)
+    fresh: list[dict] = []
+    lines: list[str] = []
+    for index in range(events):
+        if dup_every and fresh and (index + 1) % dup_every == 0:
+            payload = fresh[rng.randrange(len(fresh))]
+        else:
+            size = rng.randint(2, 6)
+            payload = {
+                "key": f"txn-{len(fresh)}",
+                "op": "insert",
+                "items": sorted(rng.sample(range(1, 40), size)),
+            }
+            fresh.append(payload)
+        lines.append(json.dumps(payload))
+    return lines
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--events", type=int, default=600, help="stream length in lines")
+    parser.add_argument(
+        "--dup-every", type=int, default=0,
+        help="every Nth line redelivers an earlier event (0 disables)",
+    )
+    parser.add_argument("--seed", type=int, default=5, help="stream content seed")
+    parser.add_argument(
+        "--stop-after", type=int, default=None,
+        help="emit only the first K lines (the mid-stream crash prefix)",
+    )
+    parser.add_argument(
+        "--out", default=None,
+        help="append to this file instead of writing to stdout",
+    )
+    parser.add_argument(
+        "--delay", type=float, default=0.0, help="seconds to sleep between lines"
+    )
+    parser.add_argument(
+        "--hang", action="store_true",
+        help="sleep forever after emitting, awaiting an external kill",
+    )
+    args = parser.parse_args(argv)
+
+    lines = event_lines(args.events, args.dup_every, args.seed)
+    if args.stop_after is not None:
+        lines = lines[: args.stop_after]
+
+    sink = Path(args.out).open("a") if args.out else sys.stdout
+    try:
+        for line in lines:
+            sink.write(line + "\n")
+            sink.flush()
+            if args.delay:
+                time.sleep(args.delay)
+    finally:
+        if args.out:
+            sink.close()
+
+    print(f"produced {len(lines)} event line(s)", file=sys.stderr, flush=True)
+    while args.hang:
+        time.sleep(1)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

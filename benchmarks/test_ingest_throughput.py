@@ -1,0 +1,98 @@
+"""E11 — End-to-end intake throughput of the streaming ingestion pipeline.
+
+The serving story (PR 6) measured how fast mined rules leave the system;
+this benchmark measures how fast transactions *enter* it through the full
+``repro ingest`` path: micro-batching, ledger dedup, journaled apply, FUP
+maintenance.  Two runs share one session directory:
+
+* **clean** — every event key is fresh, so the measured rate is the real
+  apply cost per event;
+* **redelivered** — the same stream offered again, so every event dedups
+  against the ledger and the rate isolates the intake overhead (the price
+  of the at-least-once guarantee when nothing needs applying).
+
+The final lattice is asserted equal to a from-scratch mine of the updated
+database, so the throughput numbers are only reported for provably correct
+state.  With ``REPRO_BENCH_ARTIFACT`` set, the measurements land in the
+``ingest`` section of ``BENCH_maintenance.json``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import AprioriMiner
+from repro.harness import measure_ingest_throughput
+from repro.ingest import IngestEvent
+
+from .conftest import build_workload, print_report, timing_asserts_enabled, update_bench_artifact
+
+MIN_SUPPORT = 0.02
+MIN_CONFIDENCE = 0.5
+BATCH_EVENTS = 64
+
+#: The redelivered pass applies nothing, so it must not be slower than the
+#: clean pass by more than this factor (ledger lookups are cheap; FUP is not).
+MAX_DEDUP_SLOWDOWN = 1.0
+
+
+def _events(increment) -> list[IngestEvent]:
+    return [
+        IngestEvent(key=f"txn-{tid}", op="insert", items=tuple(rows))
+        for tid, rows in enumerate(increment.transactions())
+    ]
+
+
+@pytest.mark.benchmark(group="maintenance")
+def test_ingest_throughput_clean_vs_redelivered(benchmark, tmp_path):
+    workload = build_workload("T10.I4.D100.d10", seed=47)
+    events = _events(workload.increment)
+    session_dir = tmp_path / "session"
+
+    def run_clean():
+        return measure_ingest_throughput(
+            session_dir,
+            events,
+            database=workload.original,
+            min_support=MIN_SUPPORT,
+            min_confidence=MIN_CONFIDENCE,
+            batch_events=BATCH_EVENTS,
+        )
+
+    clean = benchmark.pedantic(run_clean, rounds=1, iterations=1)
+    assert clean.applied == len(events) and clean.duplicates == 0
+
+    # The producer redelivers the whole stream (at-least-once worst case).
+    redelivered = measure_ingest_throughput(session_dir, events, batch_events=BATCH_EVENTS)
+    assert redelivered.applied == 0
+    assert redelivered.duplicates == len(events)
+
+    # Correctness gate: the maintained lattice equals a from-scratch mine.
+    final = AprioriMiner(MIN_SUPPORT).mine(
+        workload.original.concatenate(workload.increment)
+    )
+    assert clean.itemsets == len(final.lattice)
+    assert clean.database_size == len(workload.original) + len(workload.increment)
+
+    rows = [
+        {"pass": "clean", **clean.as_dict()},
+        {"pass": "redelivered", **redelivered.as_dict()},
+    ]
+    print_report(
+        f"E11 ingest throughput — {workload.name}, batch={BATCH_EVENTS}", rows
+    )
+    update_bench_artifact(
+        "BENCH_maintenance.json",
+        "maintenance_session",
+        "ingest",
+        {
+            "workload": workload.name,
+            "batch_events": BATCH_EVENTS,
+            "passes": rows,
+        },
+    )
+
+    if timing_asserts_enabled():
+        assert (
+            redelivered.seconds <= clean.seconds * MAX_DEDUP_SLOWDOWN
+        ), "deduplicating a redelivered stream should not cost more than applying it"

@@ -44,9 +44,9 @@ RULE_FSYNC = Rule(
 RULE_TMP_STAGING = Rule(
     "RPR012",
     "checkpoint-write-not-staged",
-    "Durable writes inside MaintenanceSession must target a *_tmp staging "
-    "path (then _atomic_replace) — or go through _Journal; writing the "
-    "final path directly can tear on crash.",
+    "Durable writes inside MaintenanceSession and IntakeLedger must target "
+    "a *_tmp staging path (then _atomic_replace) — or go through _Journal; "
+    "writing the final path directly can tear on crash.",
 )
 
 #: Functions in core/session.py allowed to call os.replace / os.rename.
@@ -61,6 +61,12 @@ _FSYNC_AUDITED_CLASSES = frozenset({"_Journal"})
 
 _WRITE_METHODS = frozenset({"write_text", "write_bytes"})
 _SNAPSHOT_WRITERS = frozenset({"write_snapshot", "save_state"})
+
+#: Classes owning durable on-disk state whose writes must stage through
+#: ``*_tmp`` + ``_atomic_replace`` or go through ``_Journal``: the session
+#: (checkpoint snapshot/state/manifest) and the intake ledger (its
+#: compaction rewrite).
+_DURABLE_WRITER_CLASSES = frozenset({"MaintenanceSession", "IntakeLedger"})
 
 
 def _ends_with_tmp(node: ast.AST) -> bool:
@@ -106,8 +112,11 @@ class _DurabilityVisitor(ScopedVisitor):
             return True
         return any(cls.name in _FSYNC_AUDITED_CLASSES for cls in self.class_stack)
 
-    def _in_maintenance_session(self) -> bool:
-        return any(cls.name == "MaintenanceSession" for cls in self.class_stack)
+    def _in_durable_writer(self) -> str | None:
+        for cls in self.class_stack:
+            if cls.name in _DURABLE_WRITER_CLASSES:
+                return cls.name
+        return None
 
     def handle_node(self, node: ast.AST) -> None:
         if not isinstance(node, ast.Call):
@@ -127,11 +136,14 @@ class _DurabilityVisitor(ScopedVisitor):
                 f"'{resolved}' outside the audited fsync helpers",
             )
 
-        if self._in_maintenance_session():
-            self._check_staged_write(node, resolved)
+        owner = self._in_durable_writer()
+        if owner is not None:
+            self._check_staged_write(node, resolved, owner)
 
     # -- RPR012 ------------------------------------------------------------ #
-    def _check_staged_write(self, node: ast.Call, resolved: str | None) -> None:
+    def _check_staged_write(
+        self, node: ast.Call, resolved: str | None, owner: str
+    ) -> None:
         # write_snapshot(db, path) / save_state(state, path): the path
         # argument (second positional) must be a *_tmp staging name.
         if resolved is not None and resolved.rpartition(".")[2] in _SNAPSHOT_WRITERS:
@@ -152,7 +164,7 @@ class _DurabilityVisitor(ScopedVisitor):
                     RULE_TMP_STAGING,
                     node,
                     f"'.{node.func.attr}()' on a non-staged path inside "
-                    "MaintenanceSession",
+                    f"{owner}",
                 )
             return
         # path.open("w"/"a"/"r+"): direct writable handles bypass both the
@@ -165,7 +177,7 @@ class _DurabilityVisitor(ScopedVisitor):
                         RULE_TMP_STAGING,
                         node,
                         f"writable handle ('{mode.value}') opened directly "
-                        "inside MaintenanceSession; route journal writes "
+                        f"inside {owner}; route journal/ledger writes "
                         "through _Journal and snapshot writes through *_tmp "
                         "+ _atomic_replace",
                     )

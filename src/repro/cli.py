@@ -50,6 +50,21 @@ shell, each as a subcommand:
     or unrecognised file); ``migrate`` rewrites a v1 record-stream snapshot as
     the memory-mappable v2 format with the lane section included, so serving
     tiers reopen it in O(1).
+``ingest``
+    Stream intake events (JSONL or CSV: client key + operation +
+    transaction) into an existing session with idempotent at-least-once
+    delivery: events are micro-batched on count/time watermarks, each key
+    is applied at most once (deduplicated through the durable intake
+    ledger), and a crashed producer can simply replay its whole stream.
+    Reads a file, stdin, or — with ``--follow`` — a file another process
+    is appending to, tolerating a torn final record.
+``pipeline``
+    Compose ingest → maintain → serve over one session directory: the same
+    intake loop, with the rule store subscribed to the session's
+    maintainer so every applied micro-batch republishes the served
+    snapshot immediately (no polling lag), and an HTTP front end
+    (``--frontend threaded|async``) answering ``/rules``, ``/recommend``
+    and ``/health`` the whole time.
 ``session init | apply | status | checkpoint``
     The durable flavour of ``maintain``: a
     :class:`~repro.core.session.MaintenanceSession` persisted to a session
@@ -96,6 +111,7 @@ from .db.transaction_db import shard_bounds
 from .db.update import UpdateBatch
 from .errors import ReproError
 from .harness.reporting import format_table
+from .ingest import DEFAULT_BATCH_EVENTS, FORMAT_NAMES
 from .harness.runner import compare_update_strategies
 from .mining.apriori import AprioriMiner
 from .mining.backends import (
@@ -538,6 +554,129 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             feed.stop()
         if maintainer is not None:
             maintainer.close()
+    return 0
+
+
+def _check_ingest_flags(args: argparse.Namespace) -> int:
+    """Shared flag validation for ``ingest`` and ``pipeline`` (0 ok, 2 bad)."""
+    if args.source == "-" and getattr(args, "follow", False):
+        print(
+            "error: --follow needs a file source (stdin already blocks until "
+            "the producer closes the pipe)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.batch_seconds is not None and args.batch_seconds <= 0:
+        print(
+            f"error: --batch-seconds must be positive, got {args.batch_seconds}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.poll <= 0:
+        print(f"error: --poll must be positive, got {args.poll}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _print_intake_batch(report) -> None:
+    print(
+        f"batch {report.seq}: {report.applied} applied, "
+        f"{report.duplicates} duplicate(s) dropped",
+        flush=True,
+    )
+
+
+def _print_ingest_summary(summary, status) -> None:
+    print(
+        f"ingested {summary.events} event(s) in {summary.batches} batch(es): "
+        f"{summary.applied} applied, {summary.duplicates} deduplicated"
+        + (f", {summary.recovered_keys} key(s) recovered on open" if summary.recovered_keys else "")
+        + (f", {summary.torn_tail} torn byte(s) pending" if summary.torn_tail else "")
+    )
+    print(
+        f"now at batch {status.applied_seq} (checkpoint {status.checkpoint_seq}); "
+        f"{status.database_size} transactions, {status.itemsets} itemsets, "
+        f"{status.rules} rules"
+    )
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    from .ingest import MicroBatcher, open_event_stream, run_ingest
+
+    bad = _check_ingest_flags(args)
+    if bad:
+        return bad
+    with open_event_stream(args.source, args.format) as reader:
+        with MaintenanceSession.open(args.session_dir) as session:
+            batcher = MicroBatcher(
+                max_events=args.batch_size, max_seconds=args.batch_seconds
+            )
+            summary = run_ingest(
+                session,
+                reader,
+                batcher,
+                follow=args.follow,
+                poll_interval=args.poll,
+                max_seconds=args.max_seconds,
+                on_batch=_print_intake_batch,
+            )
+            status = session.status()
+    _print_ingest_summary(summary, status)
+    return 0
+
+
+def _cmd_pipeline(args: argparse.Namespace) -> int:
+    from .ingest import MicroBatcher, open_event_stream, run_ingest
+    from .serve import AsyncRuleServer, RuleServer, RuleStore
+
+    args.follow = not args.once
+    bad = _check_ingest_flags(args)
+    if bad:
+        return bad
+    with open_event_stream(args.source, args.format) as reader:
+        with MaintenanceSession.open(args.session_dir) as session:
+            # In-process composition: the store subscribes to the session's
+            # maintainer, so every applied micro-batch republishes the rule
+            # snapshot immediately — no SessionFeed polling loop, no
+            # freshness lag between the writer and the server.
+            store = RuleStore()
+            store.attach(session.maintainer)
+            try:
+                if args.frontend == "async":
+                    server = AsyncRuleServer(store, host=args.host, port=args.port)
+                else:
+                    server = RuleServer(store, host=args.host, port=args.port)
+            except OSError as exc:
+                print(
+                    f"error: cannot serve on {args.host}:{args.port}: {exc}",
+                    file=sys.stderr,
+                )
+                return 2
+            server.start()
+            print(
+                f"pipeline serving on {server.url} via the {args.frontend} front "
+                f"end ({store.snapshot().describe()}); ingesting {args.source}",
+                flush=True,
+            )
+            try:
+                batcher = MicroBatcher(
+                    max_events=args.batch_size, max_seconds=args.batch_seconds
+                )
+                summary = run_ingest(
+                    session,
+                    reader,
+                    batcher,
+                    follow=args.follow,
+                    poll_interval=args.poll,
+                    max_seconds=args.max_seconds,
+                    on_batch=_print_intake_batch,
+                )
+                status = session.status()
+            except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+                return 0
+            finally:
+                server.close()
+    _print_ingest_summary(summary, status)
     return 0
 
 
@@ -1126,6 +1265,85 @@ def build_parser() -> argparse.ArgumentParser:
     )
     session_checkpoint.add_argument("session_dir", help="existing session directory")
     session_checkpoint.set_defaults(handler=_cmd_session_checkpoint)
+
+    def add_ingest_flags(subparser: argparse.ArgumentParser) -> None:
+        subparser.add_argument("session_dir", help="existing session directory")
+        subparser.add_argument(
+            "--source",
+            default="-",
+            metavar="FILE",
+            help="event-stream file to read, or - for stdin (default)",
+        )
+        subparser.add_argument(
+            "--format",
+            choices=list(FORMAT_NAMES),
+            help="record format (default: sniffed from the file suffix; "
+            "jsonl on stdin)",
+        )
+        subparser.add_argument(
+            "--batch-size",
+            type=positive_int,
+            default=DEFAULT_BATCH_EVENTS,
+            metavar="N",
+            help="count watermark: cut a batch every N events",
+        )
+        subparser.add_argument(
+            "--batch-seconds",
+            type=float,
+            metavar="SECONDS",
+            help="time watermark: cut a partial batch once its first event "
+            "is this old (default: count watermark only)",
+        )
+        subparser.add_argument(
+            "--poll",
+            type=float,
+            default=0.2,
+            metavar="SECONDS",
+            help="follow-mode interval between stream re-polls",
+        )
+        subparser.add_argument(
+            "--max-seconds",
+            type=float,
+            metavar="SECONDS",
+            help="stop after this long (smoke tests; default: run to stream "
+            "end, or forever with --follow)",
+        )
+
+    ingest = commands.add_parser(
+        "ingest",
+        help="stream intake events into a session (idempotent, at-least-once)",
+    )
+    add_ingest_flags(ingest)
+    ingest.add_argument(
+        "--follow",
+        action="store_true",
+        help="keep polling the source file for appended records instead of "
+        "stopping at end of stream",
+    )
+    ingest.set_defaults(handler=_cmd_ingest)
+
+    pipeline = commands.add_parser(
+        "pipeline",
+        help="compose ingest + maintain + serve over one session directory",
+    )
+    add_ingest_flags(pipeline)
+    pipeline.add_argument(
+        "--once",
+        action="store_true",
+        help="stop when the stream is exhausted (default: follow the file "
+        "for appended records)",
+    )
+    pipeline.add_argument("--host", default="127.0.0.1", help="bind address")
+    pipeline.add_argument(
+        "--port", type=int, default=8000, help="bind port (0 picks an ephemeral port)"
+    )
+    pipeline.add_argument(
+        "--frontend",
+        choices=["threaded", "async"],
+        default="threaded",
+        help="HTTP front end serving the maintained rules while ingesting",
+    )
+    pipeline.set_defaults(handler=_cmd_pipeline)
 
     snapshot = commands.add_parser(
         "snapshot",

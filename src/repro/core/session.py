@@ -24,7 +24,16 @@ Directory layout
 ``journal.jsonl``
     The append-only update-log journal: one JSON record per batch
     (``{"seq": n, "label": ..., "insertions": [...], "deletions": [...]}``),
-    written **and fsynced before the batch is applied** in memory.
+    written **and fsynced before the batch is applied** in memory.  Batches
+    arriving through the streaming intake additionally carry their event
+    ``"keys"``, so the journal doubles as the recovery source for the
+    intake ledger.
+``ledger.jsonl``
+    Present when an :class:`~repro.ingest.ledger.IntakeLedger` is attached
+    (``repro ingest`` / ``repro pipeline``): the durable seen-set of
+    client-supplied event keys that makes at-least-once delivery
+    effectively-once.  Appended and fsynced *after* the batch commits,
+    compacted alongside every checkpoint.
 
 Crash-recovery protocol
 -----------------------
@@ -51,6 +60,14 @@ Crash-recovery protocol
   journal or the new checkpoint plus an ignorable journal prefix — never a
   half-updated state.
 
+* With a ledger attached the commit order is journal → apply → ledger: a
+  crash between journal and ledger loses only *dedup information* for a
+  batch that **was** applied, never an applied batch's data.  Intake
+  recovery reconciles the two on open — journaled keys missing from the
+  ledger are re-committed — so a producer replaying its whole stream after
+  any crash converges to exactly the clean run's state
+  (``docs/ingestion.md`` has the full crash matrix).
+
 Checkpoints also run automatically every ``checkpoint_interval`` applied
 batches, compacting the journal so recovery time stays bounded.
 """
@@ -62,7 +79,7 @@ import os
 import re
 from dataclasses import dataclass
 from pathlib import Path
-from typing import IO, Iterable
+from typing import IO, TYPE_CHECKING, Iterable
 
 try:
     import fcntl
@@ -73,11 +90,15 @@ from ..db.store import load_database, write_snapshot
 from ..db.transaction_db import TransactionDatabase
 from ..db.update import UpdateBatch
 from ..errors import ReproError, StorageError
+from ..faults import crash_point
 from ..itemsets import Item
 from ..mining.result import ItemsetLattice, MiningResult
 from ..mining.rules import AssociationRule
 from .maintenance import MaintenanceReport, MinerName, RuleMaintainer
 from .options import FupOptions
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle is type-only
+    from ..ingest.ledger import IntakeLedger
 
 __all__ = [
     "MaintenanceSession",
@@ -213,6 +234,19 @@ class _Journal:
 
     def clear(self) -> None:
         self.truncate_to(0)
+
+    def tear(self, record: dict) -> None:
+        """Write a *torn* record: half the line, no newline, no fsync.
+
+        Fault-injection seam only (the crash tests simulate a power loss
+        mid-append); production code never calls this.  The bytes are
+        flushed so the crash that follows actually leaves them on disk,
+        but never fsynced — exactly what an interrupted :meth:`append`
+        can leave behind.
+        """
+        line = json.dumps(record, separators=(",", ":"))
+        self._handle.write(line[: max(1, len(line) // 2)])
+        self._handle.flush()
 
     def close(self) -> None:
         self._handle.close()
@@ -401,6 +435,7 @@ class MaintenanceSession:
         self._applied_seq = applied_seq
         self._checkpoint_interval = checkpoint_interval
         self._lock = lock
+        self._ledger: "IntakeLedger | None" = None
         self._closed = False
 
     # ------------------------------------------------------------------ #
@@ -600,6 +635,8 @@ class MaintenanceSession:
         """
         if not self._closed:
             self._journal.close()
+            if self._ledger is not None:
+                self._ledger.close()
             if self._lock is not None:
                 self._lock.close()  # closing the fd releases the flock
             self._maintainer.close()  # release any engine worker processes
@@ -703,7 +740,29 @@ class MaintenanceSession:
     # ------------------------------------------------------------------ #
     # Applying updates
     # ------------------------------------------------------------------ #
-    def apply(self, batch: UpdateBatch) -> MaintenanceReport:
+    def attach_ledger(self, ledger: "IntakeLedger") -> None:
+        """Bind an intake ledger so :meth:`apply` commits it with each batch.
+
+        The ingest hook: once attached, every applied batch's event keys are
+        recorded in the journal record (``"keys"``) *and* committed to the
+        ledger immediately after the in-memory apply — so a crash between
+        the two is recovered by the ledger's journal reconciliation, never
+        by double-counting.  The session takes over the ledger's lifetime
+        (:meth:`close` closes it, :meth:`checkpoint` compacts it).
+        """
+        if self._ledger is not None and self._ledger is not ledger:
+            raise StorageError(
+                f"session {self._directory} already has an intake ledger attached"
+            )
+        self._ledger = ledger
+
+    def apply(
+        self,
+        batch: UpdateBatch,
+        *,
+        keys: Iterable[str] = (),
+        events: int = 0,
+    ) -> MaintenanceReport:
         """Journal *batch*, apply it, auto-checkpoint on the configured cadence.
 
         The journal record is durable before the in-memory state changes, so
@@ -712,17 +771,34 @@ class MaintenanceSession:
         and the exception propagates with the session unchanged.  Empty
         batches are never journaled: they change nothing, so recording them
         would only grow the journal and burn sequence numbers on no-ops.
+
+        *keys* and *events* are the intake protocol (see
+        :mod:`repro.ingest`): the event keys this batch consumed and the raw
+        event count behind them (duplicates included).  With a ledger
+        attached they are journaled alongside the batch and committed to the
+        ledger right after the apply.  An *empty* batch with keys/events — a
+        micro-batch that deduplicated down to nothing — still advances the
+        ledger's high-water mark, without journaling and without burning a
+        sequence number; skipping that commit would make a replaying
+        producer re-offer the same duplicates forever.
         """
         if self._closed:
             raise StorageError(f"session {self._directory} is closed")
+        keys = tuple(keys)
         if batch.is_empty:
-            return self._maintainer.apply(batch)
+            report = self._maintainer.apply(batch)
+            if self._ledger is not None and (keys or events):
+                self._ledger.commit(self._applied_seq, keys, events)
+            return report
         # Refuse an unapplyable batch BEFORE journaling it: a crash between
         # the fsynced append and the refusal would otherwise leave a record
         # recovery can never replay, bricking the session.
         self._maintainer.validate_batch(batch)
         seq = self._applied_seq + 1
-        offset = self._journal.append({"seq": seq, **batch.as_dict()})
+        record = {"seq": seq, **batch.as_dict()}
+        if keys:
+            record["keys"] = list(keys)
+        offset = self._journal.append(record)
         sequence_before = self._maintainer.sequence
         try:
             report = self._maintainer.apply(batch)
@@ -738,6 +814,10 @@ class MaintenanceSession:
             self._journal.truncate_to(offset)
             raise
         self._applied_seq = seq
+        crash_point("after-journal-before-ledger")
+        if self._ledger is not None and (keys or events):
+            self._ledger.commit(seq, keys, events)
+            crash_point("after-ledger-before-checkpoint")
         if self._applied_seq - self._checkpoint_seq >= self._checkpoint_interval:
             self.checkpoint()
         return report
@@ -792,6 +872,11 @@ class MaintenanceSession:
         # applied.
         self._maintainer.update_log.clear()
         _sweep_stale_files(directory, keep_seq=seq)
+        if self._ledger is not None:
+            # The checkpoint bounded the journal; bound the ledger with it.
+            # Compaction is an optimisation (the ledger's records are
+            # idempotent), so a crash before this point costs nothing.
+            self._ledger.compact()
 
     def _write_manifest(self, checkpoint_seq: int) -> None:
         maintainer = self._maintainer

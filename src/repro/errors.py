@@ -52,3 +52,14 @@ class ExperimentError(ReproError):
 
 class AnalysisError(ReproError):
     """A static-analysis (``repro lint``) input or configuration failure."""
+
+
+class IngestError(ReproError):
+    """An event-stream record is malformed or an ingest source is unusable.
+
+    A *torn final record* (the producer died mid-write, so the last line
+    never got its newline) is **not** an error — the readers buffer it and
+    either complete it on a later poll or report it as the stream's torn
+    tail.  This exception covers everything else: unparseable records with
+    more data after them, invalid event fields, unknown formats.
+    """

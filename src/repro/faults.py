@@ -1,0 +1,86 @@
+"""Fault-injection seam for the crash-recovery test tier.
+
+A :func:`crash_point` call marks a spot in a durability protocol where a
+process death would be interesting — between the journal append and the
+ledger commit, between the ledger commit and the checkpoint, mid-append.
+In production the call is a no-op (one environment lookup); under test the
+``REPRO_CRASH_POINT`` environment variable arms exactly one named point and
+the process dies there, either by raising :class:`InjectedCrash` or by
+SIGKILLing itself — the latter being the only honest simulation of a power
+loss, since no ``finally`` blocks run.
+
+The variable's format is ``name[:action[:skip]]``:
+
+``name``
+    The crash point to arm; every other point stays a no-op.
+``action``
+    ``raise`` (default) raises :class:`InjectedCrash`; ``kill`` sends the
+    process SIGKILL.
+``skip``
+    Let the first *skip* traversals of the point pass before crashing, so a
+    test can die on the Nth batch instead of the first.
+
+A point that owns an append-style write may pass ``torn_write``: a callable
+that writes a *torn* record (a half line, never terminated, never fsynced)
+just before the crash fires — the exact bytes a power loss mid-append can
+leave on disk.  It runs only when the crash is actually about to happen.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+from typing import Callable
+
+__all__ = ["CRASH_POINT_ENV", "InjectedCrash", "crash_point"]
+
+#: Environment variable arming a crash point (``name[:action[:skip]]``).
+CRASH_POINT_ENV = "REPRO_CRASH_POINT"
+
+#: Traversal counters per crash point, so ``skip`` can count across calls.
+#: Module-level mutable state is normally banned (RPR002: it leaks between
+#: threads and test runs), but a fault seam is *about* observing process
+#: lifetime — the counter must survive across call sites, is only touched
+#: when REPRO_CRASH_POINT is set (i.e. inside a test subprocess that is
+#: about to die), and is reset with the process.
+_HITS: dict[str, int] = {}
+
+
+class InjectedCrash(RuntimeError):
+    """Raised by an armed crash point in ``raise`` mode.
+
+    Deliberately *not* a :class:`~repro.errors.ReproError`: library code
+    catching its own error hierarchy must never swallow an injected crash,
+    exactly as it could never swallow a SIGKILL.
+    """
+
+
+def _parse(spec: str) -> tuple[str, str, int]:
+    name, _, rest = spec.partition(":")
+    action, _, skip_text = rest.partition(":")
+    action = action or "raise"
+    if action not in ("raise", "kill"):
+        raise ValueError(
+            f"{CRASH_POINT_ENV}={spec!r}: action must be 'raise' or 'kill'"
+        )
+    skip = int(skip_text) if skip_text else 0
+    return name, action, skip
+
+
+def crash_point(name: str, *, torn_write: Callable[[], None] | None = None) -> None:
+    """Die here iff the environment arms the crash point called *name*."""
+    spec = os.environ.get(CRASH_POINT_ENV)
+    if not spec:
+        return
+    armed, action, skip = _parse(spec)
+    if armed != name:
+        return
+    count = _HITS.get(name, 0) + 1
+    _HITS[name] = count  # repro: ignore[RPR002] - armed-only test seam; see _HITS note
+    if count <= skip:
+        return
+    if torn_write is not None:
+        torn_write()
+    if action == "kill":
+        os.kill(os.getpid(), signal.SIGKILL)
+    raise InjectedCrash(f"injected crash at {name!r} (traversal {count})")

@@ -17,6 +17,8 @@ from .runner import (
     compare_update_strategies,
     measure_fup_overhead,
     OverheadRecord,
+    IngestThroughputRecord,
+    measure_ingest_throughput,
 )
 from .reporting import format_table, format_series, render_records
 from .experiments import (
@@ -43,6 +45,8 @@ __all__ = [
     "compare_update_strategies",
     "measure_fup_overhead",
     "OverheadRecord",
+    "IngestThroughputRecord",
+    "measure_ingest_throughput",
     "format_table",
     "format_series",
     "render_records",

@@ -1,0 +1,49 @@
+"""Streaming ingestion: the continuously-updating front door to a session.
+
+The paper argues rule maintenance should be incremental; this package makes
+the *system* incremental end to end.  Producers append intake events (key +
+operation + transaction) to a JSONL/CSV stream; the readers parse it in
+bounded memory (tolerating a torn final record), the micro-batcher cuts
+count/time-watermark batches, and the intake layer applies each batch to a
+durable :class:`~repro.core.session.MaintenanceSession` with at-least-once
+delivery deduplicated through the fsynced intake ledger — so a crashed
+producer simply replays its whole stream and nothing is double-counted.
+
+Layering: ``ingest`` imports ``core`` (session, journal machinery), never
+the reverse — the session sees the ledger only through the duck-typed
+:meth:`~repro.core.session.MaintenanceSession.attach_ledger` hook.
+
+See ``docs/ingestion.md`` for the ledger format, the at-least-once
+contract, watermark semantics and the crash matrix the fault-injection
+suite enforces.
+"""
+
+from .batcher import DEFAULT_BATCH_EVENTS, MicroBatcher
+from .intake import IntakeReport, TransactionIntake
+from .ledger import LEDGER_NAME, IntakeLedger
+from .pipeline import IngestSummary, run_ingest
+from .readers import (
+    DEFAULT_CHUNK_SIZE,
+    FORMAT_NAMES,
+    EventStreamReader,
+    IngestEvent,
+    open_event_stream,
+    sniff_format,
+)
+
+__all__ = [
+    "DEFAULT_BATCH_EVENTS",
+    "DEFAULT_CHUNK_SIZE",
+    "EventStreamReader",
+    "FORMAT_NAMES",
+    "IngestEvent",
+    "IngestSummary",
+    "IntakeLedger",
+    "IntakeReport",
+    "LEDGER_NAME",
+    "MicroBatcher",
+    "TransactionIntake",
+    "open_event_stream",
+    "run_ingest",
+    "sniff_format",
+]

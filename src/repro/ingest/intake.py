@@ -1,0 +1,112 @@
+"""Idempotent intake: dedup a micro-batch against the ledger, apply the rest.
+
+The at-least-once contract, from the session's side: producers may deliver
+any event any number of times, in any order; the intake applies each *key*
+at most once.  :class:`TransactionIntake` binds a
+:class:`~repro.core.session.MaintenanceSession` to its
+:class:`~repro.ingest.ledger.IntakeLedger`, reconciles the two on startup
+(closing any crash gap between journal and ledger), and turns event
+micro-batches into session applies.
+
+Delete semantics: deletions in a micro-batch refer to the database state
+*before* the batch (the session's strict-deletion rule) — an insert and a
+delete of the same transaction inside one micro-batch do not cancel out,
+they fail loudly if the transaction was not already stored.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.maintenance import MaintenanceReport
+from ..core.session import JOURNAL_NAME, MaintenanceSession
+from ..db.update import UpdateBatch
+from .ledger import IntakeLedger
+from .readers import IngestEvent
+
+__all__ = ["IntakeReport", "TransactionIntake"]
+
+
+@dataclass(frozen=True)
+class IntakeReport:
+    """What one submitted micro-batch amounted to."""
+
+    #: Raw events offered (duplicates included).
+    events: int
+    #: Events that survived dedup and were applied.
+    applied: int
+    #: Events dropped as already-seen (ledger or earlier in this batch).
+    duplicates: int
+    #: The session's applied_seq after the batch (unchanged when the batch
+    #: deduplicated to empty — no sequence number is burned on a no-op).
+    seq: int
+    #: The maintainer's report for the applied batch.
+    report: MaintenanceReport
+
+
+class TransactionIntake:
+    """Applies event micro-batches to a session, each event key at most once."""
+
+    def __init__(
+        self, session: MaintenanceSession, ledger: IntakeLedger | None = None
+    ) -> None:
+        # The session is already open, i.e. its directory flock is held —
+        # so opening (and from here on writing) the ledger is single-writer
+        # by construction.
+        if ledger is None:
+            ledger = IntakeLedger.open(session.directory)
+        session.attach_ledger(ledger)
+        self._session = session
+        self._ledger = ledger
+        # Close the journal→ledger crash gap before accepting new events:
+        # keys journaled by an applied-but-uncommitted batch must be seen,
+        # or this very producer's replay would double-count them.
+        self._recovered_keys = ledger.reconcile(session.directory / JOURNAL_NAME)
+
+    @property
+    def session(self) -> MaintenanceSession:
+        return self._session
+
+    @property
+    def ledger(self) -> IntakeLedger:
+        return self._ledger
+
+    @property
+    def recovered_keys(self) -> int:
+        """Keys re-committed from the journal during startup reconciliation."""
+        return self._recovered_keys
+
+    def submit(self, events: Sequence[IngestEvent]) -> IntakeReport:
+        """Dedup *events* and apply the survivors as one session batch.
+
+        A batch that deduplicates to empty still commits to the ledger —
+        advancing the events high-water mark without journaling — so a
+        replayed producer observes progress past its fully-duplicate
+        batches instead of stalling on them forever.
+        """
+        fresh: list[IngestEvent] = []
+        batch_keys: set[str] = set()
+        duplicates = 0
+        for event in events:
+            if event.key in self._ledger or event.key in batch_keys:
+                duplicates += 1
+                continue
+            batch_keys.add(event.key)
+            fresh.append(event)
+        label = f"ingest:{fresh[0].key}..{fresh[-1].key}" if fresh else ""
+        batch = UpdateBatch(
+            insertions=tuple(e.items for e in fresh if e.op == "insert"),
+            deletions=tuple(e.items for e in fresh if e.op == "delete"),
+            label=label,
+        )
+        report = self._session.apply(
+            batch, keys=[e.key for e in fresh], events=len(events)
+        )
+        return IntakeReport(
+            events=len(events),
+            applied=len(fresh),
+            duplicates=duplicates,
+            seq=self._session.applied_seq,
+            report=report,
+        )

@@ -1,0 +1,228 @@
+"""The intake ledger: a durable seen-set making at-least-once intake idempotent.
+
+Producers deliver *at least* once — a producer that crashes mid-stream
+replays its whole stream, and a network retry redelivers a batch that was
+in fact applied.  The ledger turns that into *exactly once applied*: every
+event carries a client-supplied key, and a key the ledger has seen is
+dropped before it can reach the rule lattice a second time.
+
+Format (``ledger.jsonl`` in the session directory)
+--------------------------------------------------
+
+One JSON record per committed micro-batch, append-only, fsynced per append
+(through the session journal's audited :class:`~repro.core.session._Journal`
+machinery)::
+
+    {"seq": 7, "keys": ["order-41", "order-42"], "events": 120}
+
+``seq``
+    The session's ``applied_seq`` at commit time — the batch these keys
+    rode in on.  A batch that deduplicated to empty commits under the
+    *unchanged* seq: the high-water mark advances without burning a
+    sequence number.
+``keys``
+    The event keys this commit adds to the seen-set (only the fresh ones —
+    duplicates are never re-recorded).
+``events``
+    Cumulative raw events accepted so far, duplicates included — the
+    intake's high-water mark.  Monotone across records; after a crash it
+    recovers as a lower bound (the duplicate count inside the lost batch
+    is not reconstructible, the seen-set is).
+
+Crash consistency
+-----------------
+
+The ledger is committed **after** the session journal's fsynced append (see
+:meth:`~repro.core.session.MaintenanceSession.apply`), so a crash between
+the two loses only the ledger record — never an applied batch.  Recovery
+closes the gap from the journal side: :meth:`IntakeLedger.reconcile`
+re-commits any keys a journal record carries that the seen-set lacks.  The
+opposite order would be unsound: a ledger that knows keys the journal lost
+would drop a replayed event that was never applied.
+
+A torn final ledger line (crash mid-append) is truncated on open, exactly
+like the journal's.  :meth:`IntakeLedger.compact` collapses the file to a
+single record holding the whole seen-set — staged through a ``*_tmp`` path
+and :func:`~repro.core.session._atomic_replace`, the audited rename path —
+and runs automatically at session checkpoints.
+
+Single-writer discipline: the ledger lives inside a session directory and
+is only ever written by the process holding the session's ``flock`` (it is
+opened by the intake layer *after* the session lock is taken and attached
+via :meth:`~repro.core.session.MaintenanceSession.attach_ledger`, which
+also hands the session its lifetime).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable
+
+from ..core.session import _atomic_replace, _Journal, _read_journal
+from ..errors import StorageError
+from ..faults import crash_point
+
+__all__ = ["LEDGER_NAME", "IntakeLedger"]
+
+LEDGER_NAME = "ledger.jsonl"
+
+
+class IntakeLedger:
+    """Durable, compactable seen-set of intake event keys.
+
+    Construct through :meth:`open`; the constructor itself is internal.
+    """
+
+    def __init__(
+        self,
+        path: Path,
+        journal: _Journal,
+        seen: set[str],
+        applied_seq: int,
+        events_seen: int,
+        records: int,
+    ) -> None:
+        self._path = path
+        self._journal = journal
+        self._seen = seen
+        self._applied_seq = applied_seq
+        self._events_seen = events_seen
+        self._records = records
+        self._closed = False
+
+    @classmethod
+    def open(cls, directory: str | Path) -> "IntakeLedger":
+        """Open (creating if needed) the ledger of a session directory.
+
+        A torn final line is truncated away; corruption before the final
+        line raises :class:`~repro.errors.StorageError` — the same
+        torn-versus-damaged rule the session journal enforces.
+        """
+        path = Path(directory) / LEDGER_NAME
+        records, valid_length = _read_journal(path)
+        seen: set[str] = set()
+        applied_seq = 0
+        events_seen = 0
+        for record in records:
+            keys = record.get("keys")
+            if not isinstance(keys, list):
+                raise StorageError(f"{path}: ledger record without a keys list")
+            seen.update(str(key) for key in keys)
+            applied_seq = max(applied_seq, int(record["seq"]))
+            events_seen = max(events_seen, int(record.get("events", 0)))
+        path.touch(exist_ok=True)
+        torn = path.stat().st_size > valid_length
+        journal = _Journal(path)
+        if torn:
+            # Scrub the torn bytes through the journal's audited truncate
+            # (which fsyncs) so they cannot resurface after a later crash.
+            journal.truncate_to(valid_length)
+        return cls(
+            path=path,
+            journal=journal,
+            seen=seen,
+            applied_seq=applied_seq,
+            events_seen=events_seen,
+            records=len(records),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Read side
+    # ------------------------------------------------------------------ #
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    @property
+    def applied_seq(self) -> int:
+        """Session seq of the newest committed record."""
+        return self._applied_seq
+
+    @property
+    def events_seen(self) -> int:
+        """Raw events accepted so far, duplicates included (high-water mark)."""
+        return self._events_seen
+
+    @property
+    def records(self) -> int:
+        """Records currently in the file (compaction resets this to 1)."""
+        return self._records
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._seen
+
+    def __len__(self) -> int:
+        return len(self._seen)
+
+    # ------------------------------------------------------------------ #
+    # Write side (caller holds the session lock)
+    # ------------------------------------------------------------------ #
+    def commit(self, seq: int, keys: Iterable[str], events: int) -> None:
+        """Durably record *keys* as seen and advance the high-water mark."""
+        if self._closed:
+            raise StorageError(f"intake ledger {self._path} is closed")
+        fresh = [str(key) for key in keys]
+        cumulative = self._events_seen + int(events)
+        record = {"seq": int(seq), "keys": fresh, "events": cumulative}
+        crash_point("mid-ledger-fsync", torn_write=lambda: self._journal.tear(record))
+        self._journal.append(record)
+        self._seen.update(fresh)
+        self._applied_seq = max(self._applied_seq, int(seq))
+        self._events_seen = cumulative
+        self._records += 1
+
+    def reconcile(self, journal_path: str | Path) -> int:
+        """Re-commit keys the session journal holds but the seen-set lacks.
+
+        The after-journal-before-ledger crash recovery: a journal record's
+        batch *was* applied (recovery replays it), so its keys must be in
+        the seen-set or a producer replay would double-apply them.  Returns
+        the number of keys recovered.  The recovered ``events`` count is
+        the key count — a lower bound, since the lost batch's duplicate
+        count is not in the journal.
+        """
+        records, _ = _read_journal(Path(journal_path))
+        recovered = 0
+        for record in records:
+            keys = record.get("keys")
+            if not isinstance(keys, list):
+                continue
+            missing = [str(key) for key in keys if str(key) not in self._seen]
+            if missing:
+                self.commit(int(record["seq"]), missing, len(missing))
+                recovered += len(missing)
+        return recovered
+
+    def compact(self) -> None:
+        """Collapse the file to one record carrying the whole seen-set.
+
+        Crash-safe by staging: the replacement is written to a ``*_tmp``
+        path and atomically renamed over the ledger; a crash at any point
+        leaves either the old multi-record file or the new single-record
+        one, both describing the same seen-set.
+        """
+        if self._closed:
+            raise StorageError(f"intake ledger {self._path} is closed")
+        if self._records <= 1:
+            return
+        record = {
+            "seq": self._applied_seq,
+            "keys": sorted(self._seen),
+            "events": self._events_seen,
+        }
+        ledger_tmp = self._path.with_suffix(".jsonl.tmp")
+        ledger_tmp.write_text(
+            json.dumps(record, separators=(",", ":")) + "\n", encoding="ascii"
+        )
+        # The append handle would keep pointing at the replaced inode;
+        # close it around the rename and reopen on the new file.
+        self._journal.close()
+        _atomic_replace(ledger_tmp, self._path)
+        self._journal = _Journal(self._path)
+        self._records = 1
+
+    def close(self) -> None:
+        if not self._closed:
+            self._journal.close()
+            self._closed = True

@@ -1,0 +1,116 @@
+"""The ingest loop: reader → micro-batcher → idempotent intake, one session.
+
+:func:`run_ingest` is what ``repro ingest`` and ``repro pipeline`` run on
+their main thread.  It pulls events off an
+:class:`~repro.ingest.readers.EventStreamReader`, lets the
+:class:`~repro.ingest.batcher.MicroBatcher` cut them into batches, and
+submits each batch through a :class:`~repro.ingest.intake.TransactionIntake`
+— so durability and dedup live below this layer; this one only decides
+*when* to stop:
+
+* one-pass mode drains the stream and flushes the trailing partial batch;
+* follow mode keeps re-polling the file (the reader resumes mid-record
+  across polls, so a producer appending live is picked up record by
+  record), cutting aging batches on the time watermark between polls,
+  until ``max_seconds`` expires or ``stop`` is set.
+
+Clock and sleep are injectable; the defaults are the monotonic clock and
+:func:`time.sleep`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..core.session import MaintenanceSession
+from .batcher import MicroBatcher
+from .intake import IntakeReport, TransactionIntake
+from .ledger import IntakeLedger
+from .readers import EventStreamReader, IngestEvent
+
+__all__ = ["IngestSummary", "run_ingest"]
+
+
+@dataclass(frozen=True)
+class IngestSummary:
+    """Totals for one :func:`run_ingest` invocation."""
+
+    events: int
+    applied: int
+    duplicates: int
+    batches: int
+    #: Session applied_seq when the loop ended.
+    seq: int
+    #: Keys recovered by startup journal↔ledger reconciliation.
+    recovered_keys: int
+    #: Bytes of an unterminated final record left in the reader's buffer.
+    torn_tail: int
+
+
+def run_ingest(
+    session: MaintenanceSession,
+    reader: EventStreamReader,
+    batcher: MicroBatcher,
+    *,
+    follow: bool = False,
+    poll_interval: float = 0.2,
+    max_seconds: float | None = None,
+    clock: Callable[[], float] = time.monotonic,
+    sleep: Callable[[float], None] = time.sleep,
+    on_batch: Callable[[IntakeReport], None] | None = None,
+    stop: Callable[[], bool] | None = None,
+    ledger: IntakeLedger | None = None,
+) -> IngestSummary:
+    """Stream *reader* into *session*; return the run's totals."""
+    intake = TransactionIntake(session, ledger)
+    events = applied = duplicates = batches = 0
+
+    def submit(cut: Sequence[IngestEvent]) -> None:
+        nonlocal events, applied, duplicates, batches
+        report = intake.submit(cut)
+        events += report.events
+        applied += report.applied
+        duplicates += report.duplicates
+        batches += 1
+        if on_batch is not None:
+            on_batch(report)
+
+    deadline = None if max_seconds is None else clock() + max_seconds
+
+    def expired() -> bool:
+        if stop is not None and stop():
+            return True
+        return deadline is not None and clock() >= deadline
+
+    done = False
+    while not done:
+        for event in reader.events():
+            for cut in batcher.offer(event):
+                submit(cut)
+            if expired():
+                done = True
+                break
+        else:
+            # Stream exhausted (for now).  One-pass mode is finished; follow
+            # mode cuts an aging batch and naps before re-polling.
+            if not follow or expired():
+                done = True
+            else:
+                aged = batcher.poll()
+                if aged:
+                    submit(aged)
+                sleep(poll_interval)
+    final = batcher.flush()
+    if final:
+        submit(final)
+    return IngestSummary(
+        events=events,
+        applied=applied,
+        duplicates=duplicates,
+        batches=batches,
+        seq=session.applied_seq,
+        recovered_keys=intake.recovered_keys,
+        torn_tail=len(reader.torn_tail),
+    )

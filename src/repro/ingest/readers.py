@@ -1,0 +1,255 @@
+"""Incremental, bounded-memory readers over transaction event streams.
+
+An event stream is a line-oriented file (or pipe) of *intake events*: a
+client-supplied idempotency key, an operation, and one transaction.  Two
+formats carry the same model:
+
+``jsonl``
+    One JSON object per line: ``{"key": "order-17", "op": "insert",
+    "items": [3, 9, 41]}``.  ``op`` defaults to ``insert``.
+``csv``
+    ``key,op,items`` rows where ``items`` is a space-separated item list:
+    ``order-17,insert,3 9 41``.
+
+The reader never holds more than one chunk plus one partial record in
+memory, whatever the file size — it splits complete lines off an internal
+buffer as chunks arrive.  An *unterminated* final line (the producer was
+killed mid-write and the newline never made it out) is not an error: the
+bytes stay buffered, :attr:`EventStreamReader.torn_tail` reports them, and
+a follow-mode re-poll parses the record once the producer finishes (or
+replays) it.  A *complete* line that does not parse is corruption and
+raises :class:`~repro.errors.IngestError` — mirroring the session journal's
+torn-versus-damaged distinction.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import IO, Iterator
+
+from ..db.transaction_db import Transaction, _canonical_transaction
+from ..errors import IngestError, ReproError
+
+__all__ = [
+    "DEFAULT_CHUNK_SIZE",
+    "EventStreamReader",
+    "FORMAT_NAMES",
+    "IngestEvent",
+    "open_event_stream",
+    "sniff_format",
+]
+
+FORMAT_NAMES = ("jsonl", "csv")
+OP_NAMES = ("insert", "delete")
+
+#: Bytes pulled off the stream per read — the memory bound, along with one
+#: partial record.
+DEFAULT_CHUNK_SIZE = 64 * 1024
+
+#: A single unterminated line longer than this is a runaway producer (or a
+#: binary file), not a torn record; refuse instead of buffering forever.
+_MAX_RECORD_BYTES = 16 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class IngestEvent:
+    """One intake event: an idempotency key, an operation, a transaction.
+
+    The key is the producer's replay token — two events with the same key
+    are the same event, and the intake ledger guarantees at most one of
+    them is ever applied.
+    """
+
+    key: str
+    op: str
+    items: Transaction
+
+
+def _make_event(key: object, op: object, items: object, where: str) -> IngestEvent:
+    if isinstance(key, bool) or not isinstance(key, (str, int)):
+        raise IngestError(f"{where}: event key must be a string, got {key!r}")
+    key_text = str(key)
+    if not key_text:
+        raise IngestError(f"{where}: event key must not be empty")
+    if op not in OP_NAMES:
+        raise IngestError(
+            f"{where}: event op must be one of {'/'.join(OP_NAMES)}, got {op!r}"
+        )
+    if not isinstance(items, (list, tuple)):
+        raise IngestError(f"{where}: event items must be a list, got {items!r}")
+    if not items:
+        raise IngestError(f"{where}: event transaction must not be empty")
+    try:
+        transaction = _canonical_transaction(items)
+    except ReproError as exc:
+        raise IngestError(f"{where}: invalid transaction: {exc}") from exc
+    return IngestEvent(key=key_text, op=str(op), items=transaction)
+
+
+def _parse_jsonl(line: str, where: str) -> IngestEvent:
+    try:
+        payload = json.loads(line)
+    except ValueError as exc:
+        raise IngestError(f"{where}: invalid JSON event record: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise IngestError(f"{where}: event record must be a JSON object")
+    return _make_event(
+        payload.get("key"), payload.get("op", "insert"), payload.get("items"), where
+    )
+
+
+def _parse_csv(line: str, where: str) -> IngestEvent:
+    try:
+        row = next(csv.reader([line]))
+    except (csv.Error, StopIteration) as exc:
+        raise IngestError(f"{where}: invalid CSV event record: {exc}") from exc
+    if len(row) != 3:
+        raise IngestError(
+            f"{where}: expected 3 CSV columns (key,op,items), got {len(row)}"
+        )
+    key, op, items_text = row
+    items: list[object] = []
+    for token in items_text.split():
+        try:
+            items.append(int(token))
+        except ValueError:
+            raise IngestError(f"{where}: non-integer item {token!r}") from None
+    return _make_event(key, op, items, where)
+
+
+_PARSERS = {"jsonl": _parse_jsonl, "csv": _parse_csv}
+
+
+def sniff_format(path: Path) -> str:
+    """Infer the record format from a file suffix (or refuse, loudly)."""
+    suffix = path.suffix.lower()
+    if suffix in (".jsonl", ".ndjson", ".json"):
+        return "jsonl"
+    if suffix == ".csv":
+        return "csv"
+    raise IngestError(
+        f"cannot infer an event format from {path.name!r}; pass jsonl or csv "
+        f"explicitly"
+    )
+
+
+class EventStreamReader:
+    """Pull-based incremental reader over a byte stream of event records.
+
+    :meth:`events` yields every complete event currently available and
+    returns when the stream has (for now) no more bytes; calling it again
+    continues from exactly where the previous pass stopped — including a
+    buffered partial line — which is what follow mode does after each poll
+    interval.  ``read1`` is preferred over ``read`` where the stream offers
+    it, so a pipe yields events as the producer writes them instead of
+    blocking until a full chunk accumulates.
+    """
+
+    def __init__(
+        self,
+        stream: IO[bytes],
+        format: str,
+        *,
+        name: str = "<stream>",
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        owns_stream: bool = False,
+    ) -> None:
+        if format not in _PARSERS:
+            raise IngestError(
+                f"unknown event format {format!r}; expected one of {FORMAT_NAMES}"
+            )
+        self._stream = stream
+        self._read = getattr(stream, "read1", stream.read)
+        self._parse = _PARSERS[format]
+        self._name = name
+        self._chunk_size = chunk_size
+        self._owns_stream = owns_stream
+        self._buffer = b""
+        self._line_no = 0
+        self.format = format
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def lines(self) -> int:
+        """Complete lines consumed so far (blank lines included)."""
+        return self._line_no
+
+    @property
+    def torn_tail(self) -> bytes:
+        """Buffered bytes of an unterminated final record (b"" if none)."""
+        return self._buffer
+
+    def events(self) -> Iterator[IngestEvent]:
+        """Yield available events; return at (the current) end of stream."""
+        while True:
+            chunk = self._read(self._chunk_size)
+            if not chunk:
+                return
+            self._buffer += chunk
+            yield from self._drain()
+            if len(self._buffer) > _MAX_RECORD_BYTES:
+                raise IngestError(
+                    f"{self._name}:{self._line_no + 1}: unterminated record "
+                    f"exceeds {_MAX_RECORD_BYTES} bytes; refusing to buffer it"
+                )
+
+    def _drain(self) -> Iterator[IngestEvent]:
+        while True:
+            newline = self._buffer.find(b"\n")
+            if newline == -1:
+                return
+            raw = self._buffer[:newline]
+            self._buffer = self._buffer[newline + 1 :]
+            self._line_no += 1
+            where = f"{self._name}:{self._line_no}"
+            try:
+                line = raw.decode("utf-8")
+            except UnicodeDecodeError as exc:
+                raise IngestError(f"{where}: undecodable record bytes: {exc}") from exc
+            if not line.strip():
+                continue
+            yield self._parse(line, where)
+
+    def close(self) -> None:
+        """Close the underlying stream iff this reader opened it."""
+        if self._owns_stream:
+            self._stream.close()
+
+    def __enter__(self) -> "EventStreamReader":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def open_event_stream(
+    source: str | Path,
+    format: str | None = None,
+    *,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+) -> EventStreamReader:
+    """Open *source* (a path, or ``-`` for stdin) as an event-stream reader.
+
+    The format is sniffed from the file suffix when not given; stdin
+    defaults to ``jsonl``.
+    """
+    if str(source) == "-":
+        return EventStreamReader(
+            sys.stdin.buffer, format or "jsonl", name="<stdin>", chunk_size=chunk_size
+        )
+    path = Path(source)
+    resolved = format or sniff_format(path)
+    try:
+        stream = path.open("rb")
+    except OSError as exc:
+        raise IngestError(f"cannot open event stream {path}: {exc}") from exc
+    return EventStreamReader(
+        stream, resolved, name=str(path), chunk_size=chunk_size, owns_stream=True
+    )

@@ -13,6 +13,12 @@ Because the refresh is lock-free it can race a writer's checkpoint sweep;
 when that happens the rebuild fails cleanly, the previously published
 snapshot keeps serving, and the next tick retries — readers never see a
 half-state and the writer is never blocked by the server.
+
+When writer and server live in *one* process — ``repro pipeline``, which
+ingests an event stream and serves from the same session — no feed is
+needed: the store attaches directly to the session's maintainer
+(``store.attach(session.maintainer)``) and every applied batch republishes
+synchronously, with no polling latency and no rebuild cost.
 """
 
 from __future__ import annotations

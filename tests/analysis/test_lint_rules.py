@@ -334,6 +334,40 @@ class TestCheckpointStaging:
         assert "RPR012" not in codes(findings)
 
 
+class TestLedgerStaging:
+    """RPR012 also audits the intake ledger — it is a durable writer too."""
+
+    def test_flags_unstaged_ledger_writes(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "ingest/ledger.py",
+            """
+            class IntakeLedger:
+                def compact(self, path):
+                    path.write_text("data")
+                    handle = path.open("wb")
+                    return handle
+            """,
+        )
+        flagged = [f for f in findings if f.code == "RPR012"]
+        assert len(flagged) == 2
+        assert all("IntakeLedger" in f.message for f in flagged)
+
+    def test_staged_ledger_writes_are_clean(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "ingest/ledger.py",
+            """
+            class IntakeLedger:
+                def compact(self, ledger_tmp):
+                    ledger_tmp.write_text("data")
+                    handle = ledger_tmp.open("rb")
+                    return handle
+            """,
+        )
+        assert "RPR012" not in codes(findings)
+
+
 # --------------------------------------------------------------------- #
 # RPR020 unguarded in-place mutation of lane buffers
 # --------------------------------------------------------------------- #

@@ -1,0 +1,72 @@
+"""Shared helpers for the ingest tier: tiny sessions, event factories, streams."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.options import FupOptions
+from repro.core.session import MaintenanceSession
+from repro.ingest import IngestEvent
+
+#: Small enough that every backend mines it instantly, rich enough that an
+#: increment moves supports across the threshold.
+BASE_DB = [
+    [1, 2, 3],
+    [1, 2],
+    [2, 3],
+    [1, 3],
+    [1, 2, 3],
+    [2, 4],
+    [3, 4],
+    [1, 2, 4],
+    [1, 4],
+    [2, 3, 4],
+]
+
+
+def make_events(count: int, *, start: int = 0, prefix: str = "ev") -> list[IngestEvent]:
+    """Deterministic insert events with distinct keys and varied transactions."""
+    return [
+        IngestEvent(
+            key=f"{prefix}-{index}",
+            op="insert",
+            items=(1 + index % 3, 2 + index % 3),
+        )
+        for index in range(start, start + count)
+    ]
+
+
+def write_jsonl(path: Path, events: list[IngestEvent]) -> Path:
+    with path.open("w", encoding="utf-8") as handle:
+        for event in events:
+            handle.write(
+                json.dumps({"key": event.key, "op": event.op, "items": list(event.items)})
+                + "\n"
+            )
+    return path
+
+
+def make_session(
+    directory: Path,
+    *,
+    backend: str = "horizontal",
+    checkpoint_interval: int = 100,
+) -> MaintenanceSession:
+    return MaintenanceSession.create(
+        directory,
+        BASE_DB,
+        min_support=0.2,
+        min_confidence=0.5,
+        fup_options=FupOptions(backend=backend),
+        checkpoint_interval=checkpoint_interval,
+    )
+
+
+@pytest.fixture
+def session(tmp_path):
+    created = make_session(tmp_path / "session")
+    yield created
+    created.close()

@@ -1,0 +1,104 @@
+"""Micro-batcher: count/time watermarks against an injected clock."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ingest import MicroBatcher
+
+from .conftest import make_events
+
+
+class FakeClock:
+    def __init__(self, start: float = 0.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestCountWatermark:
+    def test_cuts_every_max_events(self):
+        batcher = MicroBatcher(max_events=3)
+        events = make_events(7)
+        cuts = [cut for event in events for cut in batcher.offer(event)]
+        assert [len(cut) for cut in cuts] == [3, 3]
+        assert batcher.pending == 1
+        assert batcher.flush() == events[6:]
+        assert batcher.flush() is None
+
+    def test_preserves_order_without_loss(self):
+        batcher = MicroBatcher(max_events=4)
+        events = make_events(10)
+        seen = [cut for event in events for cut in batcher.offer(event)]
+        final = batcher.flush()
+        assert final is not None
+        seen.append(final)
+        assert [event for cut in seen for event in cut] == events
+
+    def test_max_events_one(self):
+        batcher = MicroBatcher(max_events=1)
+        (event,) = make_events(1)
+        assert batcher.offer(event) == [[event]]
+
+
+class TestTimeWatermark:
+    def test_poll_cuts_an_aged_batch(self):
+        clock = FakeClock()
+        batcher = MicroBatcher(max_events=100, max_seconds=5.0, clock=clock)
+        events = make_events(2)
+        assert batcher.offer(events[0]) == []
+        assert batcher.offer(events[1]) == []
+        assert batcher.poll() is None  # not aged yet
+        clock.advance(5.0)
+        assert batcher.poll() == events
+
+    def test_deadline_counts_from_the_first_event(self):
+        clock = FakeClock()
+        batcher = MicroBatcher(max_events=100, max_seconds=5.0, clock=clock)
+        events = make_events(2)
+        batcher.offer(events[0])
+        clock.advance(4.0)
+        batcher.offer(events[1])  # a late event does not reset the deadline
+        clock.advance(1.0)
+        assert batcher.poll() == events
+
+    def test_late_event_goes_to_the_next_batch(self):
+        clock = FakeClock()
+        batcher = MicroBatcher(max_events=100, max_seconds=5.0, clock=clock)
+        events = make_events(3)
+        batcher.offer(events[0])
+        batcher.offer(events[1])
+        clock.advance(6.0)
+        # The aged batch cuts first; the late event starts a fresh batch.
+        assert batcher.offer(events[2]) == [events[:2]]
+        assert batcher.pending == 1
+        assert batcher.poll() is None  # the fresh batch's deadline restarted
+        clock.advance(5.0)
+        assert batcher.poll() == [events[2]]
+
+    def test_time_and_count_can_cut_twice_in_one_offer(self):
+        clock = FakeClock()
+        batcher = MicroBatcher(max_events=1, max_seconds=5.0, clock=clock)
+        events = make_events(2)
+        assert batcher.offer(events[0]) == [[events[0]]]
+        clock.advance(10.0)
+        assert batcher.offer(events[1]) == [[events[1]]]
+
+    def test_no_time_watermark_means_poll_never_cuts(self):
+        clock = FakeClock()
+        batcher = MicroBatcher(max_events=100, clock=clock)
+        batcher.offer(make_events(1)[0])
+        clock.advance(1e9)
+        assert batcher.poll() is None
+
+
+class TestValidation:
+    def test_rejects_nonpositive_watermarks(self):
+        with pytest.raises(ValueError, match="max_events"):
+            MicroBatcher(max_events=0)
+        with pytest.raises(ValueError, match="max_seconds"):
+            MicroBatcher(max_seconds=0.0)

@@ -1,0 +1,132 @@
+"""Intake ↔ session integration: dedup, the ledger hook, the high-water pin."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.session import JOURNAL_NAME, MaintenanceSession
+from repro.errors import StorageError
+from repro.ingest import LEDGER_NAME, IngestEvent, IntakeLedger, TransactionIntake
+
+from .conftest import make_events, make_session
+
+
+def _journal_records(session_dir):
+    path = session_dir / JOURNAL_NAME
+    return [json.loads(line) for line in path.read_text().splitlines()]
+
+
+def _ledger_records(session_dir):
+    path = session_dir / LEDGER_NAME
+    return [json.loads(line) for line in path.read_text().splitlines()]
+
+
+class TestDedup:
+    def test_each_key_applies_at_most_once(self, session):
+        intake = TransactionIntake(session)
+        events = make_events(6)
+        first = intake.submit(events[:4])
+        assert (first.applied, first.duplicates, first.seq) == (4, 0, 1)
+        # Overlapping redelivery plus two fresh events.
+        second = intake.submit(events[2:])
+        assert (second.applied, second.duplicates, second.seq) == (2, 2, 2)
+        assert len(session.database) == 10 + 6
+
+    def test_intra_batch_duplicates_collapse_to_first(self, session):
+        intake = TransactionIntake(session)
+        event = make_events(1)[0]
+        report = intake.submit([event, event, event])
+        assert (report.applied, report.duplicates) == (1, 2)
+
+    def test_keys_are_journaled_with_the_batch(self, session):
+        intake = TransactionIntake(session)
+        intake.submit(make_events(3))
+        (record,) = _journal_records(session.directory)
+        assert record["keys"] == ["ev-0", "ev-1", "ev-2"]
+        assert record["seq"] == 1
+
+    def test_delete_events_remove_transactions(self, session):
+        intake = TransactionIntake(session)
+        intake.submit([IngestEvent(key="add", op="insert", items=(7, 8))])
+        before = len(session.database)
+        intake.submit([IngestEvent(key="del", op="delete", items=(7, 8))])
+        assert len(session.database) == before - 1
+
+
+class TestFullyDuplicateBatch:
+    """The replay-stall bugfix pin: an all-duplicate micro-batch must advance
+    the ledger's high-water mark — without journaling and without burning a
+    sequence number — or a producer resuming from the high-water mark would
+    re-offer the same duplicates forever."""
+
+    def test_advances_high_water_without_journal_or_seq(self, session):
+        intake = TransactionIntake(session)
+        events = make_events(4)
+        intake.submit(events)
+        journal_before = _journal_records(session.directory)
+        assert intake.ledger.events_seen == 4
+
+        report = intake.submit(events)  # the full batch redelivered
+        assert (report.applied, report.duplicates) == (0, 4)
+        assert report.seq == 1  # no sequence number burned
+        assert session.applied_seq == 1
+        assert _journal_records(session.directory) == journal_before  # not journaled
+        assert intake.ledger.events_seen == 8  # but the high-water DID advance
+        # Durably: the ledger file carries the empty-keys record.
+        assert _ledger_records(session.directory)[-1] == {
+            "seq": 1,
+            "keys": [],
+            "events": 8,
+        }
+
+    def test_high_water_survives_reopen(self, session, tmp_path):
+        intake = TransactionIntake(session)
+        events = make_events(4)
+        intake.submit(events)
+        intake.submit(events)
+        directory = session.directory
+        session.close()
+        with MaintenanceSession.open(directory) as reopened:
+            resumed = TransactionIntake(reopened)
+            assert resumed.ledger.events_seen == 8
+            # Progress past the duplicate batch is visible, so replay converges.
+            report = resumed.submit(events)
+            assert report.applied == 0
+            assert resumed.ledger.events_seen == 12
+
+
+class TestSessionLedgerLifecycle:
+    def test_checkpoint_compacts_the_ledger(self, tmp_path):
+        with make_session(tmp_path / "s", checkpoint_interval=2) as session:
+            intake = TransactionIntake(session)
+            intake.submit(make_events(2))
+            assert len(_ledger_records(session.directory)) == 1
+            intake.submit(make_events(2, start=2))  # triggers the auto-checkpoint
+            assert session.checkpoint_seq == 2
+            records = _ledger_records(session.directory)
+            assert len(records) == 1  # compacted alongside the journal
+            assert records[0]["keys"] == ["ev-0", "ev-1", "ev-2", "ev-3"]
+
+    def test_session_close_closes_the_attached_ledger(self, tmp_path):
+        session = make_session(tmp_path / "s")
+        intake = TransactionIntake(session)
+        session.close()
+        with pytest.raises(StorageError, match="closed"):
+            intake.ledger.commit(1, ["x"], 1)
+
+    def test_second_ledger_attachment_is_refused(self, session):
+        TransactionIntake(session)
+        with pytest.raises(StorageError, match="already has an intake ledger"):
+            session.attach_ledger(IntakeLedger.open(session.directory))
+
+    def test_reattaching_after_reopen_reuses_the_persisted_state(self, tmp_path):
+        session = make_session(tmp_path / "s")
+        TransactionIntake(session).submit(make_events(3))
+        directory = session.directory
+        session.close()
+        with MaintenanceSession.open(directory) as reopened:
+            intake = TransactionIntake(reopened)
+            report = intake.submit(make_events(5))  # 3 dups, 2 fresh
+            assert (report.applied, report.duplicates) == (2, 3)

@@ -1,0 +1,128 @@
+"""Intake-ledger durability: persistence, torn tails, compaction, reconcile."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import StorageError
+from repro.ingest import LEDGER_NAME, IntakeLedger
+
+
+def _records(path):
+    return [json.loads(line) for line in path.read_text().splitlines()]
+
+
+class TestRoundTrip:
+    def test_commits_persist_across_reopen(self, tmp_path):
+        ledger = IntakeLedger.open(tmp_path)
+        ledger.commit(1, ["a", "b"], 3)
+        ledger.commit(2, ["c"], 2)
+        ledger.close()
+        reopened = IntakeLedger.open(tmp_path)
+        assert sorted(["a", "b", "c"]) == sorted(k for k in ("a", "b", "c") if k in reopened)
+        assert reopened.applied_seq == 2
+        assert reopened.events_seen == 5
+        assert len(reopened) == 3
+        reopened.close()
+
+    def test_empty_batch_commit_advances_high_water_under_unchanged_seq(self, tmp_path):
+        ledger = IntakeLedger.open(tmp_path)
+        ledger.commit(1, ["a"], 1)
+        ledger.commit(1, [], 4)  # fully-duplicate batch: keys empty, seq unchanged
+        assert ledger.events_seen == 5
+        assert ledger.applied_seq == 1
+        ledger.close()
+        reopened = IntakeLedger.open(tmp_path)
+        assert reopened.events_seen == 5
+        reopened.close()
+
+    def test_closed_ledger_refuses_writes(self, tmp_path):
+        ledger = IntakeLedger.open(tmp_path)
+        ledger.close()
+        with pytest.raises(StorageError, match="closed"):
+            ledger.commit(1, ["a"], 1)
+        with pytest.raises(StorageError, match="closed"):
+            ledger.compact()
+
+
+class TestTornTail:
+    def test_torn_final_line_is_truncated_on_open(self, tmp_path):
+        ledger = IntakeLedger.open(tmp_path)
+        ledger.commit(1, ["a"], 1)
+        ledger.close()
+        path = tmp_path / LEDGER_NAME
+        with path.open("a") as handle:
+            handle.write('{"seq": 2, "keys": ["b"')  # no newline: torn append
+        reopened = IntakeLedger.open(tmp_path)
+        assert "a" in reopened and "b" not in reopened
+        assert _records(path) == [{"seq": 1, "keys": ["a"], "events": 1}]
+        # The file is appendable again after the truncation.
+        reopened.commit(2, ["c"], 1)
+        assert "c" in reopened
+        reopened.close()
+
+    def test_corruption_before_the_final_line_raises(self, tmp_path):
+        path = tmp_path / LEDGER_NAME
+        path.write_text('not json\n{"seq": 1, "keys": ["a"], "events": 1}\n')
+        with pytest.raises(StorageError):
+            IntakeLedger.open(tmp_path)
+
+
+class TestCompaction:
+    def test_compact_collapses_to_one_record_same_seen_set(self, tmp_path):
+        ledger = IntakeLedger.open(tmp_path)
+        for seq in range(1, 6):
+            ledger.commit(seq, [f"k{seq}"], 2)
+        assert ledger.records == 5
+        ledger.compact()
+        assert ledger.records == 1
+        path = tmp_path / LEDGER_NAME
+        (record,) = _records(path)
+        assert record == {
+            "seq": 5,
+            "keys": ["k1", "k2", "k3", "k4", "k5"],
+            "events": 10,
+        }
+        # The reopened journal handle appends after the compacted record.
+        ledger.commit(6, ["k6"], 1)
+        assert len(_records(path)) == 2
+        ledger.close()
+        reopened = IntakeLedger.open(tmp_path)
+        assert len(reopened) == 6 and reopened.events_seen == 11
+        reopened.close()
+
+    def test_compact_is_a_noop_on_a_single_record(self, tmp_path):
+        ledger = IntakeLedger.open(tmp_path)
+        ledger.commit(1, ["a"], 1)
+        before = (tmp_path / LEDGER_NAME).read_text()
+        ledger.compact()
+        assert (tmp_path / LEDGER_NAME).read_text() == before
+        ledger.close()
+
+
+class TestReconcile:
+    def test_journal_keys_missing_from_the_ledger_are_recommitted(self, tmp_path):
+        journal = tmp_path / "journal.jsonl"
+        journal.write_text(
+            json.dumps({"seq": 1, "label": "", "insertions": [[1]], "keys": ["a", "b"]})
+            + "\n"
+            + json.dumps({"seq": 2, "label": "", "insertions": [[2]], "keys": ["c"]})
+            + "\n"
+        )
+        ledger = IntakeLedger.open(tmp_path)
+        ledger.commit(1, ["a", "b"], 2)  # seq 1 made it; seq 2's commit was lost
+        assert ledger.reconcile(journal) == 1
+        assert "c" in ledger and ledger.applied_seq == 2
+        # Idempotent: a second reconcile finds nothing missing.
+        assert ledger.reconcile(journal) == 0
+        ledger.close()
+
+    def test_records_without_keys_are_ignored(self, tmp_path):
+        journal = tmp_path / "journal.jsonl"
+        journal.write_text(json.dumps({"seq": 1, "label": "", "insertions": [[1]]}) + "\n")
+        ledger = IntakeLedger.open(tmp_path)
+        assert ledger.reconcile(journal) == 0
+        assert len(ledger) == 0
+        ledger.close()

@@ -1,0 +1,148 @@
+"""Reader tier: incremental parsing, torn tails, corruption, formats."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.errors import IngestError
+from repro.ingest import EventStreamReader, IngestEvent, open_event_stream, sniff_format
+
+
+def _reader(text: str, format: str = "jsonl", **kwargs) -> EventStreamReader:
+    return EventStreamReader(io.BytesIO(text.encode()), format, **kwargs)
+
+
+def _jsonl(key: str, items: list[int], op: str | None = None) -> str:
+    payload: dict[str, object] = {"key": key, "items": items}
+    if op is not None:
+        payload["op"] = op
+    return json.dumps(payload) + "\n"
+
+
+class TestJsonl:
+    def test_parses_events_in_order(self):
+        reader = _reader(_jsonl("a", [3, 1]) + _jsonl("b", [2], op="delete"))
+        events = list(reader.events())
+        assert events == [
+            IngestEvent(key="a", op="insert", items=(1, 3)),
+            IngestEvent(key="b", op="delete", items=(2,)),
+        ]
+        assert reader.torn_tail == b""
+
+    def test_op_defaults_to_insert_and_key_may_be_int(self):
+        reader = _reader('{"key": 7, "items": [5]}\n')
+        (event,) = reader.events()
+        assert event == IngestEvent(key="7", op="insert", items=(5,))
+
+    def test_blank_lines_are_skipped(self):
+        reader = _reader("\n" + _jsonl("a", [1]) + "   \n")
+        assert len(list(reader.events())) == 1
+
+    @pytest.mark.parametrize(
+        "record",
+        [
+            '{"items": [1]}',  # no key
+            '{"key": "", "items": [1]}',  # empty key
+            '{"key": "a", "items": [1], "op": "upsert"}',  # unknown op
+            '{"key": "a"}',  # no items
+            '{"key": "a", "items": "1 2"}',  # items not a list
+            '{"key": "a", "items": []}',  # empty transaction
+            '{"key": true, "items": [1]}',  # boolean key
+            '["a", [1]]',  # not an object
+        ],
+    )
+    def test_invalid_records_raise_with_line_context(self, record):
+        reader = _reader(_jsonl("ok", [1]) + record + "\n", name="stream.jsonl")
+        iterator = reader.events()
+        assert next(iterator).key == "ok"
+        with pytest.raises(IngestError, match="stream.jsonl:2"):
+            next(iterator)
+
+
+class TestCsv:
+    def test_parses_rows(self):
+        reader = _reader("a,insert,3 1\nb,delete,2\n", format="csv")
+        events = list(reader.events())
+        assert events == [
+            IngestEvent(key="a", op="insert", items=(1, 3)),
+            IngestEvent(key="b", op="delete", items=(2,)),
+        ]
+
+    def test_quoted_key_may_contain_comma(self):
+        reader = _reader('"a,b",insert,1\n', format="csv")
+        (event,) = reader.events()
+        assert event.key == "a,b"
+
+    @pytest.mark.parametrize("row", ["a,insert", "a,insert,1 x", "a,upsert,1"])
+    def test_invalid_rows_raise(self, row):
+        reader = _reader(row + "\n", format="csv")
+        with pytest.raises(IngestError):
+            list(reader.events())
+
+
+class TestTornTail:
+    def test_unterminated_final_record_is_buffered_not_parsed(self):
+        torn = '{"key": "late", "ite'
+        reader = _reader(_jsonl("a", [1]) + torn)
+        events = list(reader.events())
+        assert [event.key for event in events] == ["a"]
+        assert reader.torn_tail == torn.encode()
+
+    def test_repoll_completes_a_torn_record(self):
+        """Follow mode: the producer finishes the line between two polls."""
+        stream = io.BytesIO()
+        reader = EventStreamReader(stream, "jsonl")
+        line = _jsonl("a", [1])
+        stream.write(line[:10].encode())
+        stream.seek(0)
+        assert list(reader.events()) == []
+        assert reader.torn_tail == line[:10].encode()
+        position = stream.tell()
+        stream.write(line[10:].encode() + _jsonl("b", [2]).encode())
+        stream.seek(position)
+        assert [event.key for event in reader.events()] == ["a", "b"]
+        assert reader.torn_tail == b""
+
+    def test_complete_but_invalid_line_is_corruption_not_torn(self):
+        reader = _reader('{"key": "a", "items": [1\n')
+        with pytest.raises(IngestError):
+            list(reader.events())
+
+
+class TestBoundedMemory:
+    def test_records_spanning_chunks_parse(self):
+        events_text = "".join(_jsonl(f"k{i}", [1 + i % 5]) for i in range(100))
+        reader = _reader(events_text, chunk_size=7)
+        assert len(list(reader.events())) == 100
+
+    def test_buffer_holds_only_the_partial_record(self):
+        events_text = "".join(_jsonl(f"k{i}", [1]) for i in range(50))
+        reader = _reader(events_text, chunk_size=16)
+        for _ in reader.events():
+            assert len(reader._buffer) < 16 + 40  # one chunk + one record
+
+
+class TestOpenEventStream:
+    def test_sniffs_jsonl_and_csv(self, tmp_path):
+        assert sniff_format(tmp_path / "x.jsonl") == "jsonl"
+        assert sniff_format(tmp_path / "x.ndjson") == "jsonl"
+        assert sniff_format(tmp_path / "x.csv") == "csv"
+        with pytest.raises(IngestError, match="cannot infer"):
+            sniff_format(tmp_path / "x.dat")
+
+    def test_opens_and_owns_a_file(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text(_jsonl("a", [1]))
+        with open_event_stream(path) as reader:
+            assert [event.key for event in reader.events()] == ["a"]
+
+    def test_missing_file_raises_ingest_error(self, tmp_path):
+        with pytest.raises(IngestError, match="cannot open"):
+            open_event_stream(tmp_path / "absent.jsonl")
+
+    def test_unknown_format_refused(self):
+        with pytest.raises(IngestError, match="unknown event format"):
+            EventStreamReader(io.BytesIO(b""), "xml")

@@ -1,0 +1,157 @@
+"""Property-based tests of the ingestion layer's two core promises.
+
+At-least-once delivery is only safe because the intake ledger makes it
+*effectively-once*: for **any** event stream — duplicated, reordered,
+redelivered in overlapping windows, chopped into arbitrary micro-batches —
+the maintained lattice must equal a plain maintainer applying each distinct
+event exactly once.  And micro-batch boundaries must be a pure function of
+the event sequence and the injected clock, or replay after a crash would cut
+different windows than the original run and the empty-batch dedup guarantee
+would stop composing.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import FupOptions
+from repro.core.maintenance import RuleMaintainer
+from repro.core.session import MaintenanceSession
+from repro.db.update import UpdateBatch
+from repro.ingest import IngestEvent, MicroBatcher, TransactionIntake
+
+from tests.ingest.conftest import BASE_DB
+
+RELAXED = settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+#: Small item universe so random events actually build shared itemsets.
+event_items = st.lists(
+    st.integers(min_value=0, max_value=9), min_size=1, max_size=4
+)
+
+#: Distinct logical events: index → transaction (keys are derived from the
+#: index, so distinctness is by construction).
+distinct_events = st.lists(event_items, min_size=1, max_size=12)
+
+#: A delivery schedule: each entry names a distinct event by index, possibly
+#: repeating and reordering — exactly what an at-least-once producer emits.
+def delivery_schedules(count: int):
+    return st.lists(
+        st.integers(min_value=0, max_value=count - 1), min_size=1, max_size=30
+    )
+
+
+def _events_for(rows: list[list[int]]) -> list[IngestEvent]:
+    return [
+        IngestEvent(key=f"ev-{index}", op="insert", items=tuple(sorted(set(row))))
+        for index, row in enumerate(rows)
+    ]
+
+
+@RELAXED
+@given(data=st.data(), rows=distinct_events, batch_size=st.integers(1, 7))
+def test_noisy_delivery_equals_each_distinct_event_once(data, rows, batch_size):
+    events = _events_for(rows)
+    schedule = data.draw(delivery_schedules(len(events)))
+    delivered = [events[index] for index in schedule]
+
+    # Oracle: a plain maintainer applies each *delivered-at-least-once*
+    # distinct event exactly once, in first-delivery order, dedup-free.
+    seen: dict[str, IngestEvent] = {}
+    for event in delivered:
+        seen.setdefault(event.key, event)
+    oracle = RuleMaintainer(0.2, 0.5, fup_options=FupOptions())
+    oracle.initialise(BASE_DB)
+    oracle.apply(UpdateBatch(insertions=tuple(e.items for e in seen.values())))
+
+    with tempfile.TemporaryDirectory() as tmp:
+        with MaintenanceSession.create(
+            Path(tmp), BASE_DB, min_support=0.2, min_confidence=0.5
+        ) as session:
+            intake = TransactionIntake(session)
+            batcher = MicroBatcher(max_events=batch_size)
+            applied = duplicates = 0
+            for event in delivered:
+                for cut in batcher.offer(event):
+                    report = intake.submit(cut)
+                    applied += report.applied
+                    duplicates += report.duplicates
+            for cut in [batcher.flush()]:
+                if cut:
+                    report = intake.submit(cut)
+                    applied += report.applied
+                    duplicates += report.duplicates
+
+            assert applied == len(seen)
+            assert applied + duplicates == len(delivered)
+            assert len(session.database) == len(oracle.database)
+            assert (
+                session.result.lattice.supports()
+                == oracle.result.lattice.supports()
+            )
+
+
+class _ScriptedClock:
+    """Monotonic clock replaying a fixed schedule (then holding its max)."""
+
+    def __init__(self, ticks: list[float]) -> None:
+        self._ticks = list(ticks)
+        self._last = ticks[0] if ticks else 0.0
+
+    def __call__(self) -> float:
+        if self._ticks:
+            self._last = self._ticks.pop(0)
+        return self._last
+
+
+#: Non-decreasing clock schedules, as cumulative sums of small deltas.
+clock_deltas = st.lists(
+    st.floats(min_value=0.0, max_value=3.0, allow_nan=False), min_size=1, max_size=40
+)
+
+
+def _cuts(events, *, batch_size, max_seconds, ticks):
+    batcher = MicroBatcher(
+        max_events=batch_size, max_seconds=max_seconds, clock=_ScriptedClock(ticks)
+    )
+    cuts = []
+    for event in events:
+        cuts.extend(tuple(e.key for e in cut) for cut in batcher.offer(event))
+    tail = batcher.flush()
+    if tail:
+        cuts.append(tuple(e.key for e in tail))
+    return cuts
+
+
+@RELAXED
+@given(
+    rows=distinct_events,
+    deltas=clock_deltas,
+    batch_size=st.integers(1, 7),
+    max_seconds=st.floats(min_value=0.1, max_value=2.0, allow_nan=False),
+)
+def test_batch_boundaries_are_deterministic_for_a_fixed_clock(
+    rows, deltas, batch_size, max_seconds
+):
+    events = _events_for(rows)
+    ticks, now = [], 0.0
+    for delta in deltas:
+        now += delta
+        ticks.append(now)
+
+    first = _cuts(events, batch_size=batch_size, max_seconds=max_seconds, ticks=ticks)
+    second = _cuts(events, batch_size=batch_size, max_seconds=max_seconds, ticks=ticks)
+    assert first == second  # identical clock ⇒ identical windows
+
+    # Whatever the windows, batching loses nothing and reorders nothing.
+    flattened = [key for cut in first for key in cut]
+    assert flattened == [event.key for event in events]
+    assert all(len(cut) <= batch_size for cut in first)

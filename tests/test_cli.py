@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
+import io
 import json
+import sys
 from pathlib import Path
 
 import pytest
@@ -862,3 +864,121 @@ class TestKernelFlag:
 
         manifest = json.loads((session_dir / "session.json").read_text())
         assert manifest["kernel"] == "auto"
+
+
+class TestIngestCommand:
+    """The streaming-intake subcommand: flag validation plus round trips."""
+
+    @pytest.fixture()
+    def ingest_session(self, tmp_path, workload_files):
+        session_dir = tmp_path / "session"
+        assert main(
+            [
+                "session", "init", str(session_dir),
+                str(workload_files["database_path"]),
+                "--min-support", "0.1",
+            ]
+        ) == 0
+        return session_dir
+
+    @staticmethod
+    def _write_events(path, specs):
+        lines = [
+            json.dumps({"key": key, "items": items}) for key, items in specs
+        ]
+        path.write_text("".join(line + "\n" for line in lines))
+        return path
+
+    def test_follow_needs_a_file_source(self, tmp_path, capsys):
+        assert main(["ingest", str(tmp_path), "--follow"]) == 2
+        assert "--follow needs a file source" in capsys.readouterr().err
+
+    def test_nonpositive_watermarks_are_rejected(self, tmp_path, capsys):
+        code = main(
+            ["ingest", str(tmp_path), "--source", "x.jsonl", "--batch-seconds", "0"]
+        )
+        assert code == 2
+        assert "--batch-seconds must be positive" in capsys.readouterr().err
+        code = main(["ingest", str(tmp_path), "--source", "x.jsonl", "--poll", "0"])
+        assert code == 2
+        assert "--poll must be positive" in capsys.readouterr().err
+
+    def test_file_ingest_then_replay_dedups(self, tmp_path, ingest_session, capsys):
+        stream = self._write_events(
+            tmp_path / "events.jsonl",
+            [(f"k{i}", [1 + i % 3, 2 + i % 3]) for i in range(6)],
+        )
+        code = main(
+            ["ingest", str(ingest_session), "--source", str(stream), "--batch-size", "4"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "batch 1: 4 applied, 0 duplicate(s) dropped" in out
+        assert "ingested 6 event(s) in 2 batch(es): 6 applied, 0 deduplicated" in out
+        assert "now at batch 2" in out
+
+        # The producer replays the whole stream: everything dedups, no seq burned.
+        code = main(
+            ["ingest", str(ingest_session), "--source", str(stream), "--batch-size", "4"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "6 event(s) in 2 batch(es): 0 applied, 6 deduplicated" in out
+        assert "now at batch 2" in out
+
+    def test_stdin_ingest(self, tmp_path, ingest_session, capsys, monkeypatch):
+        payload = b'{"key": "a", "items": [1, 2]}\n{"key": "b", "items": [2, 3]}\n'
+
+        class FakeStdin:
+            buffer = io.BytesIO(payload)
+
+        monkeypatch.setattr(sys, "stdin", FakeStdin())
+        assert main(["ingest", str(ingest_session)]) == 0
+        assert "2 applied, 0 deduplicated" in capsys.readouterr().out
+
+    def test_corrupt_record_fails_cleanly(self, tmp_path, ingest_session, capsys):
+        stream = tmp_path / "events.jsonl"
+        stream.write_text('{"key": "a", "items": [1]}\nnot json\n')
+        code = main(["ingest", str(ingest_session), "--source", str(stream)])
+        assert code == 2
+        assert "invalid JSON event record" in capsys.readouterr().err
+
+    def test_missing_session_fails_cleanly(self, tmp_path, capsys):
+        stream = self._write_events(tmp_path / "e.jsonl", [("a", [1])])
+        code = main(["ingest", str(tmp_path / "nope"), "--source", str(stream)])
+        assert code == 2
+        assert "holds no maintenance session" in capsys.readouterr().err
+
+
+class TestPipelineCommand:
+    def test_once_serves_while_ingesting(self, tmp_path, workload_files, capsys):
+        session_dir = tmp_path / "session"
+        assert main(
+            [
+                "session", "init", str(session_dir),
+                str(workload_files["database_path"]),
+                "--min-support", "0.1",
+            ]
+        ) == 0
+        stream = TestIngestCommand._write_events(
+            tmp_path / "events.jsonl", [("a", [1, 2]), ("b", [2, 3]), ("a", [1, 2])]
+        )
+        capsys.readouterr()
+        code = main(
+            [
+                "pipeline", str(session_dir),
+                "--source", str(stream),
+                "--once",
+                "--port", "0",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "pipeline serving on http://127.0.0.1:" in out
+        assert "via the threaded front end" in out
+        assert "3 event(s)" in out and "2 applied, 1 deduplicated" in out
+
+    def test_follow_conflicts_with_stdin(self, tmp_path, capsys):
+        # pipeline defaults to follow mode, so stdin requires --once.
+        assert main(["pipeline", str(tmp_path)]) == 2
+        assert "--follow needs a file source" in capsys.readouterr().err
