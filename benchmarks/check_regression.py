@@ -65,12 +65,13 @@ METRICS: dict[str, tuple[tuple[str, ...], ...]] = {
         ("index_maintenance", "speedup_delta_vs_rebuild"),
         ("deletion_validation", "validation_speedup_vs_rebuild"),
         ("session_kernels", "speedup_numpy_vs_bigint"),
+        ("policy_modes", "skip", "skip_work_ratio"),
     ),
 }
 
 #: Sections whose rows carry an ``assertion_active`` flag; a false flag on
 #: either side downgrades that section's metrics to SKIP.
-GATED_SECTIONS = ("closed_loop", "open_loop", "kernels", "snapshot_open")
+GATED_SECTIONS = ("closed_loop", "open_loop", "kernels", "snapshot_open", "policy_modes")
 
 
 @dataclass(frozen=True)

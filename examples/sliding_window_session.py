@@ -1,19 +1,21 @@
 #!/usr/bin/env python3
 """Durable sliding-window maintenance with a mid-stream crash.
 
-A production rule service keeps the rules of the *last N days* current: every
-night the new day's transactions arrive and the oldest day's fall out of the
-window.  This example drives that workload through a durable
-:class:`~repro.core.session.MaintenanceSession` — the maintained state lives
-in a session directory, every batch is journaled before it is applied, and a
-process crash at any point recovers by strict replay of the journal tail over
-the last snapshot.
+A production rule service keeps the rules of the *last N transactions*
+current: every night the new day's transactions arrive and the policy layer
+evicts the oldest to keep the window bound.  The eviction arithmetic lives in
+:class:`~repro.core.policy.SlidingWindowPolicy` — the session is created with
+the policy and every applied batch is planned through it, so this example
+only feeds insertions and lets the policy synthesise the matching deletions.
 
 Halfway through the stream the example simulates a crash: it abandons the
 session object without closing or checkpointing, reopens the directory as a
-fresh "process" and keeps going.  At the end it verifies that the recovered
-session's supports are bit-for-bit identical to a from-scratch mine of the
-final window — nothing was lost and nothing was double-applied.
+fresh "process" and keeps going.  Recovery restores the policy (type,
+parameters and state are part of the manifest) and replays the journal tail
+— the journal records the *original* batches, and the restored policy
+re-plans the same evictions deterministically.  At the end it verifies that
+the recovered session's supports are bit-for-bit identical to a from-scratch
+mine of the final window — nothing was lost and nothing was double-applied.
 
 Run it with::
 
@@ -29,6 +31,7 @@ from pathlib import Path
 from repro import (
     AprioriMiner,
     MaintenanceSession,
+    SlidingWindowPolicy,
     SyntheticConfig,
     SyntheticDataGenerator,
     UpdateBatch,
@@ -39,12 +42,13 @@ MIN_SUPPORT = 0.02
 MIN_CONFIDENCE = 0.5
 DAYS = 12
 CRASH_AFTER_DAY = 6
+WINDOW = 3_000
 
 
 def main() -> None:
     config = SyntheticConfig(
-        database_size=3_000,
-        increment_size=3_000,
+        database_size=WINDOW,
+        increment_size=WINDOW,
         mean_transaction_size=8,
         mean_pattern_size=3,
         pattern_count=250,
@@ -62,6 +66,7 @@ def main() -> None:
         min_support=MIN_SUPPORT,
         min_confidence=MIN_CONFIDENCE,
         checkpoint_interval=4,
+        policy=SlidingWindowPolicy(WINDOW),
     )
     print(
         f"session initialised in {directory} ({len(window)} transactions, "
@@ -87,10 +92,7 @@ def main() -> None:
             )
 
         arriving = stream.transactions()[day * daily : (day + 1) * daily]
-        leaving = session.database.transactions()[: len(arriving)]
-        batch = UpdateBatch.from_iterables(
-            insertions=arriving, deletions=leaving, label=f"day-{day}"
-        )
+        batch = UpdateBatch.from_iterables(insertions=arriving, label=f"day-{day}")
         began = time.perf_counter()
         report = session.apply(batch)
         rows.append(
@@ -98,6 +100,7 @@ def main() -> None:
                 "day": report.batch_label,
                 "seconds": round(time.perf_counter() - began, 4),
                 "window": report.database_size,
+                "evicted": report.evicted_transactions,
                 "itemsets +/-": f"+{len(report.itemsets_added)}/-{len(report.itemsets_removed)}",
                 "rules +/-/~": f"+{len(report.rules_added)}/-{len(report.rules_removed)}/~{len(report.rules_updated)}",
                 "checkpoint": session.checkpoint_seq,

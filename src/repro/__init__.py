@@ -37,6 +37,7 @@ from .errors import (
     InvalidItemsetError,
     InvalidThresholdError,
     InvalidTransactionError,
+    PolicyError,
     ReproError,
     StaleStateError,
     StorageError,
@@ -78,10 +79,20 @@ from .core import (
     Fup2Updater,
     FupOptions,
     FupUpdater,
+    MaintenancePlan,
+    MaintenancePolicy,
     MaintenanceReport,
     MaintenanceSession,
     RuleMaintainer,
     SessionStatus,
+    SkipEstimator,
+    SkipStats,
+    SlidingWindowPolicy,
+    TimeDecayPolicy,
+    TopKPolicy,
+    UnboundedPolicy,
+    parse_policy,
+    policy_from_dict,
     read_session_state,
     update_with_fup,
     update_with_fup2,
@@ -112,6 +123,7 @@ __all__ = [
     "StorageError",
     "GeneratorConfigError",
     "ExperimentError",
+    "PolicyError",
     # itemsets
     "Item",
     "Itemset",
@@ -155,6 +167,16 @@ __all__ = [
     "MaintenanceReport",
     "MaintenanceSession",
     "SessionStatus",
+    "MaintenancePlan",
+    "MaintenancePolicy",
+    "UnboundedPolicy",
+    "SlidingWindowPolicy",
+    "TimeDecayPolicy",
+    "TopKPolicy",
+    "SkipEstimator",
+    "SkipStats",
+    "parse_policy",
+    "policy_from_dict",
     "read_session_state",
     "update_with_fup",
     "update_with_fup2",

@@ -361,6 +361,7 @@ def _all_checkers() -> list[Checker]:
     from .exceptions import ExceptionHygieneChecker
     from .kernels import KernelPurityChecker
     from .layout import BinaryLayoutChecker
+    from .policies import PolicyPurityChecker
 
     return [
         ConcurrencyChecker(),
@@ -368,6 +369,7 @@ def _all_checkers() -> list[Checker]:
         KernelPurityChecker(),
         BinaryLayoutChecker(),
         ExceptionHygieneChecker(),
+        PolicyPurityChecker(),
     ]
 
 

@@ -1,0 +1,121 @@
+"""Policy-purity checker (RPR050).
+
+Maintenance policies are **pure planners**: :mod:`repro.core.policy` turns
+an incoming batch plus the current database into a plan and nothing else.
+Durability — journal appends, ledger commits, manifest replaces, fsyncs,
+file locks — belongs to :mod:`repro.core.session` and the ingest layer.
+The contract matters because policies are replayed during crash recovery:
+a policy that wrote to disk during :meth:`plan` would write *again* on
+replay, corrupting the very journal whose replay is supposed to be
+idempotent.  This rule audits the policy module mechanically so the
+contract cannot erode one convenience write at a time.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .framework import (
+    Checker,
+    Finding,
+    ImportMap,
+    Project,
+    Rule,
+    ScopedVisitor,
+    SourceModule,
+)
+
+__all__ = ["PolicyPurityChecker"]
+
+RULE_PURITY = Rule(
+    "RPR050",
+    "policy-impure",
+    "Maintenance policies are pure planners: core/policy.py must not open, "
+    "write, rename, fsync, or lock files, nor import the session/journal/"
+    "ledger layers — durability belongs to repro.core.session.",
+)
+
+#: Qualified call targets that perform or enable filesystem mutation.
+_FORBIDDEN_CALLS = frozenset(
+    {
+        "os.fsync",
+        "os.fdatasync",
+        "os.replace",
+        "os.rename",
+        "os.remove",
+        "os.unlink",
+        "os.open",
+        "os.fdopen",
+        "os.makedirs",
+        "os.mkdir",
+        "fcntl.flock",
+        "fcntl.lockf",
+        "open",
+    }
+)
+
+#: Attribute method names whose call writes through the receiver (Path or
+#: file handle) regardless of how the receiver was obtained.
+_FORBIDDEN_METHODS = frozenset(
+    {"write_text", "write_bytes", "open", "fsync", "flock", "unlink", "replace", "rename"}
+)
+
+#: Module substrings whose import couples the policy layer to durability.
+_FORBIDDEN_IMPORTS = ("session", "journal", "ledger", "ingest", "faults")
+
+
+def _is_policy_module(module: SourceModule) -> bool:
+    return module.parts[-2:] == ("core", "policy.py")
+
+
+class _PurityVisitor(ScopedVisitor):
+    def __init__(self, module: SourceModule, imports: ImportMap) -> None:
+        super().__init__(module)
+        self.imports = imports
+        self.findings: list[Finding] = []
+
+    def _flag(self, node: ast.AST, what: str) -> None:
+        self.findings.append(
+            Finding(
+                code=RULE_PURITY.code,
+                message=f"policy layer performs durability work: {what}",
+                path=self.module.relpath,
+                line=getattr(node, "lineno", 1),
+                column=getattr(node, "col_offset", 0),
+                symbol=self.qualname(),
+            )
+        )
+
+    def handle_node(self, node: ast.AST) -> None:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if any(part in alias.name.split(".") for part in _FORBIDDEN_IMPORTS):
+                    self._flag(node, f"import {alias.name}")
+        elif isinstance(node, ast.ImportFrom):
+            target = node.module or ""
+            names = set(target.split("."))
+            names.update(alias.name for alias in node.names)
+            hits = sorted(names & set(_FORBIDDEN_IMPORTS))
+            if hits:
+                self._flag(node, f"import of {', '.join(hits)}")
+        elif isinstance(node, ast.Call):
+            resolved = self.imports.resolve(node.func)
+            if resolved in _FORBIDDEN_CALLS:
+                self._flag(node, f"{resolved}()")
+            elif (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in _FORBIDDEN_METHODS
+            ):
+                self._flag(node, f".{node.func.attr}()")
+
+
+class PolicyPurityChecker(Checker):
+    rules = (RULE_PURITY,)
+
+    def check(self, module: SourceModule, project: Project) -> Iterator[Finding]:
+        if module.tree is None or not _is_policy_module(module):
+            return
+        visitor = _PurityVisitor(module, ImportMap(module.tree))
+        visitor.visit(module.tree)
+        yield from visitor.findings

@@ -94,6 +94,7 @@ from . import __version__
 from .core.fup import FupUpdater
 from .core.maintenance import RuleMaintainer
 from .core.options import FupOptions
+from .core.policy import SkipEstimator, parse_policy
 from .core.session import (
     DEFAULT_CHECKPOINT_INTERVAL,
     MaintenanceSession,
@@ -245,6 +246,37 @@ def _cmd_update(args: argparse.Namespace) -> int:
     return 0
 
 
+def _session_policy_overrides(session, args: argparse.Namespace) -> None:
+    """Apply ``--policy`` / ``--skip-check`` overrides to an opened session.
+
+    Flags left alone keep whatever the session manifest says; a passed flag
+    durably switches the setting (``--policy unbounded`` resets the policy).
+    """
+    if args.policy is None and not args.skip_check:
+        return
+    session.set_policy(
+        parse_policy(args.policy) if args.policy is not None else None,
+        skip_check=True if args.skip_check else None,
+    )
+
+
+def _print_policy_summary(maintainer: RuleMaintainer, evicted: int, skipped: int) -> None:
+    """One policy/skip line after a maintain or apply run (when informative)."""
+    if maintainer.policy.name != "unbounded" or maintainer.skip_estimator is not None:
+        line = f"policy: {maintainer.policy.describe()}"
+        if evicted:
+            line += f", {evicted} transaction(s) evicted"
+        if maintainer.skip_estimator is not None:
+            stats = maintainer.skip_estimator.stats
+            line += (
+                f"; skip-check: {stats.rounds_skipped}/{stats.rounds_checked} "
+                f"round(s) skipped"
+            )
+        elif skipped:
+            line += f"; {skipped} round(s) skipped"
+        print(line)
+
+
 def _cmd_maintain(args: argparse.Namespace) -> int:
     original = load_database(args.database)
     increment = load_database(args.increment)
@@ -255,6 +287,8 @@ def _cmd_maintain(args: argparse.Namespace) -> int:
         args.min_confidence,
         miner=args.miner,
         fup_options=_fup_options(args),
+        policy=parse_policy(args.policy),
+        skip_estimator=SkipEstimator() if args.skip_check else None,
     )
     began = time.perf_counter()
     maintainer.initialise(original)
@@ -262,6 +296,8 @@ def _cmd_maintain(args: argparse.Namespace) -> int:
 
     rows: list[dict[str, object]] = []
     total_seconds = 0.0
+    evicted_total = 0
+    skipped_total = 0
     for batch in _batched_updates(
         increment, deletions, args.batches, label=lambda index: f"batch-{index}"
     ):
@@ -269,6 +305,8 @@ def _cmd_maintain(args: argparse.Namespace) -> int:
         report = maintainer.apply(batch)
         seconds = time.perf_counter() - began
         total_seconds += seconds
+        evicted_total += report.evicted_transactions
+        skipped_total += report.skipped
         rows.append(
             {
                 "batch": report.batch_label,
@@ -293,6 +331,7 @@ def _cmd_maintain(args: argparse.Namespace) -> int:
         f"{maintainer.update_log.total_deletions} deletions in {total_seconds:.3f}s; "
         f"{len(maintainer.large_itemsets)} large itemsets, {len(maintainer.rules)} rules"
     )
+    _print_policy_summary(maintainer, evicted_total, skipped_total)
     if args.out_state:
         save_state(maintainer.result, args.out_state)
         print(f"wrote final itemset state to {args.out_state}")
@@ -309,6 +348,8 @@ def _cmd_session_init(args: argparse.Namespace) -> int:
         miner=args.miner,
         fup_options=_fup_options(args),
         checkpoint_interval=args.checkpoint_interval,
+        policy=parse_policy(args.policy),
+        skip_check=args.skip_check,
     ) as session:
         status = session.status()
     print(
@@ -316,6 +357,9 @@ def _cmd_session_init(args: argparse.Namespace) -> int:
         f"transactions, {status.itemsets} large itemsets, {status.rules} rules "
         f"(checkpoint every {status.checkpoint_interval} batches)"
     )
+    if status.policy != "unbounded" or status.skip is not None:
+        skip_note = "" if status.skip is None else "; skip-check on"
+        print(f"policy: {status.policy}{skip_note}")
     return 0
 
 
@@ -327,9 +371,12 @@ def _cmd_session_apply(args: argparse.Namespace) -> int:
         return 2
     with MaintenanceSession.open(args.session_dir) as session:
         recovered = session.pending_batches
+        _session_policy_overrides(session, args)
         start_seq = session.applied_seq
         rows: list[dict[str, object]] = []
         total_seconds = 0.0
+        evicted_total = 0
+        skipped_total = 0
         for batch in _batched_updates(
             insertions,
             deletions,
@@ -340,6 +387,8 @@ def _cmd_session_apply(args: argparse.Namespace) -> int:
             report = session.apply(batch)
             seconds = time.perf_counter() - began
             total_seconds += seconds
+            evicted_total += report.evicted_transactions
+            skipped_total += report.skipped
             rows.append(
                 {
                     "seq": session.applied_seq,
@@ -352,6 +401,7 @@ def _cmd_session_apply(args: argparse.Namespace) -> int:
                 }
             )
         status = session.status()
+        maintainer = session.maintainer
     print(
         format_table(
             rows,
@@ -366,6 +416,7 @@ def _cmd_session_apply(args: argparse.Namespace) -> int:
         f"{status.pending_batches} journaled); {status.database_size} transactions, "
         f"{status.itemsets} itemsets, {status.rules} rules"
     )
+    _print_policy_summary(maintainer, evicted_total, skipped_total)
     return 0
 
 
@@ -579,11 +630,16 @@ def _check_ingest_flags(args: argparse.Namespace) -> int:
 
 
 def _print_intake_batch(report) -> None:
-    print(
+    line = (
         f"batch {report.seq}: {report.applied} applied, "
-        f"{report.duplicates} duplicate(s) dropped",
-        flush=True,
+        f"{report.duplicates} duplicate(s) dropped"
     )
+    evicted = getattr(report.report, "evicted_transactions", 0)
+    if evicted:
+        line += f", {evicted} evicted"
+    if getattr(report.report, "skipped", False):
+        line += " (round skipped)"
+    print(line, flush=True)
 
 
 def _print_ingest_summary(summary, status) -> None:
@@ -608,6 +664,7 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
         return bad
     with open_event_stream(args.source, args.format) as reader:
         with MaintenanceSession.open(args.session_dir) as session:
+            _session_policy_overrides(session, args)
             batcher = MicroBatcher(
                 max_events=args.batch_size, max_seconds=args.batch_seconds
             )
@@ -635,6 +692,7 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
         return bad
     with open_event_stream(args.source, args.format) as reader:
         with MaintenanceSession.open(args.session_dir) as session:
+            _session_policy_overrides(session, args)
             # In-process composition: the store subscribes to the session's
             # maintainer, so every applied micro-batch republishes the rule
             # snapshot immediately — no SessionFeed polling loop, no
@@ -752,6 +810,10 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
     if args.engines:
         overrides["engines"] = tuple(
             EngineSpec.parse(spec) for spec in args.engines.split(",")
+        )
+    if args.policies:
+        overrides["policies"] = tuple(
+            name.strip() for name in args.policies.split(",") if name.strip()
         )
     if overrides:
         matrix = replace(matrix, **overrides, label="custom")
@@ -1057,6 +1119,22 @@ def build_parser() -> argparse.ArgumentParser:
             "installed; default: bigint)",
         )
 
+    def add_policy_flags(subparser: argparse.ArgumentParser) -> None:
+        subparser.add_argument(
+            "--policy",
+            metavar="SPEC",
+            default=None,
+            help="maintenance policy: unbounded (default), window:W "
+            "(sliding window of W transactions), decay:HALFLIFE "
+            "(time-decayed support), or topk:K (serve only the K best rules)",
+        )
+        subparser.add_argument(
+            "--skip-check",
+            action="store_true",
+            help="run the DELI-style sampling pre-check and skip FUP rounds "
+            "that provably cannot change the large-itemset collection",
+        )
+
     generate = commands.add_parser("generate", help="generate a synthetic Tx.Iy.Dm.dn workload")
     generate.add_argument("database", help="output file for the original database DB")
     generate.add_argument("--increment", help="output file for the increment db")
@@ -1101,6 +1179,7 @@ def build_parser() -> argparse.ArgumentParser:
     maintain.add_argument("--miner", choices=["apriori", "dhp"], default="apriori")
     maintain.add_argument("--out-state", help="write the final itemset state here")
     add_backend_flags(maintain)
+    add_policy_flags(maintain)
     maintain.set_defaults(handler=_cmd_maintain)
 
     serve = commands.add_parser(
@@ -1240,6 +1319,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="compact the journal into a fresh snapshot every N batches",
     )
     add_backend_flags(session_init)
+    add_policy_flags(session_init)
     session_init.set_defaults(handler=_cmd_session_init)
 
     session_apply = session_commands.add_parser(
@@ -1252,6 +1332,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--batches", type=positive_int, default=1, help="update batches to apply"
     )
     session_apply.add_argument("--label", help="label recorded on the journaled batches")
+    add_policy_flags(session_apply)
     session_apply.set_defaults(handler=_cmd_session_apply)
 
     session_status = session_commands.add_parser(
@@ -1308,6 +1389,7 @@ def build_parser() -> argparse.ArgumentParser:
             help="stop after this long (smoke tests; default: run to stream "
             "end, or forever with --follow)",
         )
+        add_policy_flags(subparser)
 
     ingest = commands.add_parser(
         "ingest",
@@ -1387,7 +1469,7 @@ def build_parser() -> argparse.ArgumentParser:
     reproduce = commands.add_parser(
         "reproduce",
         help="run the paper-reproduction experiment matrix "
-        "(increment size x support x algorithm x engine/executor)",
+        "(increment size x support x algorithm x engine/executor x policy)",
     )
     reproduce.add_argument(
         "--quick",
@@ -1412,6 +1494,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--engines",
         help="comma-separated engine specs backend[:shards[:executor[:workers]]] "
         "(e.g. horizontal,partitioned:4:processes)",
+    )
+    reproduce.add_argument(
+        "--policies",
+        help="comma-separated maintenance policies to sweep: unbounded "
+        "(classic DB ∪ db) and/or window (sliding window of |DB| rows, "
+        "evictions riding FUP2; consistency-checked against re-mining the "
+        "window)",
     )
     reproduce.add_argument(
         "--out", help="write machine-readable results (BENCH_reproduction.json) here"

@@ -11,12 +11,27 @@
   directory with crash recovery by strict journal replay.
 * :class:`~repro.core.options.FupOptions` — feature switches used by the
   ablation benchmarks.
+* :mod:`repro.core.policy` — maintenance policies (sliding window, time
+  decay, top-k) plus the DELI-style :class:`~repro.core.policy.SkipEstimator`
+  pre-check; every batch a maintainer applies is planned through one.
 """
 
 from .options import FupOptions
 from .fup import FupUpdater, update_with_fup
 from .fup2 import Fup2Updater, update_with_fup2
 from .maintenance import MaintenanceReport, RuleMaintainer
+from .policy import (
+    MaintenancePlan,
+    MaintenancePolicy,
+    SkipEstimator,
+    SkipStats,
+    SlidingWindowPolicy,
+    TimeDecayPolicy,
+    TopKPolicy,
+    UnboundedPolicy,
+    parse_policy,
+    policy_from_dict,
+)
 from .session import (
     MaintenanceSession,
     SessionStatus,
@@ -33,6 +48,16 @@ __all__ = [
     "update_with_fup2",
     "MaintenanceReport",
     "RuleMaintainer",
+    "MaintenancePlan",
+    "MaintenancePolicy",
+    "UnboundedPolicy",
+    "SlidingWindowPolicy",
+    "TimeDecayPolicy",
+    "TopKPolicy",
+    "SkipEstimator",
+    "SkipStats",
+    "parse_policy",
+    "policy_from_dict",
     "MaintenanceSession",
     "SessionStatus",
     "read_session_state",

@@ -40,6 +40,7 @@ from ..mining.rules import (
 from .fup import FupUpdater
 from .fup2 import Fup2Updater
 from .options import FupOptions
+from .policy import MaintenancePolicy, SkipEstimator, UnboundedPolicy
 
 __all__ = ["MaintenanceReport", "RuleMaintainer"]
 
@@ -66,6 +67,17 @@ class MaintenanceReport:
     #: rule statistics would silently serve stale values.
     rules_updated: list[tuple[AssociationRule, AssociationRule]] = field(default_factory=list)
     result: MiningResult | None = None
+    #: Which maintenance policy planned this batch (``--policy`` spec form).
+    policy: str = "unbounded"
+    #: Transactions the policy evicted beyond the caller's own deletions.
+    evicted_transactions: int = 0
+    #: Caller insertions the policy dropped before counting (window overflow).
+    trimmed_insertions: int = 0
+    #: True when the skip estimator certified the round and FUP never ran.
+    skipped: bool = False
+    #: Cumulative :class:`~repro.core.policy.SkipStats` counters (None when
+    #: the maintainer runs without a skip estimator).
+    skip_stats: dict[str, int] | None = None
 
     @property
     def itemsets_changed(self) -> bool:
@@ -90,6 +102,9 @@ class MaintenanceReport:
             "rules_added": len(self.rules_added),
             "rules_removed": len(self.rules_removed),
             "rules_updated": len(self.rules_updated),
+            "policy": self.policy,
+            "evicted": self.evicted_transactions,
+            "skipped": self.skipped,
         }
 
 
@@ -115,6 +130,17 @@ class RuleMaintainer:
         maintained database, fall back to a full re-mine instead of FUP.
         ``None`` (the default) never falls back — the paper's measurements
         show FUP stays ahead even for increments several times the database.
+    policy:
+        The :class:`~repro.core.policy.MaintenancePolicy` every batch is
+        planned through (default: unbounded, the pre-policy behaviour).
+        The planner may synthesise evictions (sliding window, time decay)
+        or bound the served rule list (top-k); the maintained lattice is
+        always exact for whatever the policy retains.
+    skip_estimator:
+        Optional :class:`~repro.core.policy.SkipEstimator`.  When set,
+        insert-only batches run its DELI-style pre-check first and the FUP
+        round is skipped whenever the check certifies the large-itemset
+        collection cannot change.
     """
 
     def __init__(
@@ -124,6 +150,8 @@ class RuleMaintainer:
         miner: MinerName = "apriori",
         fup_options: FupOptions | None = None,
         remine_increment_factor: float | None = None,
+        policy: MaintenancePolicy | None = None,
+        skip_estimator: SkipEstimator | None = None,
     ) -> None:
         self.min_support = validate_min_support(min_support)
         # The same validator generate_rules uses, so the two entry points
@@ -139,6 +167,8 @@ class RuleMaintainer:
                 f"remine_increment_factor must be positive, got {remine_increment_factor}"
             )
         self.remine_increment_factor = remine_increment_factor
+        self.policy: MaintenancePolicy = policy or UnboundedPolicy()
+        self.skip_estimator = skip_estimator
 
         self._database: TransactionDatabase | None = None
         self._result: MiningResult | None = None
@@ -227,8 +257,17 @@ class RuleMaintainer:
         if not isinstance(database, TransactionDatabase):
             database = TransactionDatabase(database)
         self._database = database.copy()
+        # Admit the database through the policy first: a bounded policy trims
+        # it to within bounds *before* the initial mine, so the mined state
+        # matches what the policy retains (e.g. the last W transactions).
+        plan = self.policy.admit(self._database)
+        if plan.batch.deletions:
+            self._database.remove_batch(plan.batch.deletions, strict=True)
+        self.policy.commit(plan)
         self._result = self._full_mine(self._database)
-        self._rules = generate_rules(self._result.lattice, self.min_confidence)
+        self._rules = self.policy.bound_rules(
+            generate_rules(self._result.lattice, self.min_confidence)
+        )
         self.sequence = 0
         self._publish()
         return self._result
@@ -266,7 +305,7 @@ class RuleMaintainer:
             min_support=self.min_support,
             algorithm=algorithm,
         )
-        self._rules = generate_rules(lattice, self.min_confidence)
+        self._rules = self.policy.bound_rules(generate_rules(lattice, self.min_confidence))
         self.sequence = int(sequence)
         self._publish()
         return self._result
@@ -309,11 +348,18 @@ class RuleMaintainer:
     def apply(self, batch: UpdateBatch) -> MaintenanceReport:
         """Apply one update batch and return a report of what changed.
 
-        Insert-only batches use FUP; batches with deletions use the FUP2-style
-        updater.  Empty batches short-circuit to a no-op report: the unchanged
-        lattice is not re-derived into rules, nothing is recorded in the
-        update log (so durable-session journals stay free of empty records),
-        and :attr:`sequence` does not advance.
+        Every non-empty batch is first routed through the configured
+        :class:`~repro.core.policy.MaintenancePolicy` planner, which may
+        trim insertions and synthesise evictions (handled as deletions by
+        FUP2).  Insert-only batches use FUP — unless a skip estimator is
+        configured and certifies the round cannot change the large-itemset
+        collection, in which case the updated counts are installed without
+        running it.  Batches with deletions use the FUP2-style updater.
+        Empty batches short-circuit to a no-op report *before* planning:
+        the unchanged lattice is not re-derived into rules, nothing is
+        recorded in the update log (so durable-session journals stay free
+        of empty records), no policy clock advances, and :attr:`sequence`
+        does not advance.
         """
         database = self.database
         previous = self.result
@@ -326,50 +372,76 @@ class RuleMaintainer:
                 deleted_transactions=0,
                 database_size=len(database),
                 result=previous,
+                policy=self.policy.describe(),
+                skip_stats=self._skip_stats(),
             )
+
+        plan = self.policy.plan(batch, database)
+        effective = plan.batch
 
         previous_rules = list(self._rules)
         previous_itemsets = set(previous.lattice.itemsets())
 
-        if batch.deletions:
-            self.validate_batch(batch)
+        skipped = False
+        skip_checked = False
+        if effective.deletions:
+            self.validate_batch(effective)
             new_result = self._fup2_updater.update(
                 database,
                 previous,
-                batch.insertions_database(),
-                batch.deletions_database(),
+                effective.insertions_database(),
+                effective.deletions_database(),
             )
             algorithm = new_result.algorithm
         else:
-            increment = batch.insertions_database()
+            increment = effective.insertions_database()
             if self._should_remine(increment):
                 updated = database.concatenate(increment)
                 new_result = self._full_mine(updated)
                 algorithm = f"remine-{self.miner_name}"
             else:
-                new_result = self._fup_updater.update(database, previous, increment)
+                new_result = None
+                if self.skip_estimator is not None:
+                    skip_checked = True
+                    new_result = self.skip_estimator.evaluate(
+                        database,
+                        previous,
+                        increment,
+                        self.min_support,
+                        self._fup_updater.backend,
+                    )
+                    skipped = new_result is not None
+                if new_result is None:
+                    new_result = self._fup_updater.update(database, previous, increment)
                 algorithm = new_result.algorithm
 
         # Mutate the maintained database only after the updater succeeded, so a
         # failed update leaves the maintainer consistent.  The strict removal
         # re-validates and removes in one pass (raising with the database
         # untouched if it somehow disagrees with the pre-check above).
-        if batch.deletions:
-            database.remove_batch(batch.deletions, strict=True)
-        if batch.insertions:
-            database.extend(batch.insertions)
+        if effective.deletions:
+            database.remove_batch(effective.deletions, strict=True)
+        if effective.insertions:
+            database.extend(effective.insertions)
         self._result = new_result
-        self._rules = generate_rules(new_result.lattice, self.min_confidence)
-        self.update_log.record(batch)
+        self._rules = self.policy.bound_rules(
+            generate_rules(new_result.lattice, self.min_confidence)
+        )
+        self.update_log.record(effective)
+        self.policy.commit(plan)
         self.sequence += 1
 
         new_itemsets = set(new_result.lattice.itemsets())
+        if skip_checked and not skipped and new_itemsets != previous_itemsets:
+            # A checked-but-forced round whose collection really changed —
+            # the denominator for auditing the estimator's predictions.
+            self.skip_estimator.stats.actual_change += 1  # type: ignore[union-attr]
         rules_diff = diff_rules(previous_rules, self._rules)
         report = MaintenanceReport(
             batch_label=batch.label,
             algorithm=algorithm,
-            inserted_transactions=len(batch.insertions),
-            deleted_transactions=len(batch.deletions),
+            inserted_transactions=len(effective.insertions),
+            deleted_transactions=len(effective.deletions),
             database_size=len(database),
             itemsets_added=sorted(new_itemsets - previous_itemsets),
             itemsets_removed=sorted(previous_itemsets - new_itemsets),
@@ -377,9 +449,24 @@ class RuleMaintainer:
             rules_removed=rules_diff.removed,
             rules_updated=rules_diff.updated,
             result=new_result,
+            policy=self.policy.describe(),
+            evicted_transactions=plan.evicted,
+            trimmed_insertions=plan.trimmed_insertions,
+            skipped=skipped,
+            skip_stats=self._skip_stats(),
         )
         self._publish()
         return report
+
+    def _skip_stats(self) -> dict[str, int] | None:
+        return self.skip_estimator.stats.as_dict() if self.skip_estimator else None
+
+    def policy_info(self) -> dict[str, object]:
+        """JSON-safe policy + skip description for status lines and ``/health``."""
+        info: dict[str, object] = dict(self.policy.info())
+        if self.skip_estimator is not None:
+            info["skip"] = self.skip_estimator.stats.as_dict()
+        return info
 
     def add_transactions(
         self, transactions: Iterable[Iterable[Item]], label: str = ""

@@ -54,6 +54,10 @@ class AnalysisError(ReproError):
     """A static-analysis (``repro lint``) input or configuration failure."""
 
 
+class PolicyError(ReproError):
+    """A maintenance-policy spec, parameter set, or persisted form is invalid."""
+
+
 class IngestError(ReproError):
     """An event-stream record is malformed or an ingest source is unusable.
 

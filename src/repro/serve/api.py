@@ -144,6 +144,7 @@ def route_query(store: RuleStore, path: str, query: Mapping[str, str]) -> tuple[
             "min_support": snapshot.min_support,
             "min_confidence": snapshot.min_confidence,
             "publications": store.publications,
+            "policy": snapshot.policy,
         }
     if path == "/rules":
         snapshot = store.snapshot()

@@ -75,6 +75,11 @@ class RuleSnapshot:
         copied into the snapshot so later lattice mutations cannot leak in.
     min_support, min_confidence:
         The thresholds the state was maintained at (served by ``/health``).
+    policy:
+        JSON-safe maintenance-policy description
+        (:meth:`~repro.core.maintenance.RuleMaintainer.policy_info` output:
+        policy spec, bounds, skip-estimator counters), served by ``/health``.
+        ``None`` for snapshots built without a policy-aware publisher.
     """
 
     __slots__ = (
@@ -82,6 +87,7 @@ class RuleSnapshot:
         "database_size",
         "min_support",
         "min_confidence",
+        "policy",
         "rules",
         "_supports",
         "_antecedent_sets",
@@ -95,8 +101,10 @@ class RuleSnapshot:
         lattice: ItemsetLattice,
         min_support: float,
         min_confidence: float,
+        policy: Mapping[str, object] | None = None,
     ) -> None:
         self.version = int(version)
+        self.policy: dict[str, object] | None = dict(policy) if policy is not None else None
         self.rules: tuple[AssociationRule, ...] = tuple(rules)
         self.database_size = lattice.database_size
         self.min_support = min_support

@@ -697,3 +697,83 @@ class TestExitTaxonomy:
             """,
         )
         assert not findings
+
+
+# --------------------------------------------------------------------- #
+# RPR050 policy purity
+# --------------------------------------------------------------------- #
+class TestPolicyPurity:
+    def test_flags_filesystem_writes_in_the_policy_module(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "core/policy.py",
+            """
+            import os
+            import json
+
+            class SlidingWindowPolicy:
+                def plan(self, batch, database):
+                    with open("/tmp/policy.log", "w") as handle:
+                        handle.write("planned")
+                    os.fsync(3)
+                    return batch
+
+                def persist(self, path):
+                    path.write_text(json.dumps(self.params()))
+            """,
+        )
+        flagged = [f for f in findings if f.code == "RPR050"]
+        assert len(flagged) == 3  # open(), os.fsync(), .write_text()
+
+    def test_flags_durability_layer_imports(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "core/policy.py",
+            """
+            from .session import MaintenanceSession
+            from ..ingest import ledger
+
+            class TopKPolicy:
+                pass
+            """,
+        )
+        flagged = [f for f in findings if f.code == "RPR050"]
+        assert len(flagged) == 2
+
+    def test_pure_planner_is_clean(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "core/policy.py",
+            """
+            import math
+            from collections import Counter
+
+            class SlidingWindowPolicy:
+                def __init__(self, window):
+                    self.window = window
+
+                def plan(self, batch, database):
+                    overflow = len(database) + len(batch.insertions) - self.window
+                    return max(0, overflow)
+
+                def params(self):
+                    return {"window": self.window}
+            """,
+        )
+        assert "RPR050" not in codes(findings)
+
+    def test_other_modules_may_do_durability_work(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "core/session.py",
+            """
+            import os
+
+            def checkpoint(path, payload):
+                with open(path, "w") as handle:
+                    handle.write(payload)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+            """,
+        )
+        assert "RPR050" not in codes(findings)

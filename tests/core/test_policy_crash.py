@@ -1,0 +1,206 @@
+"""Fault injection at eviction time: crash mid-eviction, replay, converge.
+
+The sliding-window policy turns plain insertion batches into mixed
+insert+delete batches (the evictions).  The journal records the *original*
+batch, so crash recovery replays it through the restored policy, which must
+re-plan byte-identical evictions — the deletion path's historical failure
+mode is a phantom :class:`~repro.errors.StaleStateError` when replayed
+evictions try to remove transactions the crashed process already removed
+(double eviction) or never removed (lost eviction).
+
+Both flavours of the ingest crash tier are reused: an in-process raise at
+the ``after-journal-before-apply`` point (journal holds the batch, the
+maintainer never saw it) and a real ``SIGKILL`` of a ``repro session
+apply`` subprocess.  The oracle is a clean twin session fed the same
+batches with no crash: transactions, supports and rules must all match.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro.faults as faults
+from repro import (
+    AprioriMiner,
+    MaintenanceSession,
+    SlidingWindowPolicy,
+    TransactionDatabase,
+    UpdateBatch,
+    save_database,
+)
+from repro.faults import CRASH_POINT_ENV, InjectedCrash
+
+BASE = [
+    [1, 2, 3],
+    [1, 2],
+    [2, 3],
+    [1, 3],
+    [1, 2, 3],
+    [2, 4],
+    [3, 4],
+    [1, 2, 4],
+    [1, 4],
+    [2, 3, 4],
+]
+WINDOW = len(BASE)
+BATCHES = [
+    [[1, 2, 4], [2, 3, 4]],
+    [[1, 3, 4], [1, 2, 3, 4]],
+    [[2, 4], [1, 2]],
+]
+
+SRC_DIR = Path(__file__).resolve().parents[2] / "src"
+
+
+def _make_session(directory: Path) -> MaintenanceSession:
+    return MaintenanceSession.create(
+        directory,
+        BASE,
+        min_support=0.2,
+        min_confidence=0.5,
+        checkpoint_interval=100,
+        policy=SlidingWindowPolicy(WINDOW),
+    )
+
+
+def _clean_twin(directory: Path, batches) -> MaintenanceSession:
+    session = _make_session(directory)
+    for index, rows in enumerate(batches):
+        session.apply(UpdateBatch.from_iterables(insertions=rows, label=f"batch-{index}"))
+    return session
+
+
+def _assert_matches_twin(session: MaintenanceSession, twin: MaintenanceSession) -> None:
+    assert session.database.transactions() == twin.database.transactions()
+    assert session.result.lattice.supports() == twin.result.lattice.supports()
+    assert session.rules == twin.rules
+
+
+class TestRaiseAtEvictionTime:
+    def test_recovery_replays_identical_evictions(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(faults, "_HITS", {})
+        twin = _clean_twin(tmp_path / "twin", BATCHES[:2])
+
+        crash_dir = tmp_path / "crash"
+        session = _make_session(crash_dir)
+        session.apply(UpdateBatch.from_iterables(insertions=BATCHES[0], label="batch-0"))
+
+        # The second batch is journaled but dies before the maintainer (and
+        # therefore before the policy's evictions) touches any state.
+        monkeypatch.setenv(CRASH_POINT_ENV, "after-journal-before-apply:raise:0")
+        with pytest.raises(InjectedCrash):
+            session.apply(UpdateBatch.from_iterables(insertions=BATCHES[1], label="batch-1"))
+        session.close()  # write-free: on-disk state equals a process kill
+        monkeypatch.delenv(CRASH_POINT_ENV)
+
+        with MaintenanceSession.open(crash_dir) as session:
+            assert session.applied_seq == 2  # the journaled batch was replayed
+            assert len(session.database) == WINDOW
+            _assert_matches_twin(session, twin)
+            twin.close()
+
+            # The maintained lattice equals a from-scratch mine of the window.
+            remined = AprioriMiner(0.2).mine(TransactionDatabase(session.database.transactions()))
+            assert session.result.lattice.supports() == remined.lattice.supports()
+
+            # A post-recovery batch carrying *user* deletions must go through
+            # cleanly: replayed evictions already left the database, so the
+            # deletions still resolve — no phantom StaleStateError.
+            survivors = [list(t) for t in session.database.transactions()[:2]]
+            report = session.apply(
+                UpdateBatch.from_iterables(
+                    insertions=BATCHES[2], deletions=survivors, label="post"
+                )
+            )
+            assert report.database_size == WINDOW
+            assert report.evicted_transactions == 0  # deletions freed the room
+
+    def test_double_crash_still_converges(self, tmp_path, monkeypatch):
+        """Crash, recover, crash again on the next eviction batch, recover."""
+        monkeypatch.setattr(faults, "_HITS", {})
+        twin = _clean_twin(tmp_path / "twin", BATCHES)
+
+        crash_dir = tmp_path / "crash"
+        session = _make_session(crash_dir)
+        session.apply(UpdateBatch.from_iterables(insertions=BATCHES[0], label="batch-0"))
+        monkeypatch.setenv(CRASH_POINT_ENV, "after-journal-before-apply:raise:0")
+        with pytest.raises(InjectedCrash):
+            session.apply(UpdateBatch.from_iterables(insertions=BATCHES[1], label="batch-1"))
+        session.close()
+        monkeypatch.delenv(CRASH_POINT_ENV)
+
+        monkeypatch.setattr(faults, "_HITS", {})
+        session = MaintenanceSession.open(crash_dir)  # replays batch-1
+        monkeypatch.setenv(CRASH_POINT_ENV, "after-journal-before-apply:raise:0")
+        with pytest.raises(InjectedCrash):
+            session.apply(UpdateBatch.from_iterables(insertions=BATCHES[2], label="batch-2"))
+        session.close()
+        monkeypatch.delenv(CRASH_POINT_ENV)
+
+        with MaintenanceSession.open(crash_dir) as session:
+            assert session.applied_seq == 3
+            _assert_matches_twin(session, twin)
+            twin.close()
+
+
+class TestSigkillAtEvictionTime:
+    def test_killed_apply_recovers_to_the_clean_run(self, tmp_path):
+        db_file = tmp_path / "db.txt"
+        inc_file = tmp_path / "inc.txt"
+        save_database(TransactionDatabase(BASE), db_file)
+        save_database(TransactionDatabase(BATCHES[0] + BATCHES[1]), inc_file)
+
+        crash_dir = tmp_path / "crash"
+        _make_session(crash_dir).close()
+
+        env = {**os.environ, "PYTHONPATH": str(SRC_DIR)}
+        killed = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro.cli",
+                "session",
+                "apply",
+                str(crash_dir),
+                "--insertions",
+                str(inc_file),
+                "--batches",
+                "2",
+            ],
+            env={**env, CRASH_POINT_ENV: "after-journal-before-apply:kill:1"},
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert killed.returncode == -signal.SIGKILL, killed.stderr
+
+        # Recovery happens on open; checkpointing afterwards proves the
+        # replayed state is also durable in its own right.
+        recovered = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro.cli",
+                "session",
+                "checkpoint",
+                str(crash_dir),
+            ],
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert recovered.returncode == 0, recovered.stderr
+
+        twin = _clean_twin(tmp_path / "twin", [BATCHES[0], BATCHES[1]])
+        with MaintenanceSession.open(crash_dir) as session:
+            assert session.applied_seq == 2
+            assert len(session.database) == WINDOW
+            _assert_matches_twin(session, twin)
+        twin.close()
